@@ -1,0 +1,76 @@
+// Command pigbench regenerates the paper's evaluation: every figure (7-13)
+// and both analytical tables (1-2), printed as aligned text tables.
+//
+// Usage:
+//
+//	pigbench -all            # run the full suite (several minutes)
+//	pigbench -fig 8          # one figure
+//	pigbench -table 1        # one table
+//	pigbench -quick          # reduced sweeps, faster and less precise
+//
+// All experiments run on the deterministic discrete-event simulator; equal
+// seeds print equal numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pigpaxos/internal/harness"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure number to regenerate (7-13)")
+		table = flag.Int("table", 0, "table number to regenerate (1-2)")
+		util  = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
+		all   = flag.Bool("all", false, "run every figure and table")
+		quick = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	suite := harness.DefaultSuite()
+	if *quick {
+		suite = harness.QuickSuite()
+	}
+	suite.Seed = *seed
+
+	runs := map[string]func() harness.Report{
+		"fig7":   suite.Fig7RelayGroups,
+		"fig8":   suite.Fig8Scalability25,
+		"fig9":   suite.Fig9WAN,
+		"fig10":  suite.Fig10Small5,
+		"fig11":  suite.Fig11Small9,
+		"fig12":  suite.Fig12PayloadSize,
+		"fig13":  suite.Fig13FaultTolerance,
+		"table1": suite.Table1MessageLoad,
+		"table2": suite.Table2MessageLoad,
+		"util":   suite.UtilizationReport,
+	}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "util"}
+
+	var selected []string
+	switch {
+	case *all:
+		selected = order
+	case *fig >= 7 && *fig <= 13:
+		selected = []string{fmt.Sprintf("fig%d", *fig)}
+	case *table == 1 || *table == 2:
+		selected = []string{fmt.Sprintf("table%d", *table)}
+	case *util:
+		selected = []string{"util"}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pigbench -all | -fig 7..13 | -table 1..2 [-quick] [-seed N]")
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		rep := runs[name]()
+		fmt.Println(rep.String())
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,160 @@
+// Command pigclient is an interactive client for a pigserver cluster.
+//
+// Usage:
+//
+//	pigclient -server 127.0.0.1:7001 put mykey myvalue
+//	pigclient -server 127.0.0.1:7001 get mykey
+//	pigclient -server 127.0.0.1:7001 del mykey
+//	pigclient -server 127.0.0.1:7001 -n 1000 bench
+//
+// Keys are hashed to the 64-bit key space with FNV-1a. Redirects (when the
+// contacted node is a follower) are followed automatically if the leader's
+// address is in -cluster; otherwise the redirect target is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/transport"
+	"pigpaxos/internal/wire"
+)
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+type client struct {
+	tn      *transport.TCPNode
+	server  ids.ID
+	replies chan wire.Reply
+	seq     uint64
+}
+
+func (c *client) OnMessage(from ids.ID, m wire.Msg) {
+	if rep, ok := m.(wire.Reply); ok {
+		c.replies <- rep
+	}
+}
+
+func (c *client) do(cmd kvstore.Command) (wire.Reply, error) {
+	c.seq++
+	cmd.ClientID = 1
+	cmd.Seq = c.seq
+	c.tn.Send(c.server, wire.Request{Cmd: cmd})
+	for {
+		select {
+		case rep := <-c.replies:
+			if rep.Seq != c.seq {
+				continue
+			}
+			if !rep.OK && !rep.Leader.IsZero() && rep.Leader != c.server {
+				// Follow the redirect if we can route to the leader.
+				c.tn.Send(rep.Leader, wire.Request{Cmd: cmd})
+				continue
+			}
+			return rep, nil
+		case <-time.After(5 * time.Second):
+			return wire.Reply{}, fmt.Errorf("timed out")
+		}
+	}
+}
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:7001", "any cluster member's address")
+		cluster = flag.String("cluster", "", "optional id=host:port list for redirect following")
+		n       = flag.Int("n", 1000, "operations for the bench subcommand")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pigclient [-server addr] put k v | get k | del k | bench")
+		os.Exit(2)
+	}
+
+	serverID := ids.NewID(1, 1) // the transport routes by connection, the ID is nominal
+	addrs := map[ids.ID]string{serverID: *server}
+	if *cluster != "" {
+		for _, part := range strings.Split(*cluster, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				log.Fatalf("bad cluster entry %q", part)
+			}
+			var zone, node int
+			if _, err := fmt.Sscanf(kv[0], "%d.%d", &zone, &node); err != nil {
+				log.Fatalf("bad id %q", kv[0])
+			}
+			addrs[ids.NewID(zone, node)] = kv[1]
+		}
+	}
+	cl := &client{server: serverID, replies: make(chan wire.Reply, 16)}
+	tn, err := transport.ListenTCP(ids.NewID(999, 1), "127.0.0.1:0", addrs, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tn.Close()
+	cl.tn = tn
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			log.Fatal("put needs key and value")
+		}
+		rep, err := cl.do(kvstore.Command{Op: kvstore.Put, Key: hashKey(args[1]), Value: []byte(args[2])})
+		exitOn(err, rep)
+		fmt.Printf("OK (slot %d)\n", rep.Slot)
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("get needs a key")
+		}
+		rep, err := cl.do(kvstore.Command{Op: kvstore.Get, Key: hashKey(args[1])})
+		exitOn(err, rep)
+		if !rep.Exists {
+			fmt.Println("(not found)")
+			return
+		}
+		fmt.Printf("%s\n", rep.Value)
+	case "del":
+		if len(args) != 2 {
+			log.Fatal("del needs a key")
+		}
+		rep, err := cl.do(kvstore.Command{Op: kvstore.Delete, Key: hashKey(args[1])})
+		exitOn(err, rep)
+		fmt.Printf("deleted=%v\n", rep.Exists)
+	case "bench":
+		start := time.Now()
+		for i := 0; i < *n; i++ {
+			_, err := cl.do(kvstore.Command{
+				Op: kvstore.Put, Key: uint64(i % 1000), Value: []byte("benchvalue"),
+			})
+			if err != nil {
+				log.Fatalf("op %d: %v", i, err)
+			}
+		}
+		el := time.Since(start)
+		fmt.Printf("%d ops in %v: %.0f op/s, %.2fms mean\n",
+			*n, el.Round(time.Millisecond), float64(*n)/el.Seconds(),
+			el.Seconds()*1000/float64(*n))
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func exitOn(err error, rep wire.Reply) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.OK {
+		log.Fatalf("request failed; leader hint: %v", rep.Leader)
+	}
+}

@@ -1,0 +1,160 @@
+// Command pigserver runs one replica of a PigPaxos (or Paxos/EPaxos)
+// cluster over TCP.
+//
+// Usage (3-node cluster on one machine):
+//
+//	pigserver -id 1.1 -cluster 1.1=:7001,1.2=:7002,1.3=:7003 &
+//	pigserver -id 1.2 -cluster 1.1=:7001,1.2=:7002,1.3=:7003 &
+//	pigserver -id 1.3 -cluster 1.1=:7001,1.2=:7002,1.3=:7003 &
+//
+// The node whose ID sorts first is the initial leader. Use -protocol to
+// select paxos/epaxos, -groups for PigPaxos relay groups.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/epaxos"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/paxos"
+	"pigpaxos/internal/pigpaxos"
+	"pigpaxos/internal/transport"
+	"pigpaxos/internal/wire"
+)
+
+func parseID(s string) (ids.ID, error) {
+	var zone, n int
+	if _, err := fmt.Sscanf(s, "%d.%d", &zone, &n); err != nil {
+		return 0, fmt.Errorf("bad node ID %q (want zone.node, e.g. 1.2)", s)
+	}
+	return ids.NewID(zone, n), nil
+}
+
+func parseCluster(s string) (map[ids.ID]string, []ids.ID, error) {
+	addrs := make(map[ids.ID]string)
+	var members []ids.ID
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("bad cluster entry %q (want id=host:port)", part)
+		}
+		id, err := parseID(kv[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs[id] = kv[1]
+		members = append(members, id)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return addrs, members, nil
+}
+
+type handlerProxy struct{ h node.Handler }
+
+func (p *handlerProxy) OnMessage(from ids.ID, m wire.Msg) {
+	if p.h != nil {
+		p.h.OnMessage(from, m)
+	}
+}
+
+func main() {
+	var (
+		idStr      = flag.String("id", "", "this node's ID (zone.node)")
+		clusterStr = flag.String("cluster", "", "comma-separated id=host:port list for every member")
+		protocol   = flag.String("protocol", "pigpaxos", "pigpaxos | paxos | epaxos")
+		groups     = flag.Int("groups", 2, "PigPaxos relay groups")
+		relayTO    = flag.Duration("relay-timeout", 50*time.Millisecond, "relay aggregation timeout")
+		electTO    = flag.Duration("election-timeout", 2*time.Second, "leader failover timeout (0 disables)")
+		readMode   = flag.String("reads", "log", "read path: log | lease | any (paxos/pigpaxos)")
+		retryTO    = flag.Duration("retry-timeout", 250*time.Millisecond, "leader P2a retransmit timeout for lossy links (0 disables)")
+	)
+	flag.Parse()
+	if *idStr == "" || *clusterStr == "" {
+		fmt.Fprintln(os.Stderr, "usage: pigserver -id 1.1 -cluster 1.1=:7001,1.2=:7002,...")
+		os.Exit(2)
+	}
+	self, err := parseID(*idStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs, members, err := parseCluster(*clusterStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selfAddr, ok := addrs[self]
+	if !ok {
+		log.Fatalf("node %v is not in the cluster list", self)
+	}
+	cc := config.Cluster{Nodes: members, Addrs: addrs}
+	if err := cc.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	var rm paxos.ReadMode
+	switch *readMode {
+	case "log":
+		rm = paxos.ReadLog
+	case "lease":
+		rm = paxos.ReadLease
+	case "any":
+		rm = paxos.ReadAny
+	default:
+		log.Fatalf("unknown read mode %q (log|lease|any)", *readMode)
+	}
+	base := paxos.Config{
+		Cluster: cc, ID: self, InitialLeader: members[0],
+		ElectionTimeout: *electTO,
+		ReadMode:        rm,
+		RetryTimeout:    *retryTO,
+		CompactEvery:    4096, // bound memory on long-running servers
+	}
+
+	proxy := &handlerProxy{}
+	tn, err := transport.ListenTCP(self, selfAddr, addrs, proxy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tn.Close()
+
+	leader := members[0]
+	var start func()
+	switch *protocol {
+	case "paxos":
+		r := paxos.New(tn, base, nil)
+		proxy.h = r
+		start = r.Start
+	case "epaxos":
+		r := epaxos.New(tn, epaxos.Config{Cluster: cc, ID: self})
+		proxy.h = r
+		start = r.Start
+	case "pigpaxos":
+		r := pigpaxos.New(tn, pigpaxos.Config{
+			Paxos:        base,
+			NumGroups:    *groups,
+			RelayTimeout: *relayTO,
+		})
+		proxy.h = r
+		start = r.Start
+	default:
+		log.Fatalf("unknown protocol %q", *protocol)
+	}
+
+	// Run Start on the node's event loop to respect single-threading.
+	tn.After(0, start)
+	log.Printf("%s node %v serving on %s (leader: %v, %d members)",
+		*protocol, self, tn.Addr(), leader, len(members))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+}

@@ -1,0 +1,46 @@
+// Payload-size study: the paper's Figure 12 scenario as a library call —
+// how maximum throughput of 25-node Paxos and PigPaxos degrades as the
+// replicated value grows from 8 to 1280 bytes (write-only workload).
+//
+// PigPaxos' advantage persists across payload sizes because relays, not the
+// leader, pay the per-byte fan-out cost to the followers (§5.6).
+//
+//	go run ./examples/payload
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pigpaxos"
+)
+
+func main() {
+	payloads := []int{8, 128, 512, 1280}
+	fmt.Println("25-node cluster, write-only workload, 150 clients (paper §5.6)")
+	fmt.Printf("%-12s %16s %16s %8s\n", "payload", "Paxos", "PigPaxos(r=3)", "ratio")
+
+	for _, size := range payloads {
+		run := func(p pigpaxos.Protocol) float64 {
+			return pigpaxos.Bench(pigpaxos.BenchOptions{
+				Protocol:    p,
+				N:           25,
+				Clients:     150,
+				RelayGroups: 3,
+				WriteOnly:   true,
+				PayloadSize: size,
+				Warmup:      500 * time.Millisecond,
+				Measure:     2 * time.Second,
+			}).Throughput
+		}
+		paxos := run(pigpaxos.ProtocolPaxos)
+		pig := run(pigpaxos.ProtocolPigPaxos)
+		fmt.Printf("%-12s %12.0f/s %12.0f/s %7.1fx\n",
+			fmt.Sprintf("%d bytes", size), paxos, pig, pig/paxos)
+	}
+
+	fmt.Println()
+	fmt.Println("Both protocols degrade by a similar relative amount as payloads grow")
+	fmt.Println("(the paper's Figure 12b normalization), but PigPaxos' absolute lead")
+	fmt.Println("holds: the leader ships r copies of each value instead of N−1.")
+}

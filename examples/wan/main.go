@@ -1,0 +1,46 @@
+// WAN replication study: the paper's Figure 9 scenario as a library call —
+// a 15-node cluster spread over Virginia, California and Oregon, one relay
+// group per region, PigPaxos vs Paxos under increasing load.
+//
+// The runs execute on the deterministic simulator (virtual EC2), so this
+// example finishes in seconds and prints the same numbers every time.
+//
+//	go run ./examples/wan
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pigpaxos"
+)
+
+func main() {
+	fmt.Println("15-node WAN cluster (Virginia/California/Oregon), 1000-key 50/50 workload")
+	fmt.Printf("%-10s %8s %14s %12s %10s\n", "protocol", "clients", "throughput", "mean lat", "p99")
+
+	for _, proto := range []pigpaxos.Protocol{pigpaxos.ProtocolPaxos, pigpaxos.ProtocolPigPaxos} {
+		for _, clients := range []int{10, 50, 200, 400} {
+			r := pigpaxos.Bench(pigpaxos.BenchOptions{
+				Protocol:    proto,
+				N:           15,
+				WAN:         true, // 3 regions; PigPaxos groups by zone (§6.4)
+				Clients:     clients,
+				RelayGroups: 3,
+				Warmup:      500 * time.Millisecond,
+				Measure:     2 * time.Second,
+			})
+			fmt.Printf("%-10s %8d %10.0f/s %12v %10v\n",
+				proto, clients, r.Throughput,
+				r.MeanLatency.Round(100*time.Microsecond),
+				r.P99Latency.Round(100*time.Microsecond))
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Note the paper's Figure 9 shape: at low load the WAN RTT dominates and")
+	fmt.Println("the protocols are indistinguishable; at high load Paxos saturates on")
+	fmt.Println("leader messaging while PigPaxos keeps scaling. With zone grouping the")
+	fmt.Println("leader sends one message per remote region per round instead of one per")
+	fmt.Println("remote replica — a 3-5x WAN traffic saving (§6.4).")
+}

@@ -1,0 +1,237 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pigpaxos/internal/ids"
+)
+
+func TestNewLAN(t *testing.T) {
+	c := NewLAN(5)
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := c.OneWay(c.Nodes[0], c.Nodes[1])
+	if d != 125*time.Microsecond {
+		t.Errorf("LAN one-way = %v", d)
+	}
+}
+
+func TestNewWAN3ZoneSpread(t *testing.T) {
+	c := NewWAN3(15)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	zones := map[int]int{}
+	for _, n := range c.Nodes {
+		zones[c.ZoneOf(n)]++
+	}
+	if len(zones) != 3 {
+		t.Fatalf("zones = %v, want 3 zones", zones)
+	}
+	for z, cnt := range zones {
+		if cnt != 5 {
+			t.Errorf("zone %d has %d nodes, want 5", z, cnt)
+		}
+	}
+}
+
+func TestWANLatencies(t *testing.T) {
+	c := NewWAN3(6)
+	va := ids.NewID(ZoneVirginia, 1)
+	ca := ids.NewID(ZoneCalifornia, 1)
+	or := ids.NewID(ZoneOregon, 1)
+	va2 := ids.NewID(ZoneVirginia, 2)
+	if d := c.OneWay(va, ca); d != 31*time.Millisecond {
+		t.Errorf("VA→CA = %v", d)
+	}
+	if d := c.OneWay(ca, va); d != 31*time.Millisecond {
+		t.Errorf("CA→VA must be symmetric, got %v", d)
+	}
+	if d := c.OneWay(or, ca); d != 10*time.Millisecond {
+		t.Errorf("OR→CA = %v", d)
+	}
+	if d := c.OneWay(va, va2); d != 125*time.Microsecond {
+		t.Errorf("intra-zone = %v", d)
+	}
+}
+
+func TestZoneMatrixDefault(t *testing.T) {
+	m := ZoneMatrixLatency{Default: time.Second}
+	if m.OneWay(7, 9) != time.Second {
+		t.Error("missing pair should use default")
+	}
+}
+
+func TestPeers(t *testing.T) {
+	c := NewLAN(4)
+	p := c.Peers(c.Nodes[0])
+	if len(p) != 3 {
+		t.Fatalf("peers = %v", p)
+	}
+	for _, id := range p {
+		if id == c.Nodes[0] {
+			t.Error("self in peers")
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := NewLAN(3)
+	if !c.Contains(c.Nodes[2]) {
+		t.Error("member not found")
+	}
+	if c.Contains(ids.NewID(9, 9)) {
+		t.Error("non-member found")
+	}
+}
+
+func TestValidateRejectsDuplicates(t *testing.T) {
+	c := Cluster{Nodes: []ids.ID{ids.NewID(1, 1), ids.NewID(1, 1)}}
+	if c.Validate() == nil {
+		t.Error("duplicates must be rejected")
+	}
+	if (Cluster{}).Validate() == nil {
+		t.Error("empty cluster must be rejected")
+	}
+	if (Cluster{Nodes: []ids.ID{0}}).Validate() == nil {
+		t.Error("zero ID must be rejected")
+	}
+}
+
+func TestEvenGroups(t *testing.T) {
+	c := NewLAN(25)
+	followers := c.Peers(c.Nodes[0]) // 24 followers
+	g, err := EvenGroups(followers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 3 {
+		t.Fatalf("groups = %d", g.NumGroups())
+	}
+	for _, sz := range g.Sizes() {
+		if sz != 8 {
+			t.Errorf("group sizes = %v, want all 8", g.Sizes())
+		}
+	}
+	if err := g.Validate(followers); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvenGroupsUneven(t *testing.T) {
+	c := NewLAN(10)
+	followers := c.Peers(c.Nodes[0]) // 9 followers
+	g, err := EvenGroups(followers, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := g.Sizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s < 2 || s > 3 {
+			t.Errorf("sizes %v not near-even", sizes)
+		}
+	}
+	if total != 9 {
+		t.Errorf("total %d != 9", total)
+	}
+}
+
+func TestEvenGroupsErrors(t *testing.T) {
+	if _, err := EvenGroups([]ids.ID{1}, 2); err == nil {
+		t.Error("more groups than followers must error")
+	}
+	if _, err := EvenGroups([]ids.ID{1, 2}, 0); err == nil {
+		t.Error("zero groups must error")
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	g, _ := EvenGroups([]ids.ID{ids.NewID(1, 2), ids.NewID(1, 3), ids.NewID(1, 4)}, 2)
+	if g.GroupOf(ids.NewID(1, 2)) != 0 {
+		t.Error("1.2 should be in group 0")
+	}
+	if g.GroupOf(ids.NewID(9, 9)) != -1 {
+		t.Error("non-member should be -1")
+	}
+}
+
+func TestGroupLayoutValidateErrors(t *testing.T) {
+	f := []ids.ID{ids.NewID(1, 2), ids.NewID(1, 3)}
+	bad := GroupLayout{Groups: [][]ids.ID{{f[0]}, {}}}
+	if bad.Validate(f) == nil {
+		t.Error("empty group must be rejected")
+	}
+	dup := GroupLayout{Groups: [][]ids.ID{{f[0]}, {f[0]}}}
+	if dup.Validate(f) == nil {
+		t.Error("duplicated member must be rejected")
+	}
+	missing := GroupLayout{Groups: [][]ids.ID{{f[0]}}}
+	if missing.Validate(f) == nil {
+		t.Error("uncovered follower must be rejected")
+	}
+	alien := GroupLayout{Groups: [][]ids.ID{{ids.NewID(8, 8)}, {f[0], f[1]}}}
+	if alien.Validate(f) == nil {
+		t.Error("non-follower member must be rejected")
+	}
+}
+
+func TestZoneGroups(t *testing.T) {
+	c := NewWAN3(9)
+	leader := c.Nodes[0]
+	g := ZoneGroups(c, c.Peers(leader))
+	if g.NumGroups() != 3 {
+		t.Fatalf("zone groups = %d, want 3", g.NumGroups())
+	}
+	if err := g.Validate(c.Peers(leader)); err != nil {
+		t.Error(err)
+	}
+	// Every group must be zone-pure.
+	for i, grp := range g.Groups {
+		z := c.ZoneOf(grp[0])
+		for _, m := range grp {
+			if c.ZoneOf(m) != z {
+				t.Errorf("group %d mixes zones", i)
+			}
+		}
+	}
+}
+
+// Property: EvenGroups always yields a valid partition whose sizes differ by
+// at most one.
+func TestEvenGroupsProperty(t *testing.T) {
+	f := func(nRaw, rRaw uint8) bool {
+		n := int(nRaw)%30 + 1
+		r := int(rRaw)%n + 1
+		c := NewLAN(n + 1)
+		followers := c.Peers(c.Nodes[0])
+		g, err := EvenGroups(followers, r)
+		if err != nil {
+			return false
+		}
+		if g.Validate(followers) != nil {
+			return false
+		}
+		sizes := g.Sizes()
+		minS, maxS := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		return maxS-minS <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

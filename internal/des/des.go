@@ -1,0 +1,140 @@
+// Package des is a deterministic discrete-event simulator: a virtual clock,
+// a priority queue of timed events, and a seeded RNG. It is the substrate
+// that replaces the paper's AWS testbed — protocols run unchanged on top of
+// a simulated network (internal/netsim) whose delays advance virtual time
+// instead of wall time, so experiments that take minutes of cluster time
+// finish in milliseconds and are exactly reproducible.
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so same-time events run in schedule order
+	fn  func()
+	// canceled supports timer cancellation without heap surgery.
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be stopped.
+type Timer struct{ e *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.canceled {
+		return false
+	}
+	t.e.canceled = true
+	return true
+}
+
+// Sim is a single-threaded discrete-event simulator. All scheduled callbacks
+// run on the caller's goroutine inside Run*; the simulator itself is not
+// safe for concurrent use.
+type Sim struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	events uint64
+}
+
+// New creates a simulator with a deterministic RNG seeded by seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (zero at construction).
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand exposes the simulator's deterministic RNG. All protocol randomness
+// (relay selection, jitter) must come from here for reproducibility.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay of virtual time and returns a cancellable
+// handle. A negative delay is treated as zero (run at the current instant,
+// after already-queued same-time events).
+func (s *Sim) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	e := &event{at: s.now + delay, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return &Timer{e: e}
+}
+
+// step executes the earliest pending event. It returns false when the queue
+// is empty.
+func (s *Sim) step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.events++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until virtual time exceeds until or the queue drains.
+// Events scheduled exactly at until still run.
+func (s *Sim) Run(until time.Duration) {
+	for s.queue.Len() > 0 {
+		// Peek: stop before executing an event beyond the horizon.
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > until {
+			s.now = until
+			return
+		}
+		s.step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunUntilIdle processes events until none remain.
+func (s *Sim) RunUntilIdle() {
+	for s.step() {
+	}
+}
+
+// Pending returns the number of queued (possibly canceled) events.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// Executed returns the total number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.events }

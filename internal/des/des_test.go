@@ -1,0 +1,170 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	s.RunUntilIdle()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Errorf("now = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.RunUntilIdle()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.Schedule(time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.RunUntilIdle()
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 2*time.Millisecond {
+		t.Errorf("fired at %v", fired)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule(1*time.Second, func() { ran++ })
+	s.Schedule(3*time.Second, func() { ran++ })
+	s.Run(2 * time.Second)
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1 (horizon)", ran)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("clock = %v, want horizon 2s", s.Now())
+	}
+	s.Run(5 * time.Second)
+	if ran != 2 {
+		t.Error("remaining event should run in second window")
+	}
+}
+
+func TestRunAtExactHorizon(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule(time.Second, func() { ran = true })
+	s.Run(time.Second)
+	if !ran {
+		t.Error("event exactly at horizon must run")
+	}
+}
+
+func TestRunAdvancesIdleClock(t *testing.T) {
+	s := New(1)
+	s.Run(time.Minute)
+	if s.Now() != time.Minute {
+		t.Errorf("idle Run should advance the clock, now=%v", s.Now())
+	}
+}
+
+func TestNegativeDelay(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Millisecond, func() {
+		s.Schedule(-time.Hour, func() {
+			if s.Now() != time.Millisecond {
+				t.Errorf("negative delay should fire now, at %v", s.Now())
+			}
+		})
+	})
+	s.RunUntilIdle()
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.Schedule(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("first Stop should succeed")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report already stopped")
+	}
+	s.RunUntilIdle()
+	if fired {
+		t.Error("stopped timer must not fire")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() {
+		t.Error("nil timer Stop should be a safe no-op")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(42)
+		var out []time.Duration
+		var rec func(depth int)
+		rec = func(depth int) {
+			out = append(out, s.Now())
+			if depth < 50 {
+				d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+				s.Schedule(d, func() { rec(depth + 1) })
+			}
+		}
+		s.Schedule(0, func() { rec(0) })
+		s.RunUntilIdle()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExecutedAndPending(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Millisecond, func() {})
+	s.Schedule(2*time.Millisecond, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.RunUntilIdle()
+	if s.Executed() != 2 {
+		t.Errorf("executed = %d", s.Executed())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending after drain = %d", s.Pending())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+	}
+	s.RunUntilIdle()
+}

@@ -1,0 +1,706 @@
+// Package epaxos implements Egalitarian Paxos (Moraru et al., SOSP'13), the
+// leaderless baseline the paper compares against (§2.3, §5.4). Any replica
+// acts as command leader for the requests it receives: it computes the
+// command's attributes (a sequence number and per-replica dependencies on
+// interfering commands), pre-accepts on a fast quorum, and commits in one
+// round trip when all fast-quorum replies agree. Interference (same key,
+// at least one write) forces attribute growth and the slow path — an extra
+// majority Accept round — and execution must topologically order the
+// dependency graph (strongly connected components by sequence number), so a
+// small hot key space under high load drains every replica's resources,
+// which is exactly the failure mode the paper measures with its 1000-key
+// uniform workload.
+//
+// Recovery of instances whose command leader crashed (Explicit Prepare) is
+// out of scope, as the paper's evaluation never exercises it.
+package epaxos
+
+import (
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/quorum"
+	"pigpaxos/internal/wire"
+)
+
+// Config parameterizes an EPaxos replica.
+type Config struct {
+	// Cluster is the full membership.
+	Cluster config.Cluster
+	// ID is this replica's identity.
+	ID ids.ID
+	// Thrifty sends PreAccepts only to a fast quorum instead of all peers.
+	Thrifty bool
+	// AttrWork is CPU charged for computing/merging attributes per
+	// pre-accept (instance bookkeeping is heavier than Paxos's).
+	AttrWork time.Duration
+	// ScanWork is CPU charged per live (unexecuted) instance scanned when
+	// computing attributes for a new command: the interference scan over
+	// the live working set. Under load the working set grows with the
+	// number of in-flight commands, so this cost rises with concurrency —
+	// the self-reinforcing "conflict resolution draining the resources of
+	// every node" collapse the paper measures (§5.4).
+	ScanWork time.Duration
+	// DepWork is CPU charged per dependency entry scanned or merged when
+	// processing attribute-carrying messages. Dependency sets grow toward
+	// one entry per instance-space row (N entries) on a hot key space, so
+	// this is the conflict-resolution cost the paper blames for EPaxos'
+	// collapse ("conflict resolution phase draining the resources of
+	// every node", §5.4).
+	DepWork time.Duration
+	// ExecVisitWork is CPU charged per dependency-graph node visited
+	// during execution attempts — the "conflict resolution" cost that
+	// grows with the number of in-flight interfering commands.
+	ExecVisitWork time.Duration
+	// ExecWork is CPU charged per command applied to the state machine.
+	ExecWork time.Duration
+	// ExecRetryInterval is how often blocked executions are retried.
+	ExecRetryInterval time.Duration
+	// GCEvery triggers instance-space garbage collection after this many
+	// local executions (default 4096; 0 keeps the default — use a
+	// negative value to disable GC).
+	GCEvery int
+}
+
+func (c *Config) applyDefaults() {
+	if c.AttrWork == 0 {
+		c.AttrWork = 40 * time.Microsecond
+	}
+	if c.DepWork == 0 {
+		c.DepWork = 6 * time.Microsecond
+	}
+	if c.ScanWork == 0 {
+		c.ScanWork = 5 * time.Microsecond
+	}
+	if c.ExecVisitWork == 0 {
+		c.ExecVisitWork = 2 * time.Microsecond
+	}
+	if c.ExecWork == 0 {
+		c.ExecWork = 5 * time.Microsecond
+	}
+	if c.ExecRetryInterval == 0 {
+		c.ExecRetryInterval = time.Millisecond
+	}
+	if c.GCEvery == 0 {
+		c.GCEvery = 4096
+	}
+}
+
+type status uint8
+
+const (
+	statusNone status = iota
+	statusPreAccepted
+	statusAccepted
+	statusCommitted
+	statusExecuted
+)
+
+// instance is one cell of the two-dimensional EPaxos instance space.
+type instance struct {
+	cmd    kvstore.Command
+	seq    uint64
+	deps   []wire.InstRef
+	status status
+
+	// Command-leader state.
+	leaderHere bool
+	preAcks    int
+	changed    bool
+	mergedSeq  uint64
+	mergedDeps []wire.InstRef
+	acceptAcks int
+	client     ids.ID
+	hasClient  bool
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Requests   uint64
+	FastPath   uint64
+	SlowPath   uint64
+	Commits    uint64
+	Executions uint64
+	ExecVisits uint64 // dependency-graph nodes visited (conflict work)
+	Blocked    uint64 // execution attempts aborted on uncommitted deps
+	GCs        uint64 // instance-space garbage collections
+}
+
+// Replica is one EPaxos node.
+type Replica struct {
+	ctx node.Context
+	cfg Config
+
+	peers []ids.ID
+	n     int
+	fastQ int // fast-quorum acks needed beyond self
+	slowQ int // majority acks needed beyond self
+
+	rows    map[ids.ID]map[uint64]*instance
+	nextOwn uint64
+
+	// Interference tracking: for each key, the latest write and latest
+	// operation per instance-space row, for dependency computation.
+	lastWrite map[uint64]map[ids.ID]uint64
+	lastOp    map[uint64]map[ids.ID]uint64
+	// maxSeqWrite tracks the highest write seq per key; maxSeqAny the
+	// highest seq of any op. Reads order after writes only, writes after
+	// everything — matching the interference relation.
+	maxSeqWrite map[uint64]uint64
+	maxSeqAny   map[uint64]uint64
+
+	store *kvstore.Store
+
+	// Committed-but-unexecuted instances awaiting their dependencies.
+	pendingExec map[wire.InstRef]bool
+	retryArmed  bool
+	// live counts instances created but not yet executed locally — the
+	// working set the interference scan walks.
+	live int
+
+	// gcFloor[row] is the highest slot such that every instance of the
+	// row at or below it has been executed and garbage-collected; a
+	// dependency at or below the floor is known-executed.
+	gcFloor     map[ids.ID]uint64
+	execSinceGC int
+
+	stats Stats
+}
+
+// New creates an EPaxos replica.
+func New(ctx node.Context, cfg Config) *Replica {
+	cfg.applyDefaults()
+	r := &Replica{
+		ctx:         ctx,
+		cfg:         cfg,
+		peers:       cfg.Cluster.Peers(cfg.ID),
+		n:           cfg.Cluster.N(),
+		rows:        make(map[ids.ID]map[uint64]*instance),
+		nextOwn:     1,
+		lastWrite:   make(map[uint64]map[ids.ID]uint64),
+		lastOp:      make(map[uint64]map[ids.ID]uint64),
+		maxSeqWrite: make(map[uint64]uint64),
+		maxSeqAny:   make(map[uint64]uint64),
+		store:       kvstore.New(),
+		pendingExec: make(map[wire.InstRef]bool),
+		gcFloor:     make(map[ids.ID]uint64),
+	}
+	r.fastQ = quorum.FastQuorumSize(r.n) - 1 // acks beyond self
+	if r.fastQ < 0 {
+		r.fastQ = 0
+	}
+	r.slowQ = quorum.MajoritySize(r.n) - 1
+	return r
+}
+
+// Start is a no-op (EPaxos has no leader to establish); it exists for
+// interface symmetry with the other protocols.
+func (r *Replica) Start() {}
+
+// ID returns this replica's identity.
+func (r *Replica) ID() ids.ID { return r.cfg.ID }
+
+// Store exposes the replicated state machine.
+func (r *Replica) Store() *kvstore.Store { return r.store }
+
+// Stats returns a copy of the event counters.
+func (r *Replica) Stats() Stats { return r.stats }
+
+func (r *Replica) inst(ref wire.InstRef) *instance {
+	row, ok := r.rows[ref.Replica]
+	if !ok {
+		row = make(map[uint64]*instance)
+		r.rows[ref.Replica] = row
+	}
+	in, ok := row[ref.Slot]
+	if !ok {
+		in = &instance{}
+		row[ref.Slot] = in
+		r.live++
+	}
+	return in
+}
+
+// scanCost is the interference-scan charge over the live working set,
+// capped so a pathological backlog cannot stall virtual time entirely.
+func (r *Replica) scanCost() time.Duration {
+	n := r.live
+	if n > 2000 {
+		n = 2000
+	}
+	return time.Duration(n) * r.cfg.ScanWork
+}
+
+func (r *Replica) lookup(ref wire.InstRef) *instance {
+	if row, ok := r.rows[ref.Replica]; ok {
+		return row[ref.Slot]
+	}
+	return nil
+}
+
+// OnMessage dispatches a delivered message. It implements node.Handler.
+func (r *Replica) OnMessage(from ids.ID, m wire.Msg) {
+	switch v := m.(type) {
+	case wire.Request:
+		r.onRequest(from, v)
+	case wire.PreAccept:
+		r.onPreAccept(from, v)
+	case wire.PreAcceptReply:
+		r.onPreAcceptReply(v)
+	case wire.Accept:
+		r.onAccept(from, v)
+	case wire.AcceptReply:
+		r.onAcceptReply(v)
+	case wire.Commit:
+		r.onCommit(v)
+	}
+}
+
+// ----------------------------------------------------------- attributes --
+
+// attributes computes (seq, deps) for cmd as seen by this replica: deps are
+// the latest interfering instances per row, seq exceeds every interfering
+// sequence number.
+func (r *Replica) attributes(cmd kvstore.Command, except wire.InstRef) (uint64, []wire.InstRef) {
+	var deps []wire.InstRef
+	source := r.lastWrite[cmd.Key]
+	if !cmd.IsRead() {
+		source = r.lastOp[cmd.Key] // writes order after reads too
+	}
+	for rep, slot := range source {
+		if rep == except.Replica && slot == except.Slot {
+			continue
+		}
+		deps = append(deps, wire.InstRef{Replica: rep, Slot: slot})
+	}
+	if cmd.IsRead() {
+		return r.maxSeqWrite[cmd.Key] + 1, deps
+	}
+	return r.maxSeqAny[cmd.Key] + 1, deps
+}
+
+// recordInterference registers (ref, cmd, seq) in the conflict indexes.
+func (r *Replica) recordInterference(ref wire.InstRef, cmd kvstore.Command, seq uint64) {
+	ops := r.lastOp[cmd.Key]
+	if ops == nil {
+		ops = make(map[ids.ID]uint64)
+		r.lastOp[cmd.Key] = ops
+	}
+	if ref.Slot > ops[ref.Replica] {
+		ops[ref.Replica] = ref.Slot
+	}
+	if !cmd.IsRead() {
+		w := r.lastWrite[cmd.Key]
+		if w == nil {
+			w = make(map[ids.ID]uint64)
+			r.lastWrite[cmd.Key] = w
+		}
+		if ref.Slot > w[ref.Replica] {
+			w[ref.Replica] = ref.Slot
+		}
+	}
+	if seq > r.maxSeqAny[cmd.Key] {
+		r.maxSeqAny[cmd.Key] = seq
+	}
+	if !cmd.IsRead() && seq > r.maxSeqWrite[cmd.Key] {
+		r.maxSeqWrite[cmd.Key] = seq
+	}
+}
+
+// mergeDeps unions b into a.
+func mergeDeps(a, b []wire.InstRef) []wire.InstRef {
+	for _, d := range b {
+		found := false
+		for i, e := range a {
+			if e.Replica == d.Replica {
+				found = true
+				if d.Slot > e.Slot {
+					a[i].Slot = d.Slot
+				}
+				break
+			}
+		}
+		if !found {
+			a = append(a, d)
+		}
+	}
+	return a
+}
+
+func depsEqual(a, b []wire.InstRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, d := range a {
+		ok := false
+		for _, e := range b {
+			if e == d {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------- fast path --
+
+func (r *Replica) onRequest(from ids.ID, m wire.Request) {
+	r.stats.Requests++
+	r.ctx.Work(r.cfg.AttrWork + r.scanCost())
+	ref := wire.InstRef{Replica: r.cfg.ID, Slot: r.nextOwn}
+	r.nextOwn++
+	seq, deps := r.attributes(m.Cmd, ref)
+	in := r.inst(ref)
+	in.cmd = m.Cmd
+	in.seq = seq
+	in.deps = deps
+	in.status = statusPreAccepted
+	in.leaderHere = true
+	in.client = from
+	in.hasClient = true
+	in.mergedSeq = seq
+	in.mergedDeps = append([]wire.InstRef(nil), deps...)
+	r.recordInterference(ref, m.Cmd, seq)
+
+	targets := r.peers
+	if r.cfg.Thrifty && r.fastQ < len(targets) {
+		targets = targets[:r.fastQ]
+	}
+	pa := wire.PreAccept{Ballot: ids.NewBallot(0, r.cfg.ID), Inst: ref, Cmd: m.Cmd, Seq: seq, Deps: deps}
+	for _, p := range targets {
+		r.ctx.Send(p, pa)
+	}
+	if r.fastQ == 0 { // single-node cluster
+		r.commitInstance(ref, in, in.seq, in.deps)
+	}
+}
+
+func (r *Replica) onPreAccept(from ids.ID, m wire.PreAccept) {
+	r.ctx.Work(r.cfg.AttrWork + r.scanCost() + time.Duration(len(m.Deps))*r.cfg.DepWork)
+	seq, deps := r.attributes(m.Cmd, m.Inst)
+	changed := false
+	if seq > m.Seq {
+		changed = true
+	} else {
+		seq = m.Seq
+	}
+	merged := mergeDeps(append([]wire.InstRef(nil), m.Deps...), deps)
+	if !depsEqual(merged, m.Deps) {
+		changed = true
+	}
+	in := r.inst(m.Inst)
+	if in.status >= statusCommitted {
+		// Already committed (duplicate/stale pre-accept): do not regress.
+		return
+	}
+	in.cmd = m.Cmd
+	in.seq = seq
+	in.deps = merged
+	in.status = statusPreAccepted
+	r.recordInterference(m.Inst, m.Cmd, seq)
+	r.ctx.Send(from, wire.PreAcceptReply{
+		Inst: m.Inst, From: r.cfg.ID, OK: true, Ballot: m.Ballot,
+		Seq: seq, Deps: merged, Changed: changed,
+	})
+}
+
+func (r *Replica) onPreAcceptReply(m wire.PreAcceptReply) {
+	in := r.lookup(m.Inst)
+	if in == nil || !in.leaderHere || in.status != statusPreAccepted {
+		return
+	}
+	r.ctx.Work(r.cfg.AttrWork + time.Duration(len(m.Deps))*r.cfg.DepWork)
+	in.preAcks++
+	if m.Changed {
+		in.changed = true
+	}
+	if m.Seq > in.mergedSeq {
+		in.mergedSeq = m.Seq
+	}
+	in.mergedDeps = mergeDeps(in.mergedDeps, m.Deps)
+	if in.preAcks < r.fastQ {
+		return
+	}
+	if !in.changed {
+		// Fast path: every fast-quorum member agreed with our attributes.
+		r.stats.FastPath++
+		r.commitInstance(m.Inst, in, in.seq, in.deps)
+		return
+	}
+	// Slow path: fix the merged attributes with a majority Accept round.
+	r.stats.SlowPath++
+	in.status = statusAccepted
+	in.seq = in.mergedSeq
+	in.deps = in.mergedDeps
+	in.acceptAcks = 0
+	acc := wire.Accept{
+		Ballot: ids.NewBallot(0, r.cfg.ID), Inst: m.Inst,
+		Cmd: in.cmd, Seq: in.seq, Deps: in.deps,
+	}
+	for _, p := range r.peers {
+		r.ctx.Send(p, acc)
+	}
+}
+
+// ---------------------------------------------------------- slow path --
+
+func (r *Replica) onAccept(from ids.ID, m wire.Accept) {
+	in := r.inst(m.Inst)
+	if in.status >= statusCommitted {
+		return
+	}
+	in.cmd = m.Cmd
+	in.seq = m.Seq
+	in.deps = m.Deps
+	in.status = statusAccepted
+	r.recordInterference(m.Inst, m.Cmd, m.Seq)
+	r.ctx.Send(from, wire.AcceptReply{Inst: m.Inst, From: r.cfg.ID, OK: true, Ballot: m.Ballot})
+}
+
+func (r *Replica) onAcceptReply(m wire.AcceptReply) {
+	in := r.lookup(m.Inst)
+	if in == nil || !in.leaderHere || in.status != statusAccepted {
+		return
+	}
+	in.acceptAcks++
+	if in.acceptAcks >= r.slowQ {
+		r.commitInstance(m.Inst, in, in.seq, in.deps)
+	}
+}
+
+// ------------------------------------------------------------- commit --
+
+func (r *Replica) commitInstance(ref wire.InstRef, in *instance, seq uint64, deps []wire.InstRef) {
+	if in.status >= statusCommitted {
+		return
+	}
+	in.seq = seq
+	in.deps = deps
+	in.status = statusCommitted
+	r.stats.Commits++
+	cm := wire.Commit{Inst: ref, Cmd: in.cmd, Seq: seq, Deps: deps}
+	for _, p := range r.peers {
+		r.ctx.Send(p, cm)
+	}
+	r.pendingExec[ref] = true
+	r.tryExecuteAll()
+}
+
+func (r *Replica) onCommit(m wire.Commit) {
+	r.ctx.Work(time.Duration(len(m.Deps)) * r.cfg.DepWork)
+	in := r.inst(m.Inst)
+	if in.status >= statusCommitted {
+		return
+	}
+	in.cmd = m.Cmd
+	in.seq = m.Seq
+	in.deps = m.Deps
+	in.status = statusCommitted
+	r.stats.Commits++
+	r.recordInterference(m.Inst, m.Cmd, m.Seq)
+	r.pendingExec[m.Inst] = true
+	r.tryExecuteAll()
+}
+
+// ---------------------------------------------------------- execution --
+
+// tryExecuteAll attempts to execute every pending committed instance. An
+// instance executes once its dependency closure is committed; the closure's
+// strongly connected components execute in topological order, components
+// internally ordered by (seq, instance id) — the EPaxos execution algorithm.
+// Instances whose closure contains uncommitted dependencies stay pending and
+// are retried on the next commit or retry tick.
+func (r *Replica) tryExecuteAll() {
+	for ref := range r.pendingExec {
+		in := r.lookup(ref)
+		if in == nil || in.status != statusCommitted {
+			delete(r.pendingExec, ref)
+			continue
+		}
+		if !r.executeClosure(ref) {
+			r.armRetry()
+		}
+	}
+}
+
+func (r *Replica) armRetry() {
+	if r.retryArmed {
+		return
+	}
+	r.retryArmed = true
+	r.ctx.After(r.cfg.ExecRetryInterval, func() {
+		r.retryArmed = false
+		r.tryExecuteAll()
+	})
+}
+
+// executeClosure runs Tarjan's SCC over the committed dependency graph
+// reachable from root and executes finished components. It returns false if
+// an uncommitted dependency blocks the closure.
+func (r *Replica) executeClosure(root wire.InstRef) bool {
+	t := &tarjan{r: r, index: make(map[wire.InstRef]int), low: make(map[wire.InstRef]int), onStack: make(map[wire.InstRef]bool)}
+	ok := t.strongConnect(root)
+	if !ok {
+		r.stats.Blocked++
+		return false
+	}
+	for _, comp := range t.components {
+		sortComponent(comp, r)
+		for _, ref := range comp {
+			in := r.lookup(ref)
+			if in.status == statusExecuted {
+				continue
+			}
+			r.execute(ref, in)
+		}
+	}
+	return true
+}
+
+func (r *Replica) execute(ref wire.InstRef, in *instance) {
+	res := r.store.Apply(in.cmd)
+	in.status = statusExecuted
+	r.live--
+	r.stats.Executions++
+	r.ctx.Work(r.cfg.ExecWork)
+	delete(r.pendingExec, ref)
+	r.execSinceGC++
+	if r.cfg.GCEvery > 0 && r.execSinceGC >= r.cfg.GCEvery {
+		r.execSinceGC = 0
+		r.gc()
+	}
+	if in.hasClient {
+		in.hasClient = false
+		r.ctx.Send(in.client, wire.Reply{
+			ClientID: in.cmd.ClientID,
+			Seq:      in.cmd.Seq,
+			OK:       true,
+			Exists:   res.Exists,
+			Value:    res.Value,
+			Leader:   r.cfg.ID,
+			Slot:     ref.Slot,
+		})
+	}
+}
+
+// tarjan is an iterative-enough Tarjan SCC restricted to committed
+// instances; hitting an uncommitted instance aborts the traversal.
+type tarjan struct {
+	r          *Replica
+	index      map[wire.InstRef]int
+	low        map[wire.InstRef]int
+	stack      []wire.InstRef
+	onStack    map[wire.InstRef]bool
+	next       int
+	components [][]wire.InstRef
+}
+
+func (t *tarjan) strongConnect(v wire.InstRef) bool {
+	in := t.r.lookup(v)
+	if in == nil {
+		if v.Slot <= t.r.gcFloor[v.Replica] {
+			return true // collected ⇒ executed long ago: a sink
+		}
+		return false // unknown dependency blocks execution
+	}
+	if in.status < statusCommitted {
+		return false // uncommitted dependency blocks execution
+	}
+	t.r.stats.ExecVisits++
+	t.r.ctx.Work(t.r.cfg.ExecVisitWork)
+	if in.status == statusExecuted {
+		return true // executed nodes are sinks; no edges out matter
+	}
+	t.index[v] = t.next
+	t.low[v] = t.next
+	t.next++
+	t.stack = append(t.stack, v)
+	t.onStack[v] = true
+
+	for _, w := range in.deps {
+		win := t.r.lookup(w)
+		if win != nil && win.status == statusExecuted {
+			continue
+		}
+		if _, seen := t.index[w]; !seen {
+			if !t.strongConnect(w) {
+				return false
+			}
+			if t.low[w] < t.low[v] {
+				t.low[v] = t.low[w]
+			}
+		} else if t.onStack[w] {
+			if t.index[w] < t.low[v] {
+				t.low[v] = t.index[w]
+			}
+		}
+	}
+
+	if t.low[v] == t.index[v] {
+		var comp []wire.InstRef
+		for {
+			n := len(t.stack) - 1
+			w := t.stack[n]
+			t.stack = t.stack[:n]
+			t.onStack[w] = false
+			comp = append(comp, w)
+			if w == v {
+				break
+			}
+		}
+		t.components = append(t.components, comp)
+	}
+	return true
+}
+
+// gc removes executed prefixes of every instance row, advancing the row's
+// floor so later dependency checks treat collected slots as executed. Only
+// contiguous executed prefixes are collected (a hole means some older
+// instance is still live).
+func (r *Replica) gc() {
+	for rep, row := range r.rows {
+		floor := r.gcFloor[rep]
+		for {
+			in, ok := row[floor+1]
+			if !ok || in.status != statusExecuted {
+				break
+			}
+			delete(row, floor+1)
+			floor++
+		}
+		r.gcFloor[rep] = floor
+	}
+	r.stats.GCs++
+}
+
+// sortComponent orders an SCC by (seq, replica, slot) — the deterministic
+// tie-break every replica applies identically.
+func sortComponent(comp []wire.InstRef, r *Replica) {
+	for i := 1; i < len(comp); i++ {
+		for j := i; j > 0; j-- {
+			a, b := r.lookup(comp[j-1]), r.lookup(comp[j])
+			if less(b, comp[j], a, comp[j-1]) {
+				comp[j-1], comp[j] = comp[j], comp[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func less(a *instance, ar wire.InstRef, b *instance, br wire.InstRef) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	if ar.Replica != br.Replica {
+		return ar.Replica < br.Replica
+	}
+	return ar.Slot < br.Slot
+}

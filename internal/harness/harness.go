@@ -1,0 +1,396 @@
+// Package harness runs the paper's experiments: it builds a simulated
+// cluster running one of the three protocols, attaches closed-loop clients
+// driving the benchmark workload, and measures throughput and latency over
+// a virtual-time window — the methodology of §5.2 (Paxi benchmark, clients
+// on unmetered machines, 1000-key uniform workload).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/des"
+	"pigpaxos/internal/epaxos"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/metrics"
+	"pigpaxos/internal/netsim"
+	"pigpaxos/internal/paxos"
+	"pigpaxos/internal/pigpaxos"
+	"pigpaxos/internal/wire"
+	"pigpaxos/internal/workload"
+)
+
+// Protocol selects the consensus protocol under test.
+type Protocol int
+
+// Protocols under evaluation.
+const (
+	Paxos Protocol = iota
+	PigPaxos
+	EPaxos
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Paxos:
+		return "Paxos"
+	case PigPaxos:
+		return "PigPaxos"
+	case EPaxos:
+		return "EPaxos"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Options describes one experiment run.
+type Options struct {
+	// Protocol picks the system under test.
+	Protocol Protocol
+	// N is the cluster size.
+	N int
+	// WAN spreads nodes over three regions (Figure 9); otherwise LAN.
+	WAN bool
+	// Clients is the number of closed-loop clients.
+	Clients int
+	// Workload configures keys/read-ratio/payload (defaults: paper §5.2).
+	Workload workload.Config
+	// Warmup and Measure bound the measurement window of virtual time.
+	Warmup  time.Duration
+	Measure time.Duration
+	// Seed drives all randomness; same seed ⇒ identical run.
+	Seed int64
+	// Net overrides the simulator cost model (zero → DefaultOptions).
+	Net netsim.Options
+
+	// NumGroups is PigPaxos' r.
+	NumGroups int
+	// ZoneGroups uses one relay group per zone (WAN experiments).
+	ZoneGroups bool
+	// MutPig/MutPaxos/MutEPaxos allow per-experiment protocol tweaks.
+	MutPig    func(*pigpaxos.Config)
+	MutPaxos  func(*paxos.Config)
+	MutEPaxos func(*epaxos.Config)
+
+	// CrashNode (1-based node index), CrashAt and RecoverAt inject a
+	// fault window (Figure 13). Zero CrashNode disables.
+	CrashNode int
+	CrashAt   time.Duration
+	RecoverAt time.Duration
+
+	// SluggishNode (1-based) runs one node with its CPU costs multiplied
+	// by SluggishFactor for the whole run (§3.4's slow-node scenario and
+	// the thrifty-Paxos fragility ablation).
+	SluggishNode   int
+	SluggishFactor float64
+
+	// SampleWidth enables a throughput time series with that bucket
+	// width (Figure 13 samples over 1-second intervals).
+	SampleWidth time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.N == 0 {
+		o.N = 5
+	}
+	if o.Clients == 0 {
+		o.Clients = 50
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 500 * time.Millisecond
+	}
+	if o.Measure == 0 {
+		o.Measure = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Net == (netsim.Options{}) {
+		o.Net = netsim.DefaultOptions()
+	}
+	if o.NumGroups == 0 {
+		o.NumGroups = 3
+	}
+}
+
+// Result is one experiment's measurement.
+type Result struct {
+	Protocol   Protocol
+	N          int
+	Clients    int
+	Throughput float64 // completed requests/second within the window
+	Latency    metrics.Summary
+	Series     []metrics.Point // per-SampleWidth throughput, if enabled
+	Messages   uint64          // network messages sent during the run
+	// LeaderUtil and MeanFollowerUtil are CPU utilizations over the whole
+	// run (busy time / wall time), reproducing the §6.1 observation that
+	// the leader-follower utilization gap grows with the relay-group
+	// count.
+	LeaderUtil       float64
+	MeanFollowerUtil float64
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("%s N=%d clients=%d: %.0f req/s, lat %v (p99 %v)",
+		r.Protocol, r.N, r.Clients, r.Throughput, r.Latency.Mean, r.Latency.P99)
+}
+
+// replica is the common surface of the three protocol replicas.
+type replica interface {
+	Start()
+	OnMessage(from ids.ID, m wire.Msg)
+}
+
+type trampoline struct{ h func(from ids.ID, m wire.Msg) }
+
+func (t *trampoline) OnMessage(from ids.ID, m wire.Msg) { t.h(from, m) }
+
+// client is a closed-loop benchmark client: it keeps exactly one request in
+// flight, issuing the next upon each reply — the paper's client model.
+type client struct {
+	id      uint64
+	ep      *netsim.Endpoint
+	gen     *workload.Generator
+	targets []ids.ID // servers this client may contact
+	rrIdx   int
+
+	seq       uint64
+	lastCmd   kvstore.Command
+	issuedAt  time.Duration
+	warmupEnd time.Duration
+	windowEnd time.Duration
+
+	hist      *metrics.Histogram
+	series    *metrics.TimeSeries
+	completed *metrics.Counter
+	stop      bool
+}
+
+func (c *client) target() ids.ID {
+	t := c.targets[c.rrIdx%len(c.targets)]
+	c.rrIdx++
+	return t
+}
+
+func (c *client) next() {
+	if c.stop {
+		return
+	}
+	c.seq++
+	c.lastCmd = c.gen.Next(c.id, c.seq)
+	c.issuedAt = c.ep.Now()
+	c.ep.Send(c.target(), wire.Request{Cmd: c.lastCmd})
+}
+
+// OnMessage handles replies (and redirects) for the client.
+func (c *client) OnMessage(from ids.ID, m wire.Msg) {
+	rep, ok := m.(wire.Reply)
+	if !ok || rep.Seq != c.seq {
+		return // stale reply from a retried request
+	}
+	if !rep.OK {
+		// Redirected: retry the same command at the hinted leader.
+		if !rep.Leader.IsZero() {
+			c.ep.Send(rep.Leader, wire.Request{Cmd: c.lastCmd})
+			return
+		}
+		c.next()
+		return
+	}
+	now := c.ep.Now()
+	if now >= c.warmupEnd && now < c.windowEnd {
+		c.hist.Observe(now - c.issuedAt)
+		c.completed.Inc()
+		if c.series != nil {
+			c.series.Record(now - c.warmupEnd)
+		}
+	} else if c.series != nil && now >= c.warmupEnd {
+		c.series.Record(now - c.warmupEnd)
+	}
+	c.next()
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(opts Options) Result {
+	opts.applyDefaults()
+	sim := des.New(opts.Seed)
+	var cc config.Cluster
+	if opts.WAN {
+		cc = config.NewWAN3(opts.N)
+	} else {
+		cc = config.NewLAN(opts.N)
+	}
+	net := netsim.New(sim, cc, opts.Net)
+
+	leader := cc.Nodes[0]
+	replicas := make(map[ids.ID]replica, opts.N)
+	for _, id := range cc.Nodes {
+		tr := &trampoline{}
+		ep := net.Register(id, tr, false)
+		var rep replica
+		switch opts.Protocol {
+		case Paxos:
+			cfg := paxos.Config{Cluster: cc, ID: id, InitialLeader: leader}
+			if opts.MutPaxos != nil {
+				opts.MutPaxos(&cfg)
+			}
+			rep = paxos.New(ep, cfg, nil)
+		case PigPaxos:
+			cfg := pigpaxos.Config{
+				Paxos:     paxos.Config{Cluster: cc, ID: id, InitialLeader: leader},
+				NumGroups: opts.NumGroups,
+			}
+			if opts.ZoneGroups {
+				cfg.Strategy = pigpaxos.GroupByZone
+			}
+			if opts.MutPig != nil {
+				opts.MutPig(&cfg)
+			}
+			rep = pigpaxos.New(ep, cfg)
+		case EPaxos:
+			cfg := epaxos.Config{Cluster: cc, ID: id}
+			if opts.MutEPaxos != nil {
+				opts.MutEPaxos(&cfg)
+			}
+			rep = epaxos.New(ep, cfg)
+		}
+		tr.h = rep.OnMessage
+		replicas[id] = rep
+	}
+
+	// Clients: Paxos/PigPaxos clients talk to the leader; EPaxos clients
+	// spread over all replicas (§5.4: "a random node in EPaxos for each
+	// operation" — round-robin per client gives the same aggregate mix
+	// deterministically).
+	hist := metrics.NewHistogram()
+	var completed metrics.Counter
+	var series *metrics.TimeSeries
+	if opts.SampleWidth > 0 {
+		series = metrics.NewTimeSeries(opts.SampleWidth)
+	}
+	warmupEnd := opts.Warmup
+	windowEnd := opts.Warmup + opts.Measure
+
+	clients := make([]*client, opts.Clients)
+	for i := 0; i < opts.Clients; i++ {
+		cl := &client{
+			id:        uint64(i + 1),
+			gen:       workload.New(opts.Workload, sim.Rand()),
+			hist:      hist,
+			series:    series,
+			completed: &completed,
+			warmupEnd: warmupEnd,
+			windowEnd: windowEnd,
+		}
+		if opts.Protocol == EPaxos {
+			cl.targets = cc.Nodes
+			cl.rrIdx = i % len(cc.Nodes)
+		} else {
+			cl.targets = []ids.ID{leader}
+		}
+		// Clients live in the leader's zone (the paper ran client VMs in
+		// the same region as the cluster under test), with node numbers
+		// far above any replica's.
+		cl.ep = net.Register(ids.NewID(cc.ZoneOf(leader), 1000+i), cl, true)
+		clients[i] = cl
+	}
+
+	sim.Schedule(0, func() {
+		for _, r := range replicas {
+			r.Start()
+		}
+	})
+	// Stagger client starts over a few milliseconds to avoid a thundering
+	// herd at t=0 (the real benchmark ramps up the same way).
+	for i, cl := range clients {
+		cl := cl
+		sim.Schedule(time.Duration(i)*50*time.Microsecond+time.Millisecond, cl.next)
+	}
+
+	if opts.SluggishNode > 0 && opts.SluggishNode <= len(cc.Nodes) && opts.SluggishFactor > 1 {
+		net.SetSluggish(cc.Nodes[opts.SluggishNode-1], opts.SluggishFactor)
+	}
+
+	if opts.CrashNode > 0 && opts.CrashNode <= len(cc.Nodes) {
+		victim := cc.Nodes[opts.CrashNode-1]
+		sim.Schedule(opts.CrashAt, func() { net.Crash(victim) })
+		if opts.RecoverAt > opts.CrashAt {
+			sim.Schedule(opts.RecoverAt, func() { net.Recover(victim) })
+		}
+	}
+
+	sim.Run(windowEnd)
+	for _, cl := range clients {
+		cl.stop = true
+	}
+
+	res := Result{
+		Protocol:   opts.Protocol,
+		N:          opts.N,
+		Clients:    opts.Clients,
+		Throughput: float64(completed.Value()) / opts.Measure.Seconds(),
+		Latency:    hist.Snapshot(),
+		Messages:   net.MessagesSent(),
+	}
+	wall := windowEnd.Seconds()
+	res.LeaderUtil = net.Endpoint(leader).BusyTotal().Seconds() / wall
+	var fsum float64
+	for _, id := range cc.Nodes[1:] {
+		fsum += net.Endpoint(id).BusyTotal().Seconds() / wall
+	}
+	if len(cc.Nodes) > 1 {
+		res.MeanFollowerUtil = fsum / float64(len(cc.Nodes)-1)
+	}
+	if series != nil {
+		res.Series = series.Series()
+	}
+	return res
+}
+
+// CurvePoint is one (offered load, throughput, latency) sample of a
+// latency-throughput curve.
+type CurvePoint struct {
+	Clients    int
+	Throughput float64
+	LatencyMs  float64
+	P99Ms      float64
+}
+
+// Curve sweeps client counts and returns the latency-throughput curve the
+// paper plots in Figures 8-11.
+func Curve(opts Options, clientCounts []int) []CurvePoint {
+	out := make([]CurvePoint, 0, len(clientCounts))
+	for _, c := range clientCounts {
+		o := opts
+		o.Clients = c
+		r := Run(o)
+		out = append(out, CurvePoint{
+			Clients:    c,
+			Throughput: r.Throughput,
+			LatencyMs:  float64(r.Latency.Mean.Microseconds()) / 1000,
+			P99Ms:      float64(r.Latency.P99.Microseconds()) / 1000,
+		})
+	}
+	return out
+}
+
+// MaxThroughput sweeps client counts and returns the best observed
+// throughput ("maximum throughput" in Figures 7, 12, 13).
+func MaxThroughput(opts Options, clientCounts []int) float64 {
+	best := 0.0
+	for _, c := range clientCounts {
+		o := opts
+		o.Clients = c
+		if tp := Run(o).Throughput; tp > best {
+			best = tp
+		}
+	}
+	return best
+}
+
+// DefaultClientSweep is the client-count ladder used by the sweeps.
+var DefaultClientSweep = []int{10, 25, 50, 100, 200, 400}

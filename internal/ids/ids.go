@@ -1,0 +1,80 @@
+// Package ids defines node identifiers and Paxos ballot numbers shared by
+// every protocol in the repository.
+//
+// A node identity carries a zone (region/datacenter) and an in-zone node
+// number, mirroring the "zone.node" identifiers used by the Paxi framework
+// the paper builds on. Ballots embed the proposer identity so that ballots
+// from distinct nodes never compare equal.
+package ids
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a node in the cluster. The zero ID is reserved to mean
+// "no node".
+type ID uint32
+
+// NewID builds an ID from a zone number and an in-zone node number.
+// Zones and nodes are 1-based; both must fit in 16 bits.
+func NewID(zone, node int) ID {
+	if zone < 0 || zone > 0xffff || node < 0 || node > 0xffff {
+		panic(fmt.Sprintf("ids: zone %d or node %d out of range", zone, node))
+	}
+	return ID(uint32(zone)<<16 | uint32(node))
+}
+
+// Zone returns the zone (region) component of the ID.
+func (i ID) Zone() int { return int(i >> 16) }
+
+// Node returns the in-zone node number of the ID.
+func (i ID) Node() int { return int(i & 0xffff) }
+
+// IsZero reports whether the ID is the reserved "no node" value.
+func (i ID) IsZero() bool { return i == 0 }
+
+// String renders the ID in Paxi's "zone.node" notation.
+func (i ID) String() string {
+	return fmt.Sprintf("%d.%d", i.Zone(), i.Node())
+}
+
+// Sort orders a slice of IDs in ascending numeric order, in place.
+func Sort(s []ID) {
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+}
+
+// Ballot is a Paxos ballot number: a monotonically increasing sequence
+// number combined with the proposing node's ID so that ballots are totally
+// ordered and unique per proposer. Higher ballots take precedence.
+//
+// Layout: [ 32-bit sequence | 32-bit node ID ].
+type Ballot uint64
+
+// NewBallot builds a ballot from a sequence number and proposer ID.
+func NewBallot(n int, id ID) Ballot {
+	if n < 0 || n > 0xffffffff {
+		panic(fmt.Sprintf("ids: ballot sequence %d out of range", n))
+	}
+	return Ballot(uint64(n)<<32 | uint64(id))
+}
+
+// N returns the sequence component of the ballot.
+func (b Ballot) N() int { return int(b >> 32) }
+
+// ID returns the proposer identity embedded in the ballot.
+func (b Ballot) ID() ID { return ID(b & 0xffffffff) }
+
+// Next returns the smallest ballot strictly greater than b that is owned by
+// id. It is how a node bids for leadership after observing ballot b.
+func (b Ballot) Next(id ID) Ballot {
+	return NewBallot(b.N()+1, id)
+}
+
+// IsZero reports whether the ballot is the initial (never proposed) ballot.
+func (b Ballot) IsZero() bool { return b == 0 }
+
+// String renders the ballot as "n.zone.node".
+func (b Ballot) String() string {
+	return fmt.Sprintf("%d.%s", b.N(), b.ID())
+}

@@ -1,0 +1,135 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIDRoundTrip(t *testing.T) {
+	cases := []struct{ zone, node int }{
+		{1, 1}, {1, 25}, {3, 5}, {0xffff, 0xffff}, {0, 1},
+	}
+	for _, c := range cases {
+		id := NewID(c.zone, c.node)
+		if id.Zone() != c.zone || id.Node() != c.node {
+			t.Errorf("NewID(%d,%d) round-trips to (%d,%d)", c.zone, c.node, id.Zone(), id.Node())
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := NewID(2, 7).String(); got != "2.7" {
+		t.Errorf("String() = %q, want 2.7", got)
+	}
+}
+
+func TestIDZero(t *testing.T) {
+	var id ID
+	if !id.IsZero() {
+		t.Error("zero ID should report IsZero")
+	}
+	if NewID(1, 1).IsZero() {
+		t.Error("1.1 should not be zero")
+	}
+}
+
+func TestNewIDPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewID(70000, 1) should panic")
+		}
+	}()
+	NewID(70000, 1)
+}
+
+func TestSort(t *testing.T) {
+	s := []ID{NewID(2, 1), NewID(1, 3), NewID(1, 1)}
+	Sort(s)
+	want := []ID{NewID(1, 1), NewID(1, 3), NewID(2, 1)}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("Sort: got %v want %v", s, want)
+		}
+	}
+}
+
+func TestBallotRoundTrip(t *testing.T) {
+	id := NewID(1, 9)
+	b := NewBallot(42, id)
+	if b.N() != 42 || b.ID() != id {
+		t.Errorf("ballot round-trip: got n=%d id=%v", b.N(), b.ID())
+	}
+}
+
+func TestBallotOrdering(t *testing.T) {
+	a := NewBallot(1, NewID(1, 2))
+	b := NewBallot(1, NewID(1, 3))
+	c := NewBallot(2, NewID(1, 1))
+	if !(a < b) {
+		t.Error("same sequence: higher node ID should win")
+	}
+	if !(b < c) {
+		t.Error("higher sequence should dominate node ID")
+	}
+}
+
+func TestBallotNext(t *testing.T) {
+	id := NewID(1, 5)
+	b := NewBallot(7, NewID(1, 9))
+	n := b.Next(id)
+	if n <= b {
+		t.Error("Next must produce a strictly greater ballot")
+	}
+	if n.ID() != id || n.N() != 8 {
+		t.Errorf("Next: got n=%d id=%v, want 8 and %v", n.N(), n.ID(), id)
+	}
+}
+
+func TestBallotZero(t *testing.T) {
+	var b Ballot
+	if !b.IsZero() {
+		t.Error("zero ballot should report IsZero")
+	}
+	if NewBallot(0, NewID(1, 1)).IsZero() {
+		t.Error("ballot with an owner is not zero")
+	}
+}
+
+func TestBallotString(t *testing.T) {
+	if got := NewBallot(3, NewID(1, 2)).String(); got != "3.1.2" {
+		t.Errorf("String() = %q, want 3.1.2", got)
+	}
+}
+
+// Property: for any two distinct (n, id) pairs the ballots differ, and
+// ordering is lexicographic on (n, id).
+func TestBallotOrderProperty(t *testing.T) {
+	f := func(n1, n2 uint16, z1, z2, d1, d2 uint8) bool {
+		b1 := NewBallot(int(n1), NewID(int(z1), int(d1)))
+		b2 := NewBallot(int(n2), NewID(int(z2), int(d2)))
+		switch {
+		case n1 != n2:
+			return (b1 < b2) == (n1 < n2)
+		case b1.ID() != b2.ID():
+			return (b1 < b2) == (b1.ID() < b2.ID())
+		default:
+			return b1 == b2
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Next always increases the ballot and transfers ownership.
+func TestBallotNextProperty(t *testing.T) {
+	f := func(n uint16, z, d uint8) bool {
+		id := NewID(int(z)+1, int(d)+1)
+		b := NewBallot(int(n), NewID(1, 1))
+		nb := b.Next(id)
+		return nb > b && nb.ID() == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package kvstore implements the in-memory key-value state machine that all
+// protocols replicate, equivalent to Paxi's StateMachine: a map of byte-
+// string keys to versioned byte-string values, mutated by applying committed
+// commands in log order.
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op enumerates the command operations the state machine understands.
+type Op uint8
+
+const (
+	// Get reads the current value of a key.
+	Get Op = iota
+	// Put overwrites the value of a key.
+	Put
+	// Delete removes a key.
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Get:
+		return "GET"
+	case Put:
+		return "PUT"
+	case Delete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// IsRead reports whether the operation leaves the state machine unchanged.
+func (o Op) IsRead() bool { return o == Get }
+
+// Command is one state machine operation. ClientID/Seq identify the request
+// for at-most-once semantics and reply routing.
+type Command struct {
+	Op       Op
+	Key      uint64
+	Value    []byte
+	ClientID uint64
+	Seq      uint64
+}
+
+// Empty reports whether the command is the zero command (an empty log slot).
+func (c Command) Empty() bool {
+	return c.Op == Get && c.Key == 0 && c.Value == nil && c.ClientID == 0 && c.Seq == 0
+}
+
+// IsRead reports whether the command is a read-only operation.
+func (c Command) IsRead() bool { return c.Op.IsRead() }
+
+// ConflictsWith reports whether two commands must be ordered with respect to
+// each other: they touch the same key and at least one of them writes. This
+// is the conflict relation EPaxos uses on its dependency attributes.
+func (c Command) ConflictsWith(o Command) bool {
+	if c.Key != o.Key {
+		return false
+	}
+	return !c.IsRead() || !o.IsRead()
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	return fmt.Sprintf("%s k=%d len=%d cl=%d seq=%d", c.Op, c.Key, len(c.Value), c.ClientID, c.Seq)
+}
+
+// Result is the outcome of applying one command.
+type Result struct {
+	Exists bool
+	Value  []byte
+}
+
+// Store is the replicated key-value state machine. It is safe for concurrent
+// use; protocols apply committed commands through Apply and serve local
+// reads through Get.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[uint64][]byte
+	version map[uint64]uint64
+	applied uint64 // total commands applied, for metrics/tests
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		data:    make(map[uint64][]byte),
+		version: make(map[uint64]uint64),
+	}
+}
+
+// Apply executes cmd against the state machine and returns its result.
+func (s *Store) Apply(cmd Command) Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied++
+	switch cmd.Op {
+	case Get:
+		v, ok := s.data[cmd.Key]
+		return Result{Exists: ok, Value: v}
+	case Put:
+		// Copy so callers may reuse their buffers.
+		v := make([]byte, len(cmd.Value))
+		copy(v, cmd.Value)
+		s.data[cmd.Key] = v
+		s.version[cmd.Key]++
+		return Result{Exists: true, Value: nil}
+	case Delete:
+		_, ok := s.data[cmd.Key]
+		delete(s.data, cmd.Key)
+		s.version[cmd.Key]++
+		return Result{Exists: ok}
+	default:
+		return Result{}
+	}
+}
+
+// Get reads the current value of key without going through the log. Used by
+// local/leased read paths and tests.
+func (s *Store) Get(key uint64) (value []byte, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Version returns the write-version of a key (number of writes applied to
+// it), used by Paxos Quorum Reads to compare replica freshness.
+func (s *Store) Version(key uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version[key]
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Applied returns the total number of commands applied.
+func (s *Store) Applied() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// Checksum folds the full store state into a single value. Two replicas that
+// applied the same command sequence have equal checksums; tests use it to
+// assert state machine convergence.
+func (s *Store) Checksum() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var h uint64 = 14695981039346656037 // FNV offset basis
+	// XOR per-key hashes so iteration order does not matter.
+	var acc uint64
+	for k, v := range s.data {
+		kh := h
+		kh = fnvMix(kh, k)
+		for _, b := range v {
+			kh = (kh ^ uint64(b)) * 1099511628211
+		}
+		kh = fnvMix(kh, s.version[k])
+		acc ^= kh
+	}
+	return acc
+}
+
+func fnvMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * 1099511628211
+		x >>= 8
+	}
+	return h
+}

@@ -1,0 +1,219 @@
+package kvstore
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	s.Apply(Command{Op: Put, Key: 1, Value: []byte("hello")})
+	r := s.Apply(Command{Op: Get, Key: 1})
+	if !r.Exists || string(r.Value) != "hello" {
+		t.Errorf("Get after Put: got %+v", r)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	r := s.Apply(Command{Op: Get, Key: 42})
+	if r.Exists {
+		t.Error("missing key should not exist")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.Apply(Command{Op: Put, Key: 1, Value: []byte("x")})
+	r := s.Apply(Command{Op: Delete, Key: 1})
+	if !r.Exists {
+		t.Error("delete of live key should report it existed")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Error("key should be gone after delete")
+	}
+	r = s.Apply(Command{Op: Delete, Key: 1})
+	if r.Exists {
+		t.Error("second delete should report missing")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := New()
+	buf := []byte("abc")
+	s.Apply(Command{Op: Put, Key: 1, Value: buf})
+	buf[0] = 'z'
+	v, _ := s.Get(1)
+	if string(v) != "abc" {
+		t.Error("store must copy values, caller mutation leaked in")
+	}
+}
+
+func TestVersionTracking(t *testing.T) {
+	s := New()
+	if s.Version(7) != 0 {
+		t.Error("fresh key should have version 0")
+	}
+	s.Apply(Command{Op: Put, Key: 7, Value: []byte("a")})
+	s.Apply(Command{Op: Put, Key: 7, Value: []byte("b")})
+	if s.Version(7) != 2 {
+		t.Errorf("version = %d, want 2", s.Version(7))
+	}
+	s.Apply(Command{Op: Get, Key: 7})
+	if s.Version(7) != 2 {
+		t.Error("reads must not bump the version")
+	}
+	s.Apply(Command{Op: Delete, Key: 7})
+	if s.Version(7) != 3 {
+		t.Error("delete is a write and must bump the version")
+	}
+}
+
+func TestAppliedCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.Apply(Command{Op: Put, Key: uint64(i)})
+	}
+	if s.Applied() != 5 {
+		t.Errorf("Applied = %d, want 5", s.Applied())
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+}
+
+func TestCommandEmpty(t *testing.T) {
+	if !(Command{}).Empty() {
+		t.Error("zero command should be Empty")
+	}
+	if (Command{Op: Put, Key: 1}).Empty() {
+		t.Error("put is not empty")
+	}
+}
+
+func TestConflictsWith(t *testing.T) {
+	w1 := Command{Op: Put, Key: 1}
+	w2 := Command{Op: Put, Key: 1}
+	r1 := Command{Op: Get, Key: 1}
+	r2 := Command{Op: Get, Key: 1}
+	other := Command{Op: Put, Key: 2}
+	if !w1.ConflictsWith(w2) {
+		t.Error("two writes to same key conflict")
+	}
+	if !w1.ConflictsWith(r1) || !r1.ConflictsWith(w1) {
+		t.Error("read-write on same key conflicts, both directions")
+	}
+	if r1.ConflictsWith(r2) {
+		t.Error("two reads never conflict")
+	}
+	if w1.ConflictsWith(other) {
+		t.Error("different keys never conflict")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Get.String() != "GET" || Put.String() != "PUT" || Delete.String() != "DELETE" {
+		t.Error("Op.String mismatch")
+	}
+	if Op(9).String() != "OP(9)" {
+		t.Error("unknown op should format numerically")
+	}
+}
+
+func TestChecksumConvergence(t *testing.T) {
+	// Two stores that apply the same sequence in the same order converge.
+	a, b := New(), New()
+	rng := rand.New(rand.NewSource(1))
+	var cmds []Command
+	for i := 0; i < 500; i++ {
+		cmds = append(cmds, Command{
+			Op:    Op(rng.Intn(3)),
+			Key:   uint64(rng.Intn(20)),
+			Value: []byte{byte(rng.Intn(256))},
+		})
+	}
+	for _, c := range cmds {
+		a.Apply(c)
+		b.Apply(c)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Error("same sequence must yield same checksum")
+	}
+}
+
+func TestChecksumDetectsDivergence(t *testing.T) {
+	a, b := New(), New()
+	a.Apply(Command{Op: Put, Key: 1, Value: []byte("x")})
+	b.Apply(Command{Op: Put, Key: 1, Value: []byte("y")})
+	if a.Checksum() == b.Checksum() {
+		t.Error("different values should (overwhelmingly) differ in checksum")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Apply(Command{Op: Put, Key: uint64(g*1000 + i), Value: []byte{1}})
+				s.Get(uint64(g*1000 + i))
+				s.Version(uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Errorf("Len = %d, want %d", s.Len(), 8*200)
+	}
+}
+
+// Property: after PUT(k, v), GET(k) observes exactly v.
+func TestPutGetProperty(t *testing.T) {
+	s := New()
+	f := func(k uint64, v []byte) bool {
+		s.Apply(Command{Op: Put, Key: k, Value: v})
+		got, ok := s.Get(k)
+		return ok && bytes.Equal(got, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: conflict relation is symmetric.
+func TestConflictSymmetryProperty(t *testing.T) {
+	f := func(k1, k2 uint8, o1, o2 uint8) bool {
+		a := Command{Op: Op(o1 % 3), Key: uint64(k1 % 4)}
+		b := Command{Op: Op(o2 % 3), Key: uint64(k2 % 4)}
+		return a.ConflictsWith(b) == b.ConflictsWith(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkApplyPut(b *testing.B) {
+	s := New()
+	cmd := Command{Op: Put, Key: 1, Value: make([]byte, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cmd.Key = uint64(i % 1000)
+		s.Apply(cmd)
+	}
+}
+
+func BenchmarkApplyGet(b *testing.B) {
+	s := New()
+	s.Apply(Command{Op: Put, Key: 1, Value: make([]byte, 64)})
+	cmd := Command{Op: Get, Key: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply(cmd)
+	}
+}

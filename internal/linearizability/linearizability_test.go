@@ -1,0 +1,170 @@
+package linearizability
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func w(key uint64, val string, start, end int) Op {
+	return Op{Kind: Write, Key: key, Input: val, Start: ms(start), End: ms(end)}
+}
+
+func r(key uint64, out string, start, end int) Op {
+	return Op{Kind: Read, Key: key, Output: out, Start: ms(start), End: ms(end)}
+}
+
+func check(ops ...Op) Result {
+	h := &History{}
+	for _, op := range ops {
+		h.Add(op)
+	}
+	return h.Check()
+}
+
+func TestEmptyHistoryOK(t *testing.T) {
+	if !check().OK {
+		t.Error("empty history is trivially linearizable")
+	}
+}
+
+func TestSequentialReadAfterWrite(t *testing.T) {
+	if !check(w(1, "a", 0, 1), r(1, "a", 2, 3)).OK {
+		t.Error("sequential write-then-read must pass")
+	}
+}
+
+func TestStaleReadAfterWriteFails(t *testing.T) {
+	res := check(w(1, "a", 0, 1), r(1, "", 2, 3))
+	if res.OK {
+		t.Error("reading the pre-write value after the write completed must fail")
+	}
+	if res.BadKey != 1 {
+		t.Errorf("bad key = %d", res.BadKey)
+	}
+}
+
+func TestConcurrentWriteReadEitherValue(t *testing.T) {
+	// Read overlaps the write: both "" and "a" are legal outcomes.
+	if !check(w(1, "a", 0, 10), r(1, "a", 5, 6)).OK {
+		t.Error("overlapping read may see the new value")
+	}
+	if !check(w(1, "a", 0, 10), r(1, "", 5, 6)).OK {
+		t.Error("overlapping read may see the old value")
+	}
+}
+
+func TestReadYourWritesViolation(t *testing.T) {
+	// Two sequential reads observing values in an order inconsistent with
+	// the single write order.
+	res := check(
+		w(1, "a", 0, 1),
+		w(1, "b", 2, 3),
+		r(1, "b", 4, 5),
+		r(1, "a", 6, 7), // regression: saw b then a with no writer
+	)
+	if res.OK {
+		t.Error("value regression must fail")
+	}
+}
+
+func TestConcurrentWritesAnyOrder(t *testing.T) {
+	// Two overlapping writes then a read: the read may see either, since
+	// either write order is a valid linearization.
+	if !check(w(1, "a", 0, 10), w(1, "b", 0, 10), r(1, "a", 11, 12)).OK {
+		t.Error("read of first concurrent write must pass")
+	}
+	if !check(w(1, "a", 0, 10), w(1, "b", 0, 10), r(1, "b", 11, 12)).OK {
+		t.Error("read of second concurrent write must pass")
+	}
+	// But both reads in sequence cannot see a then b then a.
+	res := check(
+		w(1, "a", 0, 10), w(1, "b", 0, 10),
+		r(1, "a", 11, 12), r(1, "b", 13, 14), r(1, "a", 15, 16),
+	)
+	if res.OK {
+		t.Error("a→b→a without intervening writes must fail")
+	}
+}
+
+func TestKeysIndependent(t *testing.T) {
+	// A violation on key 2 must be found even with clean key-1 traffic.
+	res := check(
+		w(1, "x", 0, 1), r(1, "x", 2, 3),
+		w(2, "y", 0, 1), r(2, "", 2, 3),
+	)
+	if res.OK || res.BadKey != 2 {
+		t.Errorf("per-key violation missed: %+v", res)
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// w(a) finishes before w(b) starts; late read must not see a.
+	res := check(
+		w(1, "a", 0, 1),
+		w(1, "b", 2, 3),
+		r(1, "a", 4, 5),
+	)
+	if res.OK {
+		t.Error("read of an overwritten value after both writes must fail")
+	}
+}
+
+func TestManyConcurrentOpsSearch(t *testing.T) {
+	// A batch of overlapping writes and one read of the "last" value:
+	// exercises the memoized search without blowing up.
+	var ops []Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, Op{Kind: Write, Key: 1, Input: string(rune('a' + i)), Start: 0, End: ms(100)})
+	}
+	ops = append(ops, r(1, "e", 101, 102))
+	res := check(ops...)
+	if !res.OK {
+		t.Error("any concurrent write may linearize last")
+	}
+	if res.Explored == 0 {
+		t.Error("search effort not recorded")
+	}
+}
+
+func TestPanicsOnOversizedKeyHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized per-key history should panic")
+		}
+	}()
+	var ops []Op
+	for i := 0; i < 25; i++ {
+		ops = append(ops, w(1, "v", i*2, i*2+1))
+	}
+	check(ops...)
+}
+
+func TestOpString(t *testing.T) {
+	if s := w(1, "v", 0, 1).String(); s == "" {
+		t.Error("empty Write string")
+	}
+	if s := r(1, "v", 0, 1).String(); s == "" {
+		t.Error("empty Read string")
+	}
+}
+
+func BenchmarkCheckContendedHistory(b *testing.B) {
+	// 12 overlapping ops on one key: a realistic hot check.
+	var ops []Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, Op{Kind: Write, Key: 1, Input: string(rune('a' + i)), Start: ms(i), End: ms(i + 4)})
+	}
+	for i := 0; i < 4; i++ {
+		ops = append(ops, Op{Kind: Read, Key: 1, Output: string(rune('a' + i + 3)), Start: ms(i + 5), End: ms(i + 7)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := &History{}
+		for _, op := range ops {
+			h.Add(op)
+		}
+		h.Check()
+	}
+}

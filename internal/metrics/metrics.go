@@ -1,0 +1,269 @@
+// Package metrics provides the measurement primitives the benchmark harness
+// uses: log-bucketed latency histograms, monotonic counters, and fixed-width
+// throughput time series (the paper's Figure 13 samples throughput over
+// one-second intervals).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples into exponentially sized buckets and
+// answers percentile queries. It keeps raw samples up to a cap so small
+// experiments get exact percentiles; beyond the cap it falls back to bucket
+// interpolation. Histogram is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []uint64 // bucket i covers [2^i, 2^(i+1)) microseconds
+	raw     []time.Duration
+	rawCap  int
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const defaultRawCap = 1 << 16
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		buckets: make([]uint64, 64),
+		rawCap:  defaultRawCap,
+		min:     math.MaxInt64,
+	}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	us := d.Microseconds()
+	b := 0
+	for v := us; v > 1; v >>= 1 {
+		b++
+	}
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.raw) < h.rawCap {
+		h.raw = append(h.raw, d)
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all samples (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100). Exact while raw
+// samples are retained, bucket upper-bound approximation afterwards.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if uint64(len(h.raw)) == h.count {
+		s := make([]time.Duration, len(h.raw))
+		copy(s, h.raw)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return time.Duration(uint64(1)<<(uint(i)+1)) * time.Microsecond
+		}
+	}
+	return h.max
+}
+
+// Snapshot summarizes the histogram for reporting.
+func (h *Histogram) Snapshot() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+	}
+}
+
+// Summary is a point-in-time digest of a histogram.
+type Summary struct {
+	Count    uint64
+	Mean     time.Duration
+	Min, Max time.Duration
+	P50, P99 time.Duration
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v min=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P99, s.Min, s.Max)
+}
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// TimeSeries buckets event counts into fixed-width windows of virtual or
+// wall time, producing throughput-over-time curves (paper Figure 13).
+type TimeSeries struct {
+	mu     sync.Mutex
+	width  time.Duration
+	counts map[int64]uint64
+}
+
+// NewTimeSeries creates a series with the given bucket width.
+func NewTimeSeries(width time.Duration) *TimeSeries {
+	if width <= 0 {
+		panic("metrics: non-positive time series width")
+	}
+	return &TimeSeries{width: width, counts: make(map[int64]uint64)}
+}
+
+// Record counts one event at time t (measured from the experiment origin).
+func (ts *TimeSeries) Record(t time.Duration) {
+	ts.mu.Lock()
+	ts.counts[int64(t/ts.width)]++
+	ts.mu.Unlock()
+}
+
+// Point is one (window start, events/sec) sample.
+type Point struct {
+	Start time.Duration
+	Rate  float64
+}
+
+// Series returns rate samples for every window from 0 through the last
+// non-empty window, including empty windows (rate 0).
+func (ts *TimeSeries) Series() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var maxB int64 = -1
+	for b := range ts.counts {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	out := make([]Point, 0, maxB+1)
+	sec := ts.width.Seconds()
+	for b := int64(0); b <= maxB; b++ {
+		out = append(out, Point{
+			Start: time.Duration(b) * ts.width,
+			Rate:  float64(ts.counts[b]) / sec,
+		})
+	}
+	return out
+}
+
+// Table renders rows of labeled values with aligned columns; the benchmark
+// harness uses it to print paper-style tables.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

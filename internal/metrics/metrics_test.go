@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond {
+		t.Errorf("min = %v", h.Min())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 51*time.Millisecond {
+		t.Errorf("mean = %v, want ~50.5ms", mean)
+	}
+}
+
+func TestHistogramPercentilesExact(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if p := h.Percentile(50); p != 500*time.Microsecond {
+		t.Errorf("p50 = %v, want 500µs", p)
+	}
+	if p := h.Percentile(99); p != 990*time.Microsecond {
+		t.Errorf("p99 = %v, want 990µs", p)
+	}
+	if p := h.Percentile(100); p != 1000*time.Microsecond {
+		t.Errorf("p100 = %v, want 1000µs", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	if h.Min() != 0 {
+		t.Error("negative samples clamp to zero")
+	}
+}
+
+func TestHistogramBucketFallback(t *testing.T) {
+	h := NewHistogram()
+	h.rawCap = 10
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(100+i%3) * time.Microsecond)
+	}
+	// Bucket approximation: all samples fall in [64µs,128µs) → upper bound 128µs.
+	p := h.Percentile(50)
+	if p < 100*time.Microsecond || p > 256*time.Microsecond {
+		t.Errorf("approximate p50 = %v, want within [100µs, 256µs]", p)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || !strings.Contains(s.String(), "n=1") {
+		t.Errorf("summary: %v", s)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Add(5)
+	if c.Value() != 4005 {
+		t.Errorf("counter = %d, want 4005", c.Value())
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	// 10 events in second 0, 20 in second 2, none in second 1.
+	for i := 0; i < 10; i++ {
+		ts.Record(500 * time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		ts.Record(2500 * time.Millisecond)
+	}
+	pts := ts.Series()
+	if len(pts) != 3 {
+		t.Fatalf("series has %d points, want 3", len(pts))
+	}
+	if pts[0].Rate != 10 || pts[1].Rate != 0 || pts[2].Rate != 20 {
+		t.Errorf("rates = %v %v %v, want 10 0 20", pts[0].Rate, pts[1].Rate, pts[2].Rate)
+	}
+	if pts[2].Start != 2*time.Second {
+		t.Errorf("window start = %v, want 2s", pts[2].Start)
+	}
+}
+
+func TestTimeSeriesSubSecondWidth(t *testing.T) {
+	ts := NewTimeSeries(100 * time.Millisecond)
+	ts.Record(50 * time.Millisecond)
+	ts.Record(60 * time.Millisecond)
+	pts := ts.Series()
+	if len(pts) != 1 || pts[0].Rate != 20 {
+		t.Errorf("rate = %v, want 20/s (2 events in 0.1s)", pts)
+	}
+}
+
+func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width should panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "long-header") {
+		t.Errorf("header row: %q", lines[0])
+	}
+	// Columns align: the second column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "long-header")
+	if strings.Index(lines[1], "1") != off || strings.Index(lines[2], "22") != off {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+}

@@ -1,0 +1,109 @@
+// Package model implements the paper's analytical message-load model (§6.1,
+// §6.3): closed-form per-round message counts at the leader and at an
+// average follower, used to explain why fewer relay groups shift the
+// bottleneck away from the leader and to regenerate Tables 1 and 2.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"pigpaxos/internal/metrics"
+)
+
+// LeaderLoad returns Ml, the messages the leader handles per round with r
+// relay groups: one client request, one reply, and a round trip with each of
+// the r relays (Equation 1: Ml = 2r + 2).
+func LeaderLoad(r int) float64 { return float64(2*r + 2) }
+
+// FollowerLoad returns Mf, the expected messages an average follower
+// handles per round in an N-node cluster with r relay groups (Equation 3:
+// Mf = 2(N−r−1)/(N−1) + 2): every follower does one round trip (with its
+// relay or, when acting as relay, with the leader), and with probability
+// r/(N−1) it serves as relay, adding a round trip per remaining group
+// member.
+func FollowerLoad(n, r int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 2*float64(n-r-1)/float64(n-1) + 2
+}
+
+// PaxosLeaderLoad returns the classical Paxos leader load for an N-node
+// cluster: 2(N−1) + 2 (a round trip with every follower plus the client
+// exchange). It equals LeaderLoad(N−1), the degenerate grouping of §3.3.
+func PaxosLeaderLoad(n int) float64 { return LeaderLoad(n - 1) }
+
+// PaxosFollowerLoad returns the Paxos follower load: exactly one round trip
+// with the leader.
+func PaxosFollowerLoad() float64 { return 2 }
+
+// LeaderOverhead returns the leader's relative message-load overhead over
+// the average follower, the rightmost column of Tables 1-2:
+// (Ml − Mf) / Mf.
+func LeaderOverhead(ml, mf float64) float64 { return (ml - mf) / mf }
+
+// Row is one line of Table 1/2.
+type Row struct {
+	Groups      int // r, or N−1 for the Paxos row
+	Leader      float64
+	Follower    float64
+	OverheadPct float64
+	IsPaxos     bool
+}
+
+// Table computes the message-load table for an n-node cluster over the
+// given relay-group counts, appending the degenerate Paxos row (r = N−1)
+// exactly as the paper's Tables 1 and 2 do.
+func Table(n int, groups []int) []Row {
+	rows := make([]Row, 0, len(groups)+1)
+	for _, r := range groups {
+		ml, mf := LeaderLoad(r), FollowerLoad(n, r)
+		rows = append(rows, Row{
+			Groups: r, Leader: ml, Follower: mf,
+			OverheadPct: 100 * LeaderOverhead(ml, mf),
+		})
+	}
+	ml, mf := PaxosLeaderLoad(n), PaxosFollowerLoad()
+	rows = append(rows, Row{
+		Groups: n - 1, Leader: ml, Follower: mf,
+		OverheadPct: 100 * LeaderOverhead(ml, mf),
+		IsPaxos:     true,
+	})
+	return rows
+}
+
+// Format renders a table in the paper's layout.
+func Format(n int, rows []Row) string {
+	header := []string{"# of Relay Groups (r)", "Messages at Leader (Ml)", "Messages at Follower (Mf)", "Leader Overhead"}
+	body := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		label := fmt.Sprintf("%d", r.Groups)
+		if r.IsPaxos {
+			label = fmt.Sprintf("%d (Paxos)", r.Groups)
+		}
+		body = append(body, []string{
+			label,
+			trimFloat(r.Leader),
+			trimFloat(r.Follower),
+			fmt.Sprintf("%.0f%%", r.OverheadPct),
+		})
+	}
+	return fmt.Sprintf("Message load, %d-node cluster\n%s", n, metrics.Table(header, body))
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// AsymptoticFollowerLoad returns lim N→∞ of FollowerLoad(N, r): the §6.3
+// result that follower load is capped at 4 regardless of cluster size,
+// which is why the leader (Ml ≥ 4, growing with r) remains the bottleneck
+// and extra relay layers cannot help.
+func AsymptoticFollowerLoad(r int) float64 {
+	_ = r // independent of r in the limit
+	return 4
+}

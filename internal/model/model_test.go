@@ -1,0 +1,153 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 0.01 }
+
+// Table 1 of the paper: 25-node cluster.
+func TestTable1Values(t *testing.T) {
+	cases := []struct {
+		r        int
+		ml, mf   float64
+		overhead float64
+	}{
+		{2, 6, 3.83, 56},
+		{3, 8, 3.75, 113},
+		{4, 10, 3.67, 172},
+		{5, 12, 3.58, 234},
+		{6, 14, 3.50, 300},
+	}
+	for _, c := range cases {
+		if ml := LeaderLoad(c.r); ml != c.ml {
+			t.Errorf("r=%d: Ml=%v, want %v", c.r, ml, c.ml)
+		}
+		if mf := FollowerLoad(25, c.r); !approx(mf, c.mf) {
+			t.Errorf("r=%d: Mf=%.2f, want %.2f", c.r, mf, c.mf)
+		}
+		oh := 100 * LeaderOverhead(LeaderLoad(c.r), FollowerLoad(25, c.r))
+		if math.Abs(oh-c.overhead) > 1.0 {
+			t.Errorf("r=%d: overhead=%.0f%%, want %.0f%%", c.r, oh, c.overhead)
+		}
+	}
+	// Paxos row: Ml=50, Mf=2, overhead 2400%.
+	if PaxosLeaderLoad(25) != 50 {
+		t.Errorf("Paxos Ml = %v", PaxosLeaderLoad(25))
+	}
+	if PaxosFollowerLoad() != 2 {
+		t.Errorf("Paxos Mf = %v", PaxosFollowerLoad())
+	}
+	if oh := 100 * LeaderOverhead(50, 2); oh != 2400 {
+		t.Errorf("Paxos overhead = %v%%, want 2400%%", oh)
+	}
+}
+
+// Table 2 of the paper: 9-node cluster.
+func TestTable2Values(t *testing.T) {
+	cases := []struct {
+		r        int
+		ml, mf   float64
+		overhead float64
+	}{
+		{2, 6, 3.5, 71},
+		{3, 8, 3.25, 146},
+		{4, 10, 3.0, 233},
+	}
+	for _, c := range cases {
+		if ml := LeaderLoad(c.r); ml != c.ml {
+			t.Errorf("r=%d: Ml=%v", c.r, ml)
+		}
+		if mf := FollowerLoad(9, c.r); !approx(mf, c.mf) {
+			t.Errorf("r=%d: Mf=%.2f, want %.2f", c.r, mf, c.mf)
+		}
+		oh := 100 * LeaderOverhead(LeaderLoad(c.r), FollowerLoad(9, c.r))
+		if math.Abs(oh-c.overhead) > 1.0 {
+			t.Errorf("r=%d: overhead=%.0f%%, want %.0f%%", c.r, oh, c.overhead)
+		}
+	}
+	if PaxosLeaderLoad(9) != 18 {
+		t.Errorf("9-node Paxos Ml = %v, want 18", PaxosLeaderLoad(9))
+	}
+	if oh := 100 * LeaderOverhead(18, 2); oh != 800 {
+		t.Errorf("9-node Paxos overhead = %v%%, want 800%%", oh)
+	}
+}
+
+func TestDegenerateGroupingEqualsPaxos(t *testing.T) {
+	// §3.3: PigPaxos with N−1 singleton groups is Paxos.
+	for _, n := range []int{5, 9, 25} {
+		if LeaderLoad(n-1) != PaxosLeaderLoad(n) {
+			t.Errorf("n=%d: degenerate LeaderLoad mismatch", n)
+		}
+		if !approx(FollowerLoad(n, n-1), PaxosFollowerLoad()) {
+			t.Errorf("n=%d: degenerate FollowerLoad = %v", n, FollowerLoad(n, n-1))
+		}
+	}
+}
+
+func TestAsymptoticFollowerLoad(t *testing.T) {
+	// §6.3: with r=1, Mf → 4 as N → ∞ and the smallest possible Ml is 4.
+	if LeaderLoad(1) != 4 {
+		t.Errorf("minimum Ml = %v, want 4", LeaderLoad(1))
+	}
+	if AsymptoticFollowerLoad(1) != 4 {
+		t.Error("asymptotic follower load should be 4")
+	}
+	if got := FollowerLoad(100000, 1); math.Abs(got-4) > 0.001 {
+		t.Errorf("Mf at N=100000, r=1: %v, want ≈ 4", got)
+	}
+}
+
+// Property: the leader load is never below the follower load — the paper's
+// §6.3 argument that the bottleneck cannot shift entirely to followers.
+func TestLeaderAlwaysBottleneckProperty(t *testing.T) {
+	f := func(nRaw, rRaw uint8) bool {
+		n := int(nRaw)%100 + 3
+		r := int(rRaw)%(n-1) + 1
+		return LeaderLoad(r) >= FollowerLoad(n, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: follower load decreases (weakly) as r grows; leader load
+// increases strictly.
+func TestLoadMonotonicityProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%50 + 4
+		for r := 2; r < n-1; r++ {
+			if LeaderLoad(r) <= LeaderLoad(r-1) {
+				return false
+			}
+			if FollowerLoad(n, r) > FollowerLoad(n, r-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableAndFormat(t *testing.T) {
+	rows := Table(25, []int{2, 3, 4, 5, 6})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (5 + Paxos)", len(rows))
+	}
+	if !rows[5].IsPaxos || rows[5].Groups != 24 {
+		t.Errorf("last row should be Paxos r=24: %+v", rows[5])
+	}
+	out := Format(25, rows)
+	if !strings.Contains(out, "24 (Paxos)") || !strings.Contains(out, "2400%") {
+		t.Errorf("formatted table missing Paxos row:\n%s", out)
+	}
+	if !strings.Contains(out, "3.83") {
+		t.Errorf("formatted table missing Mf values:\n%s", out)
+	}
+}

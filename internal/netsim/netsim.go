@@ -1,0 +1,337 @@
+// Package netsim models the paper's testbed on top of the discrete-event
+// simulator: every node owns a single virtual CPU that serializes message
+// handling, links carry zone-to-zone latency from the cluster config, and
+// failures (crashes, sluggishness, partitions) can be injected at any
+// virtual time.
+//
+// The cost model is the heart of the reproduction. Sending a message costs
+// the sender SendCost + ByteCost·size of CPU; receiving costs the receiver
+// RecvCost + ByteCost·size before its handler runs. A node that must
+// exchange many messages per consensus round (a Paxos leader: 2(N−1)+2)
+// therefore saturates its virtual CPU at a proportionally lower request
+// rate than a PigPaxos leader (2r+2) — exactly the bottleneck mechanism the
+// paper measures on EC2.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/des"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/metrics"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/wire"
+)
+
+// Options tune the CPU/network cost model.
+type Options struct {
+	// SendCost is the fixed CPU time to serialize and hand one message to
+	// the network.
+	SendCost time.Duration
+	// RecvCost is the fixed CPU time to read and deserialize one message.
+	RecvCost time.Duration
+	// ByteCostPerKB is additional CPU per KiB of payload, charged on both
+	// sides (scaled linearly for partial KiBs).
+	ByteCostPerKB time.Duration
+	// Jitter adds uniform random [0, Jitter) to each link delay.
+	Jitter time.Duration
+	// LossRate drops each non-loopback message with this probability
+	// (0..1). Protocol retries and catch-up must mask the losses.
+	LossRate float64
+	// BandwidthBps, when positive, models link capacity: each message
+	// adds size/bandwidth of transmission delay on top of propagation
+	// latency (§5.6: "large messages require ... more network capacity
+	// for transmission").
+	BandwidthBps int64
+}
+
+// DefaultOptions returns the calibration used for the paper reproduction:
+// 10µs per message on each side and ~2.5µs/KiB (≈ single-core marshalling
+// plus kernel/NIC costs on an m5a.large). With these numbers a 25-node
+// Multi-Paxos leader (50 msgs/request) saturates around 1.9k req/s and a
+// 3-group PigPaxos leader (8 msgs/request) around 9k — matching the paper's
+// 2k vs 7k shape.
+func DefaultOptions() Options {
+	return Options{
+		SendCost:      10 * time.Microsecond,
+		RecvCost:      10 * time.Microsecond,
+		ByteCostPerKB: 2500 * time.Nanosecond,
+	}
+}
+
+// Handler consumes delivered messages at a registered endpoint.
+type Handler interface {
+	OnMessage(from ids.ID, m wire.Msg)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from ids.ID, m wire.Msg)
+
+// OnMessage implements Handler.
+func (f HandlerFunc) OnMessage(from ids.ID, m wire.Msg) { f(from, m) }
+
+// Network is a simulated cluster network.
+type Network struct {
+	sim  *des.Sim
+	cfg  config.Cluster
+	opts Options
+
+	endpoints map[ids.ID]*Endpoint
+
+	// Counters for the analytical-model cross-checks.
+	sent      metrics.Counter
+	delivered metrics.Counter
+	dropped   metrics.Counter
+}
+
+// New creates a network over sim for cluster cfg.
+func New(sim *des.Sim, cfg config.Cluster, opts Options) *Network {
+	return &Network{
+		sim:       sim,
+		cfg:       cfg,
+		opts:      opts,
+		endpoints: make(map[ids.ID]*Endpoint),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *des.Sim { return n.sim }
+
+// Register attaches handler h as node id and returns its endpoint. Clients
+// register like nodes; pass free=true to give the endpoint an unmetered CPU
+// (the paper ran clients on larger instances so that client-side processing
+// never limits the measurement).
+func (n *Network) Register(id ids.ID, h Handler, free bool) *Endpoint {
+	if _, dup := n.endpoints[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate endpoint %v", id))
+	}
+	e := &Endpoint{net: n, id: id, handler: h, free: free}
+	n.endpoints[id] = e
+	return e
+}
+
+// Endpoint returns the endpoint registered for id, or nil.
+func (n *Network) Endpoint(id ids.ID) *Endpoint { return n.endpoints[id] }
+
+// MessagesSent returns the number of messages handed to the network.
+func (n *Network) MessagesSent() uint64 { return n.sent.Value() }
+
+// MessagesDelivered returns the number of messages delivered to handlers.
+func (n *Network) MessagesDelivered() uint64 { return n.delivered.Value() }
+
+// MessagesDropped returns messages dropped by crashes or partitions.
+func (n *Network) MessagesDropped() uint64 { return n.dropped.Value() }
+
+// Crash makes id drop every message in or out until Recover. In-flight
+// messages addressed to it are dropped on delivery.
+func (n *Network) Crash(id ids.ID) {
+	if e := n.endpoints[id]; e != nil {
+		e.crashed = true
+	}
+}
+
+// Recover brings a crashed node back (it retains its pre-crash state, as in
+// the paper's crash-recovery model; protocols must tolerate stale state).
+func (n *Network) Recover(id ids.ID) {
+	if e := n.endpoints[id]; e != nil {
+		e.crashed = false
+	}
+}
+
+// Crashed reports whether id is currently crashed.
+func (n *Network) Crashed(id ids.ID) bool {
+	e := n.endpoints[id]
+	return e != nil && e.crashed
+}
+
+// SetSluggish multiplies id's CPU costs by factor (1 = normal). Models the
+// "sluggish node" scenarios of §3.4 without a full crash.
+func (n *Network) SetSluggish(id ids.ID, factor float64) {
+	if e := n.endpoints[id]; e != nil {
+		if factor < 1 {
+			factor = 1
+		}
+		e.slow = factor
+	}
+}
+
+// Partition cuts connectivity between every pair (a ∈ sideA, b ∈ sideB) in
+// both directions until HealPartition.
+func (n *Network) Partition(sideA, sideB []ids.ID) {
+	for _, a := range sideA {
+		for _, b := range sideB {
+			if ea := n.endpoints[a]; ea != nil {
+				if ea.cut == nil {
+					ea.cut = make(map[ids.ID]bool)
+				}
+				ea.cut[b] = true
+			}
+			if eb := n.endpoints[b]; eb != nil {
+				if eb.cut == nil {
+					eb.cut = make(map[ids.ID]bool)
+				}
+				eb.cut[a] = true
+			}
+		}
+	}
+}
+
+// HealPartition removes all partition cuts.
+func (n *Network) HealPartition() {
+	for _, e := range n.endpoints {
+		e.cut = nil
+	}
+}
+
+// byteCost scales the per-KiB rate to an arbitrary byte count.
+func byteCost(perKB time.Duration, size int) time.Duration {
+	return time.Duration(int64(perKB) * int64(size) / 1024)
+}
+
+// Endpoint is one simulated node's attachment to the network. It implements
+// the context protocols use to act on the world: sending, timers, clock and
+// randomness. All methods must be called from simulator callbacks (the
+// simulator is single-threaded).
+type Endpoint struct {
+	net     *Network
+	id      ids.ID
+	handler Handler
+	free    bool // unmetered CPU (clients)
+
+	busyUntil time.Duration
+	busyTotal time.Duration // accumulated CPU time consumed
+	crashed   bool
+	slow      float64
+	cut       map[ids.ID]bool
+
+	sent     uint64
+	received uint64
+}
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() ids.ID { return e.id }
+
+// Now returns the current virtual time.
+func (e *Endpoint) Now() time.Duration { return e.net.sim.Now() }
+
+// Rand returns the deterministic simulation RNG.
+func (e *Endpoint) Rand() *rand.Rand { return e.net.sim.Rand() }
+
+// Sent returns how many messages this endpoint has sent.
+func (e *Endpoint) Sent() uint64 { return e.sent }
+
+// Received returns how many messages were delivered to this endpoint.
+func (e *Endpoint) Received() uint64 { return e.received }
+
+// BusyUntil exposes the CPU horizon for load accounting in tests.
+func (e *Endpoint) BusyUntil() time.Duration { return e.busyUntil }
+
+// BusyTotal returns the accumulated CPU time this endpoint has consumed —
+// utilization over a window is BusyTotal delta divided by the window.
+func (e *Endpoint) BusyTotal() time.Duration { return e.busyTotal }
+
+func (e *Endpoint) scale(d time.Duration) time.Duration {
+	if e.free {
+		return 0
+	}
+	if e.slow > 1 {
+		return time.Duration(float64(d) * e.slow)
+	}
+	return d
+}
+
+// cpu charges d of CPU starting no earlier than now and returns the
+// completion instant.
+func (e *Endpoint) cpu(now, d time.Duration) time.Duration {
+	start := e.busyUntil
+	if now > start {
+		start = now
+	}
+	work := e.scale(d)
+	e.busyTotal += work
+	e.busyUntil = start + work
+	return e.busyUntil
+}
+
+// Work charges extra CPU to the endpoint (protocol bookkeeping such as vote
+// tallying or state-machine execution) without sending anything.
+func (e *Endpoint) Work(d time.Duration) {
+	e.cpu(e.net.sim.Now(), d)
+}
+
+// Send transmits m to the node registered as to. Messages to self are
+// delivered through the same cost path (loopback latency zero).
+func (e *Endpoint) Send(to ids.ID, m wire.Msg) {
+	n := e.net
+	n.sent.Inc()
+	e.sent++
+	if e.crashed {
+		n.dropped.Inc()
+		return
+	}
+	if e.cut[to] {
+		n.dropped.Inc()
+		return
+	}
+	dst := n.endpoints[to]
+	if dst == nil {
+		n.dropped.Inc()
+		return
+	}
+	if n.opts.LossRate > 0 && to != e.id && n.sim.Rand().Float64() < n.opts.LossRate {
+		n.dropped.Inc()
+		return
+	}
+	size := m.Size()
+	sendDone := e.cpu(n.sim.Now(), n.opts.SendCost+byteCost(n.opts.ByteCostPerKB, size))
+	var lat time.Duration
+	if to != e.id {
+		lat = n.cfg.OneWay(e.id, to)
+		if n.opts.Jitter > 0 {
+			lat += time.Duration(n.sim.Rand().Int63n(int64(n.opts.Jitter)))
+		}
+		if n.opts.BandwidthBps > 0 {
+			lat += time.Duration(int64(size) * int64(time.Second) / n.opts.BandwidthBps)
+		}
+	}
+	arrive := sendDone + lat
+	from := e.id
+	n.sim.Schedule(arrive-n.sim.Now(), func() {
+		dst.deliver(from, m, size)
+	})
+}
+
+func (e *Endpoint) deliver(from ids.ID, m wire.Msg, size int) {
+	n := e.net
+	if e.crashed || e.cut[from] {
+		n.dropped.Inc()
+		return
+	}
+	handleAt := e.cpu(n.sim.Now(), n.opts.RecvCost+byteCost(n.opts.ByteCostPerKB, size))
+	n.sim.Schedule(handleAt-n.sim.Now(), func() {
+		if e.crashed {
+			n.dropped.Inc()
+			return
+		}
+		n.delivered.Inc()
+		e.received++
+		e.handler.OnMessage(from, m)
+	})
+}
+
+// After schedules fn after d of virtual time. Timers fire even while the
+// CPU is busy (they model OS timers); crashed nodes skip the callback.
+func (e *Endpoint) After(d time.Duration, fn func()) node.Timer {
+	return e.net.sim.Schedule(d, func() {
+		if e.crashed {
+			return
+		}
+		fn()
+	})
+}
+
+// Endpoint implements node.Context.
+var _ node.Context = (*Endpoint)(nil)

@@ -1,0 +1,843 @@
+// Package paxos implements Multi-Paxos with a stable leader, the baseline
+// protocol of the paper (Figure 2): phase-1 establishes leadership once,
+// phase-2 runs per consensus instance, and phase-3 commits are piggybacked
+// onto subsequent phase-2 traffic (or onto heartbeats when idle).
+//
+// The communication plane is abstracted behind Disseminator, which is the
+// only part PigPaxos replaces — mirroring the paper's observation that its
+// implementation "required almost no changes to the core Paxos code, and
+// focused only on the message passing layer" (§5.1). The decision logic
+// (ballots, quorums, log, execution) is identical under both planes.
+package paxos
+
+import (
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/quorum"
+	"pigpaxos/internal/rlog"
+	"pigpaxos/internal/wire"
+)
+
+// Disseminator abstracts leader fan-out: how a message reaches every
+// follower. The direct implementation sends N−1 unicasts; PigPaxos routes
+// through relay groups. Fan-in (votes back to the leader) arrives as
+// ordinary messages and needs no abstraction here.
+type Disseminator interface {
+	// FanOut delivers m to every follower.
+	FanOut(m wire.Msg)
+}
+
+// Direct is the classical Paxos communication plane: unicast to every peer.
+// With Thrifty set it unicasts phase-2 messages only to enough followers to
+// form Q2 (the thrifty optimization discussed in §2.2, at the cost of
+// stalling when a contacted node is slow or crashed).
+type Direct struct {
+	Ctx     node.Context
+	Peers   []ids.ID
+	Thrifty bool
+	Q2      int
+}
+
+// FanOut implements Disseminator.
+func (d *Direct) FanOut(m wire.Msg) {
+	peers := d.Peers
+	if d.Thrifty && d.Q2 > 0 {
+		if _, ok := m.(wire.P2a); ok && d.Q2-1 < len(peers) {
+			// Contact only Q2−1 followers (self-vote completes Q2).
+			peers = peers[:d.Q2-1]
+		}
+	}
+	for _, p := range peers {
+		d.Ctx.Send(p, m)
+	}
+}
+
+// Config parameterizes a replica.
+type Config struct {
+	// Cluster is the full membership and topology.
+	Cluster config.Cluster
+	// ID is this replica's identity.
+	ID ids.ID
+	// InitialLeader, when equal to ID, makes this replica bid for
+	// leadership immediately at Start (the experiments run with a
+	// pre-established stable leader, as in the paper).
+	InitialLeader ids.ID
+	// Q1, Q2 are flexible quorum sizes; zero means classical majorities.
+	Q1, Q2 int
+	// Thrifty enables the thrifty phase-2 optimization on the direct
+	// plane (ablation).
+	Thrifty bool
+	// LeaderWork is CPU charged per client request at the leader
+	// (decision making, tallying, reply preparation).
+	LeaderWork time.Duration
+	// ExecWork is CPU charged per command executed at any replica.
+	ExecWork time.Duration
+	// HeartbeatInterval is how often an idle leader announces liveness
+	// and its commit watermark. Zero disables heartbeats.
+	HeartbeatInterval time.Duration
+	// ElectionTimeout is the base follower patience before bidding for
+	// leadership (randomized ×[1,2)). Zero disables elections, leaving
+	// leadership wherever InitialLeader put it.
+	ElectionTimeout time.Duration
+	// RetryTimeout, when positive, makes the leader re-broadcast a slot's
+	// P2a if it has not committed in time — needed for liveness on lossy
+	// networks. PigPaxos leaves this off and supplies its own relay-aware
+	// retry (Figure 5b).
+	RetryTimeout time.Duration
+	// CatchupBatch caps the entries in one CatchupReply (default 128).
+	CatchupBatch int
+	// CompactEvery triggers log compaction after this many local
+	// executions, discarding executed entries older than CompactRetain
+	// slots below the execution cursor (0 disables compaction).
+	CompactEvery int
+	// CompactRetain is how many executed slots to keep for catch-up
+	// service (default 8192).
+	CompactRetain int
+	// ReadMode selects how GET commands are served (§4.3's three options).
+	ReadMode ReadMode
+	// LeaseDuration is how long a majority of heartbeat acks entitles the
+	// leader to serve local reads under ReadLease (default
+	// 4×HeartbeatInterval). Followers refuse to campaign within their
+	// promise window, so a partitioned old leader's lease always expires
+	// before a new leader can commit writes.
+	LeaseDuration time.Duration
+}
+
+// ReadMode selects a read path (paper §4.3).
+type ReadMode int
+
+const (
+	// ReadLog serializes reads through the replicated log (the paper's
+	// default): a full consensus round per read, always linearizable.
+	ReadLog ReadMode = iota
+	// ReadLease serves reads from the leader's local state while it holds
+	// a majority-acknowledged heartbeat lease: linearizable, one round
+	// trip, no log traffic.
+	ReadLease
+	// ReadAny serves reads from whichever replica receives them. Fast but
+	// only eventually consistent — provided for comparison; the
+	// linearizability checker rejects histories produced this way under
+	// contention.
+	ReadAny
+)
+
+func (c *Config) applyDefaults() {
+	if c.Q1 == 0 {
+		c.Q1 = quorum.MajoritySize(c.Cluster.N())
+	}
+	if c.Q2 == 0 {
+		c.Q2 = quorum.MajoritySize(c.Cluster.N())
+	}
+	if c.LeaderWork == 0 {
+		c.LeaderWork = 20 * time.Microsecond
+	}
+	if c.ExecWork == 0 {
+		c.ExecWork = 5 * time.Microsecond
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if c.CatchupBatch == 0 {
+		c.CatchupBatch = 128
+	}
+	if c.CompactRetain == 0 {
+		c.CompactRetain = 8192
+	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = 4 * c.HeartbeatInterval
+	}
+	if c.ReadMode == ReadLease && c.ElectionTimeout > 0 && c.ElectionTimeout < 2*c.LeaseDuration {
+		// A follower must never campaign inside a window it promised to
+		// the leader.
+		c.ElectionTimeout = 2 * c.LeaseDuration
+	}
+}
+
+// route remembers which client to answer once a slot executes.
+type route struct {
+	client   ids.ID
+	clientID uint64
+	seq      uint64
+}
+
+// Stats counts protocol events for experiments and tests.
+type Stats struct {
+	Requests    uint64 // client requests received while leader
+	Redirects   uint64 // requests redirected to the leader
+	Commits     uint64 // slots committed locally
+	Executions  uint64 // commands applied to the state machine
+	Elections   uint64 // phase-1 rounds started by this node
+	Duplicates  uint64 // client requests answered from the session cache
+	Catchups    uint64 // catch-up requests sent
+	Retransmits uint64 // P2a re-broadcasts on lossy networks
+	Compactions uint64 // log compaction sweeps
+	LeaseReads  uint64 // reads served from the leader's lease
+	LocalReads  uint64 // reads served unsafely by ReadAny
+}
+
+// session provides at-most-once semantics per client: remember the last
+// sequence number served (with its reply) and the one being served.
+type session struct {
+	lastSeq    uint64
+	lastReply  wire.Reply
+	pendingSeq uint64
+}
+
+// Replica is one Multi-Paxos node. It is single-threaded: the substrate
+// serializes all OnMessage and timer callbacks.
+type Replica struct {
+	ctx  node.Context
+	cfg  Config
+	diss Disseminator
+
+	ballot ids.Ballot // highest ballot seen
+	active bool       // leader with completed phase-1
+
+	log   *rlog.Log
+	store *kvstore.Store
+
+	// Leader state.
+	p1q       *quorum.Threshold
+	p2qs      map[uint64]*quorum.Threshold
+	routes    map[uint64]route
+	buffered  []pendingRequest
+	announced uint64 // commit watermark last disseminated
+	sessions  map[uint64]*session
+	retries   map[uint64]node.Timer
+
+	// Follower state.
+	lastLeaderContact time.Duration
+	electionTimer     node.Timer
+	campaignRetry     node.Timer
+	catchupInFlight   bool
+	execSinceCompact  int
+
+	// Lease state: followers promise not to campaign until
+	// leasePromiseUntil; the leader holds ack timestamps and serves local
+	// reads while a majority acked within LeaseDuration.
+	leasePromiseUntil time.Duration
+	ackTimes          map[ids.ID]time.Duration
+
+	stats Stats
+
+	// onCommit, when set, runs after a slot commits locally (PigPaxos
+	// uses it to cancel relay retries; tests use it to observe commits).
+	onCommit func(slot uint64)
+}
+
+type pendingRequest struct {
+	from ids.ID
+	req  wire.Request
+}
+
+// New creates a replica. If diss is nil a Direct plane over the cluster's
+// peers is used.
+func New(ctx node.Context, cfg Config, diss Disseminator) *Replica {
+	cfg.applyDefaults()
+	r := &Replica{
+		ctx:      ctx,
+		cfg:      cfg,
+		diss:     diss,
+		log:      rlog.New(),
+		store:    kvstore.New(),
+		p2qs:     make(map[uint64]*quorum.Threshold),
+		routes:   make(map[uint64]route),
+		sessions: make(map[uint64]*session),
+		retries:  make(map[uint64]node.Timer),
+		ackTimes: make(map[ids.ID]time.Duration),
+	}
+	if r.diss == nil {
+		r.diss = &Direct{
+			Ctx:     ctx,
+			Peers:   cfg.Cluster.Peers(cfg.ID),
+			Thrifty: cfg.Thrifty,
+			Q2:      cfg.Q2,
+		}
+	}
+	return r
+}
+
+// SetDisseminator replaces the communication plane (used by PigPaxos, which
+// must construct the replica before the plane that wraps it).
+func (r *Replica) SetDisseminator(d Disseminator) { r.diss = d }
+
+// SetOnCommit installs a commit observer.
+func (r *Replica) SetOnCommit(fn func(slot uint64)) { r.onCommit = fn }
+
+// Start launches the replica: the designated initial leader bids
+// immediately; everyone else arms its election timer (when enabled).
+func (r *Replica) Start() {
+	if r.cfg.InitialLeader == r.cfg.ID {
+		r.campaign()
+		return
+	}
+	r.armElectionTimer()
+}
+
+// ID returns the replica's node ID.
+func (r *Replica) ID() ids.ID { return r.cfg.ID }
+
+// Ballot returns the highest ballot this replica has seen.
+func (r *Replica) Ballot() ids.Ballot { return r.ballot }
+
+// IsLeader reports whether the replica is an active leader.
+func (r *Replica) IsLeader() bool { return r.active }
+
+// Leader returns the node this replica believes leads (the ballot owner).
+func (r *Replica) Leader() ids.ID { return r.ballot.ID() }
+
+// Store exposes the replicated state machine.
+func (r *Replica) Store() *kvstore.Store { return r.store }
+
+// Log exposes the replicated log (tests and PigPaxos retries).
+func (r *Replica) Log() *rlog.Log { return r.log }
+
+// Stats returns a copy of the event counters.
+func (r *Replica) Stats() Stats { return r.stats }
+
+// OnMessage dispatches a delivered message. It implements node.Handler.
+func (r *Replica) OnMessage(from ids.ID, m wire.Msg) {
+	switch v := m.(type) {
+	case wire.Request:
+		r.OnRequest(from, v)
+	case wire.P1a:
+		r.OnP1a(from, v)
+	case wire.P1b:
+		r.OnP1b(v)
+	case wire.P2a:
+		r.OnP2a(from, v)
+	case wire.P2b:
+		r.OnP2b(v)
+	case wire.P3:
+		r.OnP3(v)
+	case wire.Heartbeat:
+		r.OnHeartbeat(v)
+	case wire.CatchupReq:
+		r.OnCatchupReq(from, v)
+	case wire.CatchupReply:
+		r.OnCatchupReply(v)
+	case wire.HeartbeatAck:
+		r.OnHeartbeatAck(v)
+	}
+}
+
+// ------------------------------------------------------------- elections --
+
+func (r *Replica) campaign() {
+	r.stats.Elections++
+	r.ballot = r.ballot.Next(r.cfg.ID)
+	r.active = false
+	r.p1q = quorum.NewThreshold(r.cfg.Cluster.N(), r.cfg.Q1)
+	r.p1q.ACK(r.cfg.ID) // self-promise
+	r.diss.FanOut(wire.P1a{Ballot: r.ballot})
+	if r.p1q.Satisfied() { // single-node cluster
+		r.becomeLeader(nil)
+		return
+	}
+	r.armCampaignRetry()
+}
+
+// armCampaignRetry re-bids after a delay if phase-1 stalls (lost messages,
+// peers not yet listening — a live-deployment bootstrap concern the
+// simulator never hits). The retry aborts if another node took over.
+func (r *Replica) armCampaignRetry() {
+	if r.campaignRetry != nil {
+		r.campaignRetry.Stop()
+	}
+	retry := r.cfg.ElectionTimeout
+	if retry <= 0 {
+		retry = 150 * time.Millisecond
+	}
+	r.campaignRetry = r.ctx.After(retry, func() {
+		if r.active || r.ballot.ID() != r.cfg.ID {
+			return
+		}
+		r.campaign()
+	})
+}
+
+func (r *Replica) armElectionTimer() {
+	if r.cfg.ElectionTimeout <= 0 {
+		return
+	}
+	if r.electionTimer != nil {
+		r.electionTimer.Stop()
+	}
+	d := r.cfg.ElectionTimeout + time.Duration(r.ctx.Rand().Int63n(int64(r.cfg.ElectionTimeout)))
+	r.electionTimer = r.ctx.After(d, func() {
+		if r.active {
+			return
+		}
+		if r.ctx.Now() < r.leasePromiseUntil {
+			// Promised the current leader a read lease; do not contest.
+			r.armElectionTimer()
+			return
+		}
+		if r.ctx.Now()-r.lastLeaderContact >= r.cfg.ElectionTimeout {
+			r.campaign()
+		}
+		r.armElectionTimer()
+	})
+}
+
+// HandleP1aLocal applies a phase-1 bid locally and returns the promise (or
+// a NACK carrying the higher ballot). Exposed for relay aggregation.
+func (r *Replica) HandleP1aLocal(m wire.P1a) wire.P1b {
+	if m.Ballot > r.ballot {
+		r.ballot = m.Ballot
+		r.active = false
+		r.lastLeaderContact = r.ctx.Now()
+		r.redirectPending()
+	}
+	reply := wire.P1b{Ballot: r.ballot, From: r.cfg.ID}
+	for slot, e := range r.log.Uncommitted(r.log.ExecuteCursor()) {
+		reply.Entries = append(reply.Entries, wire.SlotEntry{Slot: slot, Ballot: e.Ballot, Cmd: e.Command})
+	}
+	return reply
+}
+
+// OnP1a handles a direct phase-1 bid: apply locally, answer the bidder.
+func (r *Replica) OnP1a(from ids.ID, m wire.P1a) {
+	r.ctx.Send(from, r.HandleP1aLocal(m))
+}
+
+// OnP1b tallies phase-1 promises at a campaigning node.
+func (r *Replica) OnP1b(m wire.P1b) {
+	if m.Ballot > r.ballot {
+		// Someone promised a higher ballot: our campaign lost.
+		r.ballot = m.Ballot
+		r.active = false
+		r.armElectionTimer()
+		return
+	}
+	if m.Ballot < r.ballot || r.active || r.p1q == nil {
+		return // stale or already elected
+	}
+	r.p1q.ACK(m.From)
+	r.recoverEntries(m.Entries)
+	if r.p1q.Satisfied() {
+		r.becomeLeader(nil)
+	}
+}
+
+// recovery accumulates the highest-ballot value seen per uncommitted slot
+// during phase-1.
+var _ = rlog.Entry{}
+
+func (r *Replica) recoverEntries(entries []wire.SlotEntry) {
+	for _, e := range entries {
+		cur := r.log.Get(e.Slot)
+		if cur == nil || (!cur.Committed && e.Ballot > cur.Ballot) {
+			r.log.Accept(e.Slot, e.Ballot, e.Cmd)
+		}
+	}
+}
+
+func (r *Replica) becomeLeader(_ []wire.SlotEntry) {
+	r.active = true
+	r.p1q = nil
+	// Re-propose every accepted-but-uncommitted slot under our ballot,
+	// filling log gaps with no-ops, so earlier instances anchor before new
+	// commands enter.
+	low := r.log.ExecuteCursor()
+	high := r.log.PeekNextSlot()
+	for slot := low; slot < high; slot++ {
+		e := r.log.Get(slot)
+		if e != nil && e.Committed {
+			continue
+		}
+		var cmd kvstore.Command
+		if e != nil {
+			cmd = e.Command
+		}
+		r.propose(slot, cmd)
+	}
+	// Serve requests buffered during the campaign.
+	buf := r.buffered
+	r.buffered = nil
+	for _, p := range buf {
+		r.OnRequest(p.from, p.req)
+	}
+	r.scheduleHeartbeat()
+}
+
+func (r *Replica) scheduleHeartbeat() {
+	if r.cfg.HeartbeatInterval <= 0 {
+		return
+	}
+	r.ctx.After(r.cfg.HeartbeatInterval, func() {
+		if !r.active {
+			return
+		}
+		r.diss.FanOut(wire.Heartbeat{Ballot: r.ballot, From: r.cfg.ID, Commit: r.commitWatermark()})
+		r.announced = r.commitWatermark()
+		r.scheduleHeartbeat()
+	})
+}
+
+// ---------------------------------------------------------------- client --
+
+// OnRequest handles a client command: the leader proposes it, everyone else
+// redirects the client to the leader it knows.
+func (r *Replica) OnRequest(from ids.ID, m wire.Request) {
+	if m.Cmd.IsRead() && r.cfg.ReadMode == ReadAny {
+		// Serve locally, consistency be damned (§4.3's "reading from any
+		// replica... compromises the consistency guarantee").
+		r.stats.LocalReads++
+		r.ctx.Work(r.cfg.ExecWork)
+		v, ok := r.store.Get(m.Cmd.Key)
+		r.ctx.Send(from, wire.Reply{
+			ClientID: m.Cmd.ClientID, Seq: m.Cmd.Seq, OK: true,
+			Exists: ok, Value: v, Leader: r.cfg.ID,
+		})
+		return
+	}
+	if !r.active {
+		if r.cfg.InitialLeader == r.cfg.ID || (r.p1q != nil && r.ballot.ID() == r.cfg.ID) {
+			// Mid-campaign: buffer until elected.
+			r.buffered = append(r.buffered, pendingRequest{from: from, req: m})
+			return
+		}
+		r.stats.Redirects++
+		r.ctx.Send(from, wire.Reply{
+			ClientID: m.Cmd.ClientID,
+			Seq:      m.Cmd.Seq,
+			OK:       false,
+			Leader:   r.ballot.ID(),
+		})
+		return
+	}
+	// At-most-once: a retried command that already executed is answered
+	// from the session cache; one still in flight is ignored (its reply
+	// will go out when it executes).
+	sess := r.sessions[m.Cmd.ClientID]
+	if sess == nil {
+		sess = &session{}
+		r.sessions[m.Cmd.ClientID] = sess
+	}
+	if m.Cmd.Seq <= sess.lastSeq {
+		r.stats.Duplicates++
+		if m.Cmd.Seq == sess.lastSeq {
+			r.ctx.Send(from, sess.lastReply)
+		}
+		return
+	}
+	if m.Cmd.Seq == sess.pendingSeq {
+		r.stats.Duplicates++
+		// Refresh the reply route in case the client moved.
+		for slot, rt := range r.routes {
+			if rt.clientID == m.Cmd.ClientID && rt.seq == m.Cmd.Seq {
+				rt.client = from
+				r.routes[slot] = rt
+			}
+		}
+		return
+	}
+	if m.Cmd.IsRead() && r.cfg.ReadMode == ReadLease && r.leaseValid() {
+		// Lease read: serve locally, cache the reply for retries. The
+		// leader's store reflects every committed write, and the lease
+		// guarantees no other leader can have committed newer ones.
+		r.stats.LeaseReads++
+		r.ctx.Work(r.cfg.ExecWork)
+		v, ok := r.store.Get(m.Cmd.Key)
+		sessReply := wire.Reply{
+			ClientID: m.Cmd.ClientID, Seq: m.Cmd.Seq, OK: true,
+			Exists: ok, Value: v, Leader: r.cfg.ID,
+		}
+		sess.lastSeq = m.Cmd.Seq
+		sess.lastReply = sessReply
+		r.ctx.Send(from, sessReply)
+		return
+	}
+	sess.pendingSeq = m.Cmd.Seq
+	r.stats.Requests++
+	r.ctx.Work(r.cfg.LeaderWork)
+	slot := r.log.NextSlot()
+	r.routes[slot] = route{client: from, clientID: m.Cmd.ClientID, seq: m.Cmd.Seq}
+	r.propose(slot, m.Cmd)
+}
+
+// leaseValid reports whether a majority of the cluster (counting this
+// leader) acknowledged a heartbeat within the lease window.
+func (r *Replica) leaseValid() bool {
+	if !r.active {
+		return false
+	}
+	now := r.ctx.Now()
+	fresh := 1 // self
+	for _, at := range r.ackTimes {
+		if now-at < r.cfg.LeaseDuration {
+			fresh++
+		}
+	}
+	return fresh >= quorum.MajoritySize(r.cfg.Cluster.N())
+}
+
+// OnHeartbeatAck records a follower's lease acknowledgment.
+func (r *Replica) OnHeartbeatAck(m wire.HeartbeatAck) {
+	if m.Ballot != r.ballot || !r.active {
+		return
+	}
+	r.ackTimes[m.From] = r.ctx.Now()
+}
+
+// propose runs phase-2 for (slot, cmd) under the current ballot.
+func (r *Replica) propose(slot uint64, cmd kvstore.Command) {
+	r.log.Accept(slot, r.ballot, cmd)
+	q := quorum.NewThreshold(r.cfg.Cluster.N(), r.cfg.Q2)
+	q.ACK(r.cfg.ID) // self-vote
+	r.p2qs[slot] = q
+	m := wire.P2a{Ballot: r.ballot, Slot: slot, Cmd: cmd, Commit: r.commitWatermark()}
+	r.announced = m.Commit
+	r.diss.FanOut(m)
+	if q.Satisfied() { // single-node cluster
+		r.commit(slot)
+		return
+	}
+	r.armRetransmit(slot)
+}
+
+// armRetransmit re-broadcasts a slot's P2a if it stalls (lossy networks).
+func (r *Replica) armRetransmit(slot uint64) {
+	if r.cfg.RetryTimeout <= 0 {
+		return
+	}
+	if t, ok := r.retries[slot]; ok {
+		t.Stop()
+	}
+	r.retries[slot] = r.ctx.After(r.cfg.RetryTimeout, func() {
+		delete(r.retries, slot)
+		e := r.log.Get(slot)
+		if e == nil || e.Committed || !r.active {
+			return
+		}
+		r.stats.Retransmits++
+		m := wire.P2a{Ballot: r.ballot, Slot: slot, Cmd: e.Command, Commit: r.commitWatermark()}
+		r.diss.FanOut(m)
+		r.armRetransmit(slot)
+	})
+}
+
+// commitWatermark is the slot below which everything is committed locally —
+// the leader executes contiguously, so its execution cursor is the boundary.
+func (r *Replica) commitWatermark() uint64 { return r.log.ExecuteCursor() }
+
+// ----------------------------------------------------------------- phase2 --
+
+// AcceptP2a applies a phase-2 request locally and returns the vote (a P2b
+// whose Ballot exceeds m.Ballot signals rejection). Exposed for relays.
+func (r *Replica) AcceptP2a(m wire.P2a) wire.P2b {
+	if m.Ballot >= r.ballot {
+		if m.Ballot > r.ballot {
+			r.active = false
+			r.ballot = m.Ballot
+			r.redirectPending()
+		}
+		r.ballot = m.Ballot
+		r.lastLeaderContact = r.ctx.Now()
+		r.log.Accept(m.Slot, m.Ballot, m.Cmd)
+		r.applyWatermark(m.Commit, m.Ballot)
+	}
+	return wire.P2b{Ballot: r.ballot, From: r.cfg.ID, Slot: m.Slot}
+}
+
+// OnP2a handles a direct phase-2 request: accept locally, vote back.
+func (r *Replica) OnP2a(from ids.ID, m wire.P2a) {
+	r.ctx.Send(from, r.AcceptP2a(m))
+}
+
+// OnP2b tallies phase-2 votes at the leader.
+func (r *Replica) OnP2b(m wire.P2b) {
+	if m.Ballot > r.ballot {
+		// Rejection: a higher ballot exists, stop leading.
+		r.ballot = m.Ballot
+		r.active = false
+		r.redirectPending()
+		r.armElectionTimer()
+		return
+	}
+	q, ok := r.p2qs[m.Slot]
+	if !ok || m.Ballot < r.ballot {
+		return // already committed or stale vote
+	}
+	q.ACK(m.From)
+	if q.Satisfied() {
+		r.commit(m.Slot)
+	}
+}
+
+func (r *Replica) commit(slot uint64) {
+	delete(r.p2qs, slot)
+	if t, ok := r.retries[slot]; ok {
+		t.Stop()
+		delete(r.retries, slot)
+	}
+	e := r.log.Get(slot)
+	if e == nil || e.Committed {
+		return
+	}
+	r.log.Commit(slot, r.ballot, e.Command)
+	r.stats.Commits++
+	if r.onCommit != nil {
+		r.onCommit(slot)
+	}
+	r.execute()
+}
+
+// execute applies all contiguous committed commands and answers clients for
+// slots this node proposed.
+func (r *Replica) execute() {
+	r.log.ExecuteReady(r.store, func(slot uint64, cmd kvstore.Command, res kvstore.Result) {
+		r.stats.Executions++
+		r.execSinceCompact++
+		r.ctx.Work(r.cfg.ExecWork)
+		if rt, ok := r.routes[slot]; ok {
+			delete(r.routes, slot)
+			rep := wire.Reply{
+				ClientID: rt.clientID,
+				Seq:      rt.seq,
+				OK:       true,
+				Exists:   res.Exists,
+				Value:    res.Value,
+				Leader:   r.cfg.ID,
+				Slot:     slot,
+			}
+			if sess := r.sessions[rt.clientID]; sess != nil && rt.seq > sess.lastSeq {
+				sess.lastSeq = rt.seq
+				sess.lastReply = rep
+				if sess.pendingSeq == rt.seq {
+					sess.pendingSeq = 0
+				}
+			}
+			r.ctx.Send(rt.client, rep)
+		}
+	})
+	r.maybeCompact()
+}
+
+// applyWatermark commits every slot below w that this replica accepted
+// under the same ballot as the watermark's sender — those values are
+// necessarily the anchored ones. Entries from older ballots (or missing
+// entirely, e.g. lost messages) are unsafe to commit blindly; if any keep
+// the execution cursor below the watermark, the follower asks the leader to
+// re-announce them (catch-up).
+func (r *Replica) applyWatermark(w uint64, b ids.Ballot) {
+	for slot := r.log.ExecuteCursor(); slot < w; slot++ {
+		e := r.log.Get(slot)
+		if e == nil || e.Committed || e.Ballot != b {
+			continue
+		}
+		r.log.Commit(slot, b, e.Command)
+		r.stats.Commits++
+	}
+	r.execute()
+	if r.log.ExecuteCursor() < w && !r.catchupInFlight {
+		r.catchupInFlight = true
+		r.stats.Catchups++
+		from := r.log.ExecuteCursor()
+		r.ctx.Send(b.ID(), wire.CatchupReq{From: from, To: w})
+		// Clear the in-flight guard even if the reply is lost.
+		r.ctx.After(100*time.Millisecond, func() { r.catchupInFlight = false })
+	}
+}
+
+// OnCatchupReq re-announces committed entries a lagging follower asked for.
+func (r *Replica) OnCatchupReq(from ids.ID, m wire.CatchupReq) {
+	to := m.To
+	if hi := r.log.ExecuteCursor(); to > hi {
+		to = hi
+	}
+	reply := wire.CatchupReply{Ballot: r.ballot}
+	for slot := m.From; slot < to && len(reply.Entries) < r.cfg.CatchupBatch; slot++ {
+		e := r.log.Get(slot)
+		if e == nil || !e.Committed {
+			continue // compacted or unknown; the follower will re-ask
+		}
+		reply.Entries = append(reply.Entries, wire.SlotEntry{Slot: slot, Ballot: e.Ballot, Cmd: e.Command})
+	}
+	if len(reply.Entries) > 0 {
+		r.ctx.Send(from, reply)
+	}
+}
+
+// OnCatchupReply installs re-announced commits.
+func (r *Replica) OnCatchupReply(m wire.CatchupReply) {
+	r.catchupInFlight = false
+	for _, e := range m.Entries {
+		r.log.Commit(e.Slot, e.Ballot, e.Cmd)
+		r.stats.Commits++
+	}
+	r.execute()
+}
+
+// maybeCompact discards old executed log entries once enough executions
+// accumulated, keeping CompactRetain slots for catch-up service.
+func (r *Replica) maybeCompact() {
+	if r.cfg.CompactEvery <= 0 || r.execSinceCompact < r.cfg.CompactEvery {
+		return
+	}
+	r.execSinceCompact = 0
+	cur := r.log.ExecuteCursor()
+	if cur <= uint64(r.cfg.CompactRetain) {
+		return
+	}
+	r.log.CompactTo(cur - uint64(r.cfg.CompactRetain))
+	r.stats.Compactions++
+}
+
+// OnP3 handles an explicit commit announcement.
+func (r *Replica) OnP3(m wire.P3) {
+	if m.Ballot >= r.ballot {
+		r.ballot = m.Ballot
+		r.lastLeaderContact = r.ctx.Now()
+	}
+	r.log.Commit(m.Slot, m.Ballot, m.Cmd)
+	r.stats.Commits++
+	r.execute()
+}
+
+// OnHeartbeat refreshes the failure detector and applies the leader's
+// commit watermark.
+func (r *Replica) OnHeartbeat(m wire.Heartbeat) {
+	if m.Ballot < r.ballot {
+		return
+	}
+	if m.Ballot > r.ballot {
+		r.ballot = m.Ballot
+		r.active = false
+		r.redirectPending()
+	}
+	r.lastLeaderContact = r.ctx.Now()
+	if r.cfg.ReadMode == ReadLease && m.Ballot.ID() != r.cfg.ID {
+		// Promise the leader its lease window and confirm.
+		r.leasePromiseUntil = r.ctx.Now() + r.cfg.LeaseDuration
+		r.ctx.Send(m.Ballot.ID(), wire.HeartbeatAck{Ballot: m.Ballot, From: r.cfg.ID})
+	}
+	r.applyWatermark(m.Commit, m.Ballot)
+}
+
+// redirectPending answers buffered and in-flight client requests with a
+// redirect after losing leadership. No-op when nothing is pending or when
+// this node still owns the ballot.
+func (r *Replica) redirectPending() {
+	if r.ballot.ID() == r.cfg.ID {
+		return
+	}
+	leader := r.ballot.ID()
+	for slot, rt := range r.routes {
+		delete(r.routes, slot)
+		r.ctx.Send(rt.client, wire.Reply{
+			ClientID: rt.clientID, Seq: rt.seq, OK: false, Leader: leader,
+		})
+	}
+	for _, p := range r.buffered {
+		r.ctx.Send(p.from, wire.Reply{
+			ClientID: p.req.Cmd.ClientID, Seq: p.req.Cmd.Seq, OK: false, Leader: leader,
+		})
+	}
+	r.buffered = nil
+}

@@ -1,0 +1,680 @@
+// Package pigpaxos implements PigPaxos: Multi-Paxos with the leader's
+// direct fan-out/fan-in replaced by a relay/aggregate communication tree
+// (paper §3). Followers are statically partitioned into relay groups; at
+// every fan-out the leader picks one random node per group as the round's
+// relay. The relay applies the message as an ordinary follower, re-sends it
+// to the rest of its group, collects the group's votes, and returns them to
+// the leader as a single aggregated message. Random relay rotation spreads
+// the extra relay load across rounds (§3.2), relay timeouts bound the damage
+// of slow or crashed followers (§3.4, Figure 5a), and leader-side retries
+// with freshly drawn relays restore liveness after relay failures (Figure
+// 5b).
+//
+// The decision core is an unmodified paxos.Replica: this package only
+// substitutes the communication plane, exactly as the paper describes its
+// own implementation (§5.1).
+package pigpaxos
+
+import (
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/paxos"
+	"pigpaxos/internal/quorum"
+	"pigpaxos/internal/wire"
+)
+
+// GroupingStrategy selects how a leader partitions its followers.
+type GroupingStrategy int
+
+const (
+	// GroupEven splits followers into NumGroups near-equal groups in ID
+	// order (the hash-style static grouping of §3.2).
+	GroupEven GroupingStrategy = iota
+	// GroupByZone makes one relay group per zone (§6.4's WAN layout; one
+	// message crosses the WAN per region per round).
+	GroupByZone
+)
+
+// Config parameterizes a PigPaxos replica.
+type Config struct {
+	// Paxos is the decision-core configuration.
+	Paxos paxos.Config
+	// NumGroups is r, the number of relay groups (GroupEven only).
+	NumGroups int
+	// Strategy picks the grouping layout.
+	Strategy GroupingStrategy
+	// RelayTimeout bounds how long a relay waits for its group before
+	// flushing a partial aggregate (default 50ms, the Figure 13 setting).
+	RelayTimeout time.Duration
+	// LeaderTimeout bounds how long the leader waits for a slot's quorum
+	// before re-fanning-out with freshly drawn relays (default 2×relay
+	// timeout + 10ms).
+	LeaderTimeout time.Duration
+	// MaxRetries caps leader re-fan-outs per slot (default 10).
+	MaxRetries int
+	// UseThresholds enables partial response collection (§4.2): relays
+	// reply after g_i votes, chosen so Σg_i still covers a majority.
+	UseThresholds bool
+	// ReshuffleEvery, when positive, makes the leader recompute a random
+	// group layout periodically (dynamic relay groups, §4.1).
+	ReshuffleEvery time.Duration
+	// MultiLayer enables nested relay trees (§6.3): a relay whose peer
+	// list exceeds 2×SubGroupSize splits it into sub-groups served by
+	// sub-relays.
+	MultiLayer bool
+	// SubGroupSize is the target sub-group size under MultiLayer
+	// (default 3).
+	SubGroupSize int
+	// RelayWork is CPU charged at a relay per aggregation flush
+	// (combining votes into one message).
+	RelayWork time.Duration
+	// FixedRelays pins each group's relay to its first member instead of
+	// rotating randomly — an ablation of §3.2's hotspot-avoidance
+	// argument (expect the fixed relays to become bottlenecks).
+	FixedRelays bool
+	// Overlap extends every relay group with this many members borrowed
+	// from the next group (§4.1: overlapping groups trade extra messages
+	// for redundant delivery paths under link volatility). Votes are
+	// deduplicated at the leader, so safety is unaffected.
+	Overlap int
+}
+
+func (c *Config) applyDefaults() {
+	if c.NumGroups == 0 {
+		c.NumGroups = 3
+	}
+	if c.RelayTimeout == 0 {
+		c.RelayTimeout = 50 * time.Millisecond
+	}
+	if c.LeaderTimeout == 0 {
+		c.LeaderTimeout = 2*c.RelayTimeout + 10*time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 10
+	}
+	if c.SubGroupSize == 0 {
+		c.SubGroupSize = 3
+	}
+	if c.RelayWork == 0 {
+		c.RelayWork = 5 * time.Microsecond
+	}
+}
+
+// Stats counts PigPaxos-specific events.
+type Stats struct {
+	RelayRounds    uint64 // RelayP2a/RelayP1a handled as relay
+	FullFlushes    uint64 // aggregates sent with the whole group's votes
+	PartialFlushes uint64 // aggregates flushed by timeout or threshold
+	LateVotes      uint64 // votes forwarded individually after a flush
+	LeaderRetries  uint64 // slot re-fan-outs with new relays
+	Splits         uint64 // multi-layer sub-group splits performed
+}
+
+type aggKey struct {
+	ballot ids.Ballot
+	slot   uint64 // 0 for phase-1 aggregations
+}
+
+// agg tracks one in-progress aggregation at a relay.
+type agg struct {
+	leader    ids.ID // where the aggregate goes
+	acks      []ids.ID
+	expected  int // votes to collect including our own
+	threshold int // early-flush threshold (0 = wait for expected)
+	timer     node.Timer
+	p1Replies []wire.P1b // phase-1 payloads
+	isP1      bool
+}
+
+// Replica is one PigPaxos node.
+type Replica struct {
+	ctx  node.Context
+	cfg  Config
+	core *paxos.Replica
+
+	layout     config.GroupLayout
+	thresholds []int
+
+	aggs    map[aggKey]*agg
+	retries map[uint64]node.Timer
+
+	// flushed remembers recently completed aggregations so votes arriving
+	// after a threshold flush are dropped (the leader's quorum math is
+	// already satisfied by Σg_i ≥ majority) instead of forwarded — which
+	// would silently rebuild the leader bottleneck §4.2 removes.
+	flushed    map[aggKey]struct{}
+	flushOrder []aggKey
+
+	stats Stats
+}
+
+const flushedMemory = 4096
+
+// New builds a PigPaxos replica around a fresh Paxos core.
+func New(ctx node.Context, cfg Config) *Replica {
+	cfg.applyDefaults()
+	r := &Replica{
+		ctx:     ctx,
+		cfg:     cfg,
+		aggs:    make(map[aggKey]*agg),
+		retries: make(map[uint64]node.Timer),
+		flushed: make(map[aggKey]struct{}),
+	}
+	r.core = paxos.New(ctx, cfg.Paxos, nil)
+	r.core.SetDisseminator(&pigPlane{r})
+	r.core.SetOnCommit(r.onCommit)
+	r.computeLayout()
+	return r
+}
+
+// Start launches the replica (see paxos.Replica.Start).
+func (r *Replica) Start() {
+	r.core.Start()
+	if r.cfg.ReshuffleEvery > 0 {
+		r.scheduleReshuffle()
+	}
+}
+
+// Core exposes the decision core (stores, log, leadership state).
+func (r *Replica) Core() *paxos.Replica { return r.core }
+
+// Stats returns a copy of the PigPaxos event counters.
+func (r *Replica) Stats() Stats { return r.stats }
+
+// Layout returns the current relay-group layout (leader's view).
+func (r *Replica) Layout() config.GroupLayout { return r.layout }
+
+func (r *Replica) computeLayout() {
+	peers := r.cfg.Paxos.Cluster.Peers(r.cfg.Paxos.ID)
+	switch r.cfg.Strategy {
+	case GroupByZone:
+		r.layout = config.ZoneGroups(r.cfg.Paxos.Cluster, peers)
+	default:
+		g, err := config.EvenGroups(peers, r.cfg.NumGroups)
+		if err != nil {
+			// Degenerate clusters (r > followers): one group per node.
+			g, _ = config.EvenGroups(peers, len(peers))
+		}
+		if r.cfg.Overlap > 0 && g.NumGroups() > 1 {
+			g = overlapGroups(g, r.cfg.Overlap)
+		}
+		r.layout = g
+	}
+	r.computeThresholds()
+}
+
+// overlapGroups extends each group with the first `overlap` members of the
+// next group (cyclically), creating redundant delivery paths.
+func overlapGroups(g config.GroupLayout, overlap int) config.GroupLayout {
+	n := g.NumGroups()
+	out := make([][]ids.ID, n)
+	for i, grp := range g.Groups {
+		ext := append([]ids.ID(nil), grp...)
+		next := g.Groups[(i+1)%n]
+		take := overlap
+		if take > len(next) {
+			take = len(next)
+		}
+		ext = append(ext, next[:take]...)
+		out[i] = ext
+	}
+	return config.GroupLayout{Groups: out}
+}
+
+func (r *Replica) computeThresholds() {
+	r.thresholds = nil
+	if !r.cfg.UseThresholds {
+		return
+	}
+	needed := quorum.MajoritySize(r.cfg.Paxos.Cluster.N()) - 1 // leader self-votes
+	th, err := quorum.GroupThresholds(r.layout.Sizes(), needed)
+	if err == nil {
+		r.thresholds = th
+	}
+}
+
+func (r *Replica) scheduleReshuffle() {
+	r.ctx.After(r.cfg.ReshuffleEvery, func() {
+		if r.core.IsLeader() {
+			r.Reshuffle()
+		}
+		r.scheduleReshuffle()
+	})
+}
+
+// Reshuffle randomly re-partitions the followers into NumGroups groups
+// (dynamic relay groups, §4.1). Relays need no notification: every relay
+// message carries its group membership.
+func (r *Replica) Reshuffle() {
+	peers := append([]ids.ID(nil), r.cfg.Paxos.Cluster.Peers(r.cfg.Paxos.ID)...)
+	rng := r.ctx.Rand()
+	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	g, err := config.EvenGroups(peers, min(r.cfg.NumGroups, len(peers)))
+	if err == nil {
+		r.layout = g
+		r.computeThresholds()
+	}
+}
+
+// OnMessage dispatches a delivered message. Relay-plane messages are
+// handled here; everything else goes to the Paxos core.
+func (r *Replica) OnMessage(from ids.ID, m wire.Msg) {
+	switch v := m.(type) {
+	case wire.RelayP2a:
+		r.onRelayP2a(from, v)
+	case wire.RelayP1a:
+		r.onRelayP1a(from, v)
+	case wire.RelayP3:
+		r.onRelayP3(v)
+	case wire.AggP2b:
+		if r.core.Ballot().ID() == r.ctx.ID() {
+			r.onAggP2b(v)
+		} else if !r.mergeSubAggP2b(v) {
+			// A sub-aggregate for a flushed aggregation: pass it up.
+			r.stats.LateVotes++
+			r.ctx.Send(v.Ballot.ID(), v)
+		}
+	case wire.AggP1b:
+		r.onAggP1b(v)
+	case wire.P2b:
+		r.onP2b(from, v)
+	case wire.P1b:
+		r.onP1b(v)
+	default:
+		r.core.OnMessage(from, m)
+	}
+}
+
+// ------------------------------------------------------------ leader side --
+
+// pigPlane implements paxos.Disseminator by routing fan-outs through relay
+// groups.
+type pigPlane struct{ r *Replica }
+
+// FanOut implements paxos.Disseminator.
+func (p *pigPlane) FanOut(m wire.Msg) {
+	r := p.r
+	switch v := m.(type) {
+	case wire.P2a:
+		r.fanOutP2a(v, 0)
+	case wire.P1a:
+		r.fanOutP1a(v)
+	case wire.P3:
+		r.fanOutP3(v)
+	case wire.Heartbeat:
+		// Heartbeats are rare control traffic; send direct so the
+		// failure detector does not depend on relay liveness.
+		for _, peer := range r.cfg.Paxos.Cluster.Peers(r.cfg.Paxos.ID) {
+			r.ctx.Send(peer, v)
+		}
+	default:
+		for _, peer := range r.cfg.Paxos.Cluster.Peers(r.cfg.Paxos.ID) {
+			r.ctx.Send(peer, v)
+		}
+	}
+}
+
+// pickRelay draws the round's relay index for a group: random rotation by
+// default (§3.2), pinned to the first member under the FixedRelays
+// ablation.
+func (r *Replica) pickRelay(group []ids.ID) int {
+	if r.cfg.FixedRelays {
+		return 0
+	}
+	return r.ctx.Rand().Intn(len(group))
+}
+
+func (r *Replica) fanOutP2a(m wire.P2a, attempt int) {
+	for gi, group := range r.layout.Groups {
+		ri := r.pickRelay(group)
+		relay := group[ri]
+		peers := make([]ids.ID, 0, len(group)-1)
+		peers = append(peers, group[:ri]...)
+		peers = append(peers, group[ri+1:]...)
+		var th uint16
+		if r.thresholds != nil {
+			th = uint16(r.thresholds[gi])
+		}
+		r.ctx.Send(relay, wire.RelayP2a{
+			P2a:       m,
+			Peers:     peers,
+			Threshold: th,
+			Timeout:   r.cfg.RelayTimeout,
+		})
+	}
+	r.armRetry(m, attempt)
+}
+
+// armRetry schedules the Figure-5b leader timeout: if the slot has not
+// committed when it fires, re-fan-out with freshly drawn relays.
+func (r *Replica) armRetry(m wire.P2a, attempt int) {
+	if t, ok := r.retries[m.Slot]; ok {
+		t.Stop()
+	}
+	if attempt >= r.cfg.MaxRetries {
+		delete(r.retries, m.Slot)
+		return
+	}
+	r.retries[m.Slot] = r.ctx.After(r.cfg.LeaderTimeout, func() {
+		delete(r.retries, m.Slot)
+		e := r.core.Log().Get(m.Slot)
+		if e != nil && e.Committed {
+			return
+		}
+		if !r.core.IsLeader() || r.core.Ballot() != m.Ballot {
+			return
+		}
+		r.stats.LeaderRetries++
+		r.fanOutP2a(m, attempt+1)
+	})
+}
+
+func (r *Replica) onCommit(slot uint64) {
+	if t, ok := r.retries[slot]; ok {
+		t.Stop()
+		delete(r.retries, slot)
+	}
+}
+
+func (r *Replica) fanOutP1a(m wire.P1a) {
+	for _, group := range r.layout.Groups {
+		ri := r.pickRelay(group)
+		relay := group[ri]
+		peers := make([]ids.ID, 0, len(group)-1)
+		peers = append(peers, group[:ri]...)
+		peers = append(peers, group[ri+1:]...)
+		r.ctx.Send(relay, wire.RelayP1a{P1a: m, Peers: peers})
+	}
+}
+
+func (r *Replica) fanOutP3(m wire.P3) {
+	for _, group := range r.layout.Groups {
+		ri := r.pickRelay(group)
+		relay := group[ri]
+		peers := make([]ids.ID, 0, len(group)-1)
+		peers = append(peers, group[:ri]...)
+		peers = append(peers, group[ri+1:]...)
+		r.ctx.Send(relay, wire.RelayP3{P3: m, Peers: peers})
+	}
+}
+
+// onAggP2b unpacks a relay's aggregate into individual votes for the core.
+func (r *Replica) onAggP2b(m wire.AggP2b) {
+	if m.Ballot > r.core.Ballot() {
+		// Rejection aggregated by a relay: one synthetic NACK dethrones.
+		r.core.OnP2b(wire.P2b{Ballot: m.Ballot, From: m.Relay, Slot: m.Slot})
+		return
+	}
+	if m.Partial {
+		r.stats.PartialFlushes++
+	}
+	for _, ack := range m.Acks {
+		r.core.OnP2b(wire.P2b{Ballot: m.Ballot, From: ack, Slot: m.Slot})
+	}
+}
+
+// onAggP1b unpacks aggregated phase-1 promises.
+func (r *Replica) onAggP1b(m wire.AggP1b) {
+	for _, p := range m.Replies {
+		r.core.OnP1b(p)
+	}
+}
+
+// ------------------------------------------------------------- relay side --
+
+func (r *Replica) onRelayP2a(from ids.ID, m wire.RelayP2a) {
+	r.stats.RelayRounds++
+	vote := r.core.AcceptP2a(m.P2a)
+	if vote.Ballot > m.P2a.Ballot {
+		// Reject: answer immediately without waiting for the group
+		// (paper footnote 2).
+		r.ctx.Send(from, wire.AggP2b{
+			Ballot: vote.Ballot, Relay: r.ctx.ID(), Slot: m.P2a.Slot, Partial: true,
+		})
+		return
+	}
+	key := aggKey{ballot: m.P2a.Ballot, slot: m.P2a.Slot}
+	if _, dup := r.aggs[key]; dup {
+		// Duplicate relay assignment (leader retry chose us again);
+		// restart the aggregation cleanly.
+		r.dropAgg(key)
+	}
+	a := &agg{
+		leader:    from,
+		acks:      []ids.ID{r.ctx.ID()},
+		expected:  len(m.Peers) + 1,
+		threshold: int(m.Threshold),
+	}
+	r.aggs[key] = a
+
+	if r.cfg.MultiLayer && len(m.Peers) > 2*r.cfg.SubGroupSize {
+		r.splitToSubRelays(m)
+	} else {
+		inner := m.P2a
+		for _, p := range m.Peers {
+			r.ctx.Send(p, inner)
+		}
+	}
+	if r.maybeFlushP2(key, a, false) {
+		return
+	}
+	timeout := m.Timeout
+	if timeout <= 0 {
+		timeout = r.cfg.RelayTimeout
+	}
+	a.timer = r.ctx.After(timeout, func() {
+		if cur, ok := r.aggs[key]; ok && cur == a {
+			r.maybeFlushP2(key, a, true)
+		}
+	})
+}
+
+// splitToSubRelays implements the multi-layer tree (§6.3): partition our
+// peer list into sub-groups and delegate each to a random sub-relay, with a
+// halved timeout so sub-aggregates return before our own deadline (the
+// paper's per-level timeout schedule, footnote 1).
+func (r *Replica) splitToSubRelays(m wire.RelayP2a) {
+	r.stats.Splits++
+	sub, err := config.EvenGroups(m.Peers, (len(m.Peers)+r.cfg.SubGroupSize-1)/r.cfg.SubGroupSize)
+	if err != nil {
+		for _, p := range m.Peers {
+			r.ctx.Send(p, m.P2a)
+		}
+		return
+	}
+	for _, g := range sub.Groups {
+		ri := r.pickRelay(g)
+		peers := make([]ids.ID, 0, len(g)-1)
+		peers = append(peers, g[:ri]...)
+		peers = append(peers, g[ri+1:]...)
+		r.ctx.Send(g[ri], wire.RelayP2a{
+			P2a:     m.P2a,
+			Peers:   peers,
+			Timeout: m.Timeout / 2,
+		})
+	}
+}
+
+// onP2b is a vote arriving at a relay (or a late vote at the leader).
+func (r *Replica) onP2b(from ids.ID, m wire.P2b) {
+	if r.core.IsLeader() || r.core.Ballot().ID() == r.ctx.ID() {
+		r.core.OnP2b(m)
+		return
+	}
+	key := aggKey{ballot: m.Ballot, slot: m.Slot}
+	a, ok := r.aggs[key]
+	if !ok {
+		r.stats.LateVotes++
+		if _, done := r.flushed[key]; done {
+			// The aggregate already went out; the thresholds guarantee
+			// the leader's quorum without this vote. Dropping it keeps
+			// the leader's message load at 2r+2.
+			return
+		}
+		// A vote we have no record of (e.g. we restarted): pass it to
+		// the ballot owner rather than lose it.
+		r.ctx.Send(m.Ballot.ID(), m)
+		return
+	}
+	if m.Ballot > key.ballot {
+		// Should not happen (key derived from m.Ballot) but keep the
+		// rejection path explicit for clarity.
+		r.flushP2(key, a, true)
+		return
+	}
+	for _, id := range a.acks {
+		if id == m.From {
+			return // duplicate
+		}
+	}
+	a.acks = append(a.acks, m.From)
+	r.maybeFlushP2(key, a, false)
+}
+
+func (r *Replica) maybeFlushP2(key aggKey, a *agg, timedOut bool) bool {
+	full := len(a.acks) >= a.expected
+	thresholdMet := a.threshold > 0 && len(a.acks) >= a.threshold
+	if full || thresholdMet || timedOut {
+		r.flushP2(key, a, !full)
+		return true
+	}
+	return false
+}
+
+func (r *Replica) flushP2(key aggKey, a *agg, partial bool) {
+	r.dropAgg(key)
+	if partial {
+		r.stats.PartialFlushes++
+	} else {
+		r.stats.FullFlushes++
+	}
+	r.ctx.Work(r.cfg.RelayWork)
+	r.ctx.Send(a.leader, wire.AggP2b{
+		Ballot:  key.ballot,
+		Relay:   r.ctx.ID(),
+		Slot:    key.slot,
+		Acks:    a.acks,
+		Partial: partial,
+	})
+}
+
+func (r *Replica) dropAgg(key aggKey) {
+	if a, ok := r.aggs[key]; ok {
+		if a.timer != nil {
+			a.timer.Stop()
+		}
+		delete(r.aggs, key)
+	}
+	r.rememberFlushed(key)
+}
+
+// rememberFlushed records a completed aggregation key, bounded FIFO.
+func (r *Replica) rememberFlushed(key aggKey) {
+	if _, ok := r.flushed[key]; ok {
+		return
+	}
+	r.flushed[key] = struct{}{}
+	r.flushOrder = append(r.flushOrder, key)
+	if len(r.flushOrder) > flushedMemory {
+		old := r.flushOrder[0]
+		r.flushOrder = r.flushOrder[1:]
+		delete(r.flushed, old)
+	}
+}
+
+// AggP2b arriving at a relay happens under multi-layer trees: merge the
+// sub-relay's votes into our own aggregation.
+func (r *Replica) mergeSubAggP2b(m wire.AggP2b) bool {
+	key := aggKey{ballot: m.Ballot, slot: m.Slot}
+	a, ok := r.aggs[key]
+	if !ok {
+		return false
+	}
+	for _, ack := range m.Acks {
+		dup := false
+		for _, id := range a.acks {
+			if id == ack {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			a.acks = append(a.acks, ack)
+		}
+	}
+	r.maybeFlushP2(key, a, false)
+	return true
+}
+
+func (r *Replica) onRelayP1a(from ids.ID, m wire.RelayP1a) {
+	r.stats.RelayRounds++
+	own := r.core.HandleP1aLocal(m.P1a)
+	if own.Ballot > m.P1a.Ballot {
+		r.ctx.Send(from, wire.AggP1b{Ballot: own.Ballot, Relay: r.ctx.ID(), Replies: []wire.P1b{own}})
+		return
+	}
+	key := aggKey{ballot: m.P1a.Ballot, slot: 0}
+	a := &agg{
+		leader:    from,
+		expected:  len(m.Peers) + 1,
+		p1Replies: []wire.P1b{own},
+		isP1:      true,
+	}
+	r.aggs[key] = a
+	for _, p := range m.Peers {
+		r.ctx.Send(p, m.P1a)
+	}
+	if len(a.p1Replies) >= a.expected {
+		r.flushP1(key, a)
+		return
+	}
+	a.timer = r.ctx.After(r.cfg.RelayTimeout, func() {
+		if cur, ok := r.aggs[key]; ok && cur == a {
+			r.flushP1(key, a)
+		}
+	})
+}
+
+// onP1b is a promise arriving at a relay (or at a campaigning node).
+func (r *Replica) onP1b(m wire.P1b) {
+	if r.core.Ballot().ID() == r.ctx.ID() {
+		r.core.OnP1b(m)
+		return
+	}
+	key := aggKey{ballot: m.Ballot, slot: 0}
+	a, ok := r.aggs[key]
+	if !ok || !a.isP1 {
+		// Flushed already, or a NACK for a different ballot: forward to
+		// whoever owns the ballot the promise names.
+		r.stats.LateVotes++
+		r.ctx.Send(m.Ballot.ID(), m)
+		return
+	}
+	a.p1Replies = append(a.p1Replies, m)
+	if len(a.p1Replies) >= a.expected {
+		r.flushP1(key, a)
+	}
+}
+
+func (r *Replica) flushP1(key aggKey, a *agg) {
+	r.dropAgg(key)
+	r.ctx.Work(r.cfg.RelayWork)
+	r.ctx.Send(a.leader, wire.AggP1b{Ballot: key.ballot, Relay: r.ctx.ID(), Replies: a.p1Replies})
+}
+
+func (r *Replica) onRelayP3(m wire.RelayP3) {
+	r.core.OnP3(m.P3)
+	for _, p := range m.Peers {
+		r.ctx.Send(p, m.P3)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

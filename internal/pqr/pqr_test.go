@@ -1,0 +1,251 @@
+package pqr
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/des"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/netsim"
+	"pigpaxos/internal/wire"
+)
+
+// fixture: n replica stores with responders, plus one client-side reader.
+type fixture struct {
+	sim     *des.Sim
+	net     *netsim.Network
+	cc      config.Cluster
+	stores  map[ids.ID]*kvstore.Store
+	reader  *Reader
+	results []Result
+}
+
+type replicaHandler struct {
+	resp *Responder
+}
+
+func (h *replicaHandler) OnMessage(from ids.ID, m wire.Msg) {
+	if req, ok := m.(wire.QReadReq); ok {
+		h.resp.OnRequest(from, req)
+	}
+}
+
+type readerHandler struct{ r *Reader }
+
+func (h *readerHandler) OnMessage(from ids.ID, m wire.Msg) {
+	if rep, ok := m.(wire.QReadReply); ok {
+		h.r.OnReply(rep)
+	}
+}
+
+func newFixture(t *testing.T, n int, mut func(*Config)) *fixture {
+	t.Helper()
+	sim := des.New(5)
+	cc := config.NewLAN(n)
+	net := netsim.New(sim, cc, netsim.DefaultOptions())
+	f := &fixture{sim: sim, net: net, cc: cc, stores: make(map[ids.ID]*kvstore.Store)}
+	for _, id := range cc.Nodes {
+		st := kvstore.New()
+		f.stores[id] = st
+		h := &replicaHandler{}
+		ep := net.Register(id, h, false)
+		h.resp = NewResponder(ep, st)
+	}
+	rh := &readerHandler{}
+	ep := net.Register(ids.NewID(999, 1), rh, true)
+	cfg := Config{Members: cc.Nodes}
+	if mut != nil {
+		mut(&cfg)
+	}
+	f.reader = New(ep, cfg, nil)
+	rh.r = f.reader
+	return f
+}
+
+func (f *fixture) put(id ids.ID, key uint64, val string) {
+	f.stores[id].Apply(kvstore.Command{Op: kvstore.Put, Key: key, Value: []byte(val)})
+}
+
+func (f *fixture) read(key uint64) {
+	f.sim.Schedule(0, func() {
+		f.reader.Read(key, func(r Result) { f.results = append(f.results, r) })
+	})
+}
+
+func TestStableReadReturnsValue(t *testing.T) {
+	f := newFixture(t, 5, nil)
+	for _, id := range f.cc.Nodes {
+		f.put(id, 1, "stable")
+	}
+	f.read(1)
+	f.sim.Run(50 * time.Millisecond)
+	if len(f.results) != 1 {
+		t.Fatalf("results = %d", len(f.results))
+	}
+	r := f.results[0]
+	if r.Failed || !r.Exists || string(r.Value) != "stable" || r.Rinses != 0 {
+		t.Errorf("result: %+v", r)
+	}
+}
+
+func TestMissingKeyReads(t *testing.T) {
+	f := newFixture(t, 5, nil)
+	f.read(42)
+	f.sim.Run(50 * time.Millisecond)
+	if len(f.results) != 1 || f.results[0].Exists || f.results[0].Failed {
+		t.Fatalf("missing key read: %+v", f.results)
+	}
+}
+
+func TestUnstableReadRinses(t *testing.T) {
+	// Only one replica has the newest version: the read must rinse until
+	// the write propagates, then return the new value.
+	f := newFixture(t, 5, nil)
+	for _, id := range f.cc.Nodes {
+		f.put(id, 1, "old")
+	}
+	// Newest version at a single replica (write in flight).
+	f.put(f.cc.Nodes[0], 1, "new")
+	f.read(1)
+	// Propagate the write to the rest after 5ms (commit catching up).
+	f.sim.Schedule(5*time.Millisecond, func() {
+		for _, id := range f.cc.Nodes[1:] {
+			f.put(id, 1, "new")
+		}
+	})
+	f.sim.Run(200 * time.Millisecond)
+	if len(f.results) != 1 {
+		t.Fatalf("results = %d", len(f.results))
+	}
+	r := f.results[0]
+	if r.Failed {
+		t.Fatalf("read failed: %+v", r)
+	}
+	if string(r.Value) != "new" {
+		t.Errorf("value = %q, want new (must not return the stale majority)", r.Value)
+	}
+	if r.Rinses == 0 {
+		t.Error("read should have rinsed at least once")
+	}
+}
+
+func TestNeverStableFails(t *testing.T) {
+	f := newFixture(t, 5, func(c *Config) {
+		c.MaxRinses = 3
+		c.RinseInterval = time.Millisecond
+	})
+	for _, id := range f.cc.Nodes {
+		f.put(id, 1, "old")
+	}
+	// Crash two replicas so the only reachable quorum is {1,2,3}, and put
+	// a newer version on replicas 1-2 that never reaches replica 3: every
+	// read round observes disagreement and must keep rinsing until it
+	// gives up.
+	f.put(f.cc.Nodes[0], 1, "forever-uncommitted")
+	f.put(f.cc.Nodes[1], 1, "forever-uncommitted")
+	f.net.Crash(f.cc.Nodes[3])
+	f.net.Crash(f.cc.Nodes[4])
+	f.read(1)
+	f.sim.Run(time.Second)
+	if len(f.results) != 1 {
+		t.Fatalf("results = %d", len(f.results))
+	}
+	if !f.results[0].Failed {
+		t.Errorf("read of a never-stabilizing key must fail: %+v", f.results[0])
+	}
+	if f.reader.Stats().Fails != 1 {
+		t.Error("failure not counted")
+	}
+}
+
+func TestQuorumReachedWithMinorityCrashed(t *testing.T) {
+	f := newFixture(t, 5, nil)
+	for _, id := range f.cc.Nodes {
+		f.put(id, 1, "v")
+	}
+	f.net.Crash(f.cc.Nodes[3])
+	f.net.Crash(f.cc.Nodes[4])
+	f.read(1)
+	f.sim.Run(100 * time.Millisecond)
+	if len(f.results) != 1 || f.results[0].Failed {
+		t.Fatalf("read must succeed with 3 of 5 alive: %+v", f.results)
+	}
+}
+
+func TestReadFailsWithMajorityCrashed(t *testing.T) {
+	f := newFixture(t, 5, func(c *Config) { c.MaxRinses = 2; c.RinseInterval = time.Millisecond })
+	for _, id := range f.cc.Nodes {
+		f.put(id, 1, "v")
+	}
+	for _, id := range f.cc.Nodes[2:] {
+		f.net.Crash(id)
+	}
+	f.read(1)
+	f.sim.Run(time.Second)
+	if len(f.results) != 1 || !f.results[0].Failed {
+		t.Fatalf("read without quorum must fail: %+v", f.results)
+	}
+}
+
+func TestProxyReaderUsesLocalStore(t *testing.T) {
+	// A replica acting as proxy answers its own share locally: with a
+	// 3-node cluster and quorum 2, one network reply suffices.
+	sim := des.New(5)
+	cc := config.NewLAN(3)
+	net := netsim.New(sim, cc, netsim.DefaultOptions())
+	stores := make(map[ids.ID]*kvstore.Store)
+	type proxyH struct {
+		reader *Reader
+		resp   *Responder
+	}
+	handlers := make(map[ids.ID]*proxyH)
+	for _, id := range cc.Nodes {
+		st := kvstore.New()
+		st.Apply(kvstore.Command{Op: kvstore.Put, Key: 7, Value: []byte("local")})
+		stores[id] = st
+		h := &proxyH{}
+		tr := netsim.HandlerFunc(func(from ids.ID, m wire.Msg) {
+			switch v := m.(type) {
+			case wire.QReadReq:
+				h.resp.OnRequest(from, v)
+			case wire.QReadReply:
+				h.reader.OnReply(v)
+			}
+		})
+		ep := net.Register(id, tr, false)
+		h.resp = NewResponder(ep, st)
+		h.reader = New(ep, Config{Members: cc.Nodes}, st)
+		handlers[id] = h
+	}
+	var got *Result
+	sim.Schedule(0, func() {
+		handlers[cc.Nodes[0]].reader.Read(7, func(r Result) { got = &r })
+	})
+	sim.Run(50 * time.Millisecond)
+	if got == nil || got.Failed || string(got.Value) != "local" {
+		t.Fatalf("proxy read: %+v", got)
+	}
+}
+
+func TestConcurrentReadsIndependent(t *testing.T) {
+	f := newFixture(t, 5, nil)
+	for _, id := range f.cc.Nodes {
+		f.put(id, 1, "a")
+		f.put(id, 2, "b")
+	}
+	f.read(1)
+	f.read(2)
+	f.sim.Run(100 * time.Millisecond)
+	if len(f.results) != 2 {
+		t.Fatalf("results = %d", len(f.results))
+	}
+	vals := map[string]bool{}
+	for _, r := range f.results {
+		vals[string(r.Value)] = true
+	}
+	if !vals["a"] || !vals["b"] {
+		t.Errorf("reads mixed up: %+v", f.results)
+	}
+}

@@ -1,0 +1,254 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pigpaxos/internal/ids"
+)
+
+func id(n int) ids.ID { return ids.NewID(1, n) }
+
+func TestMajoritySatisfied(t *testing.T) {
+	m := NewMajority(5)
+	m.ACK(id(1))
+	m.ACK(id(2))
+	if m.Satisfied() {
+		t.Error("2 of 5 should not satisfy majority")
+	}
+	m.ACK(id(3))
+	if !m.Satisfied() {
+		t.Error("3 of 5 should satisfy majority")
+	}
+}
+
+func TestMajorityDuplicateACKs(t *testing.T) {
+	m := NewMajority(5)
+	for i := 0; i < 10; i++ {
+		m.ACK(id(1))
+	}
+	if m.Size() != 1 {
+		t.Errorf("duplicate ACKs counted: size=%d", m.Size())
+	}
+	if m.Satisfied() {
+		t.Error("one distinct voter cannot satisfy majority of 5")
+	}
+}
+
+func TestMajorityNACKRejects(t *testing.T) {
+	m := NewMajority(3)
+	m.NACK(id(2))
+	if !m.Rejected() {
+		t.Error("any NACK rejects a majority quorum")
+	}
+}
+
+func TestMajorityReset(t *testing.T) {
+	m := NewMajority(3)
+	m.ACK(id(1))
+	m.ACK(id(2))
+	m.NACK(id(3))
+	m.Reset()
+	if m.Size() != 0 || m.Rejected() || m.Satisfied() {
+		t.Error("Reset should clear all state")
+	}
+}
+
+func TestMajorityPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMajority(0) should panic")
+		}
+	}()
+	NewMajority(0)
+}
+
+func TestThreshold(t *testing.T) {
+	q := NewThreshold(7, 3)
+	q.ACK(id(1))
+	q.ACK(id(2))
+	if q.Satisfied() {
+		t.Error("2 of 3 needed should not satisfy")
+	}
+	q.ACK(id(3))
+	if !q.Satisfied() {
+		t.Error("3 ACKs should satisfy threshold 3")
+	}
+}
+
+func TestThresholdRejectedByNACKs(t *testing.T) {
+	q := NewThreshold(5, 4)
+	q.NACK(id(1))
+	if !q.Rejected() {
+		t.Error("NACK should reject")
+	}
+	q.Reset()
+	if q.Rejected() {
+		t.Error("reset should clear rejection")
+	}
+	// 2 NACKs leave only 3 possible voters < k=4.
+	q2 := NewThreshold(5, 4)
+	q2.NACK(id(1))
+	q2.NACK(id(2))
+	if !q2.Rejected() {
+		t.Error("unreachable threshold should report rejected")
+	}
+}
+
+func TestFlexibleValidation(t *testing.T) {
+	if _, err := NewFlexible(10, 8, 3); err != nil {
+		t.Errorf("valid flexible config rejected: %v", err)
+	}
+	if _, err := NewFlexible(10, 5, 5); err == nil {
+		t.Error("non-intersecting Q1+Q2=N must be rejected")
+	}
+	if _, err := NewFlexible(10, 0, 5); err == nil {
+		t.Error("zero quorum must be rejected")
+	}
+	if _, err := NewFlexible(10, 11, 5); err == nil {
+		t.Error("oversized quorum must be rejected")
+	}
+}
+
+func TestFlexibleFaultTolerance(t *testing.T) {
+	// Paper §2.2: N=10, Q1=8, Q2=3 masks only 2 failures.
+	f, err := NewFlexible(10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.FaultTolerance(); got != 2 {
+		t.Errorf("fault tolerance = %d, want 2", got)
+	}
+}
+
+func TestFlexiblePhases(t *testing.T) {
+	f, _ := NewFlexible(10, 8, 3)
+	p1, p2 := f.Phase1(), f.Phase2()
+	for i := 1; i <= 3; i++ {
+		p1.ACK(id(i))
+		p2.ACK(id(i))
+	}
+	if p1.Satisfied() {
+		t.Error("3 votes cannot satisfy Q1=8")
+	}
+	if !p2.Satisfied() {
+		t.Error("3 votes should satisfy Q2=3")
+	}
+}
+
+func TestMajoritySize(t *testing.T) {
+	cases := map[int]int{1: 1, 3: 2, 5: 3, 9: 5, 25: 13}
+	for n, want := range cases {
+		if got := MajoritySize(n); got != want {
+			t.Errorf("MajoritySize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFastQuorumSize(t *testing.T) {
+	// N=5 (f=2): 2+1=3. N=7 (f=3): 3+2=5. N=25 (f=12): 12+6=18.
+	cases := map[int]int{5: 3, 7: 5, 9: 6, 25: 18}
+	for n, want := range cases {
+		if got := FastQuorumSize(n); got != want {
+			t.Errorf("FastQuorumSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGroupThresholds(t *testing.T) {
+	// 25 nodes: leader + 24 followers in 3 groups of 8; majority 13 needs
+	// 12 follower votes.
+	th, err := GroupThresholds([]int{8, 8, 8}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for i, g := range th {
+		if g > 8 || g < 0 {
+			t.Errorf("threshold %d out of range: %d", i, g)
+		}
+		sum += g
+	}
+	if sum < 12 {
+		t.Errorf("thresholds sum to %d, need ≥ 12", sum)
+	}
+}
+
+func TestGroupThresholdsUneven(t *testing.T) {
+	th, err := GroupThresholds([]int{1, 5, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for i, g := range th {
+		if g > []int{1, 5, 2}[i] {
+			t.Errorf("threshold exceeds group size at %d", i)
+		}
+		sum += g
+	}
+	if sum < 5 {
+		t.Errorf("sum %d < needed 5", sum)
+	}
+}
+
+func TestGroupThresholdsErrors(t *testing.T) {
+	if _, err := GroupThresholds([]int{2, 0}, 1); err == nil {
+		t.Error("empty group should error")
+	}
+	if _, err := GroupThresholds([]int{2, 2}, 5); err == nil {
+		t.Error("impossible requirement should error")
+	}
+}
+
+// Property: for any group layout and any achievable requirement the
+// thresholds are within group bounds and cover the requirement.
+func TestGroupThresholdsProperty(t *testing.T) {
+	f := func(sizes []uint8, needRaw uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		gs := make([]int, 0, len(sizes))
+		total := 0
+		for _, s := range sizes {
+			v := int(s%9) + 1 // 1..9
+			gs = append(gs, v)
+			total += v
+		}
+		need := int(needRaw) % (total + 1)
+		th, err := GroupThresholds(gs, need)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i, g := range th {
+			if g < 0 || g > gs[i] {
+				return false
+			}
+			sum += g
+		}
+		return sum >= need
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a threshold quorum is satisfied iff at least k distinct voters
+// ACKed, regardless of ACK order and duplicates.
+func TestThresholdProperty(t *testing.T) {
+	f := func(voters []uint8, kRaw uint8) bool {
+		n := 32
+		k := int(kRaw)%n + 1
+		q := NewThreshold(n, k)
+		distinct := map[uint8]bool{}
+		for _, v := range voters {
+			v %= 32
+			q.ACK(ids.NewID(1, int(v)+1))
+			distinct[v] = true
+		}
+		return q.Satisfied() == (len(distinct) >= k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package rlog implements the replicated command log shared by Paxos and
+// PigPaxos replicas: a sparse slot → entry map with commit tracking and an
+// in-order execution cursor that tolerates gaps (commands execute only once
+// every lower slot has executed, per Paxos phase-3 semantics).
+package rlog
+
+import (
+	"fmt"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+)
+
+// Entry is one slot of the replicated log.
+type Entry struct {
+	Ballot    ids.Ballot      // ballot under which the command was accepted
+	Command   kvstore.Command // the accepted command
+	Committed bool            // leader anchored the command
+	Executed  bool            // applied to the state machine
+}
+
+// Log is a single replica's view of the replicated log. It is not safe for
+// concurrent use; each replica's event loop owns its log.
+type Log struct {
+	entries   map[uint64]*Entry
+	firstSlot uint64 // lowest slot that may still be unexecuted
+	nextSlot  uint64 // next slot a leader would propose into
+	execCur   uint64 // next slot to execute
+}
+
+// New creates an empty log whose first slot is 1.
+func New() *Log {
+	return &Log{entries: make(map[uint64]*Entry), firstSlot: 1, nextSlot: 1, execCur: 1}
+}
+
+// NextSlot returns the next unproposed slot and advances the proposal cursor.
+func (l *Log) NextSlot() uint64 {
+	s := l.nextSlot
+	l.nextSlot++
+	return s
+}
+
+// PeekNextSlot returns the next unproposed slot without advancing.
+func (l *Log) PeekNextSlot() uint64 { return l.nextSlot }
+
+// BumpNextSlot ensures the proposal cursor is strictly beyond slot. Called
+// when a replica learns of higher slots (e.g. a new leader recovering state).
+func (l *Log) BumpNextSlot(slot uint64) {
+	if slot >= l.nextSlot {
+		l.nextSlot = slot + 1
+	}
+}
+
+// Accept records command cmd as accepted in slot under ballot b, overwriting
+// any previously accepted value with a lower ballot. It returns false when
+// the slot already holds a value under a higher ballot (the accept is stale)
+// or the slot has already committed a different proposal.
+func (l *Log) Accept(slot uint64, b ids.Ballot, cmd kvstore.Command) bool {
+	e, ok := l.entries[slot]
+	if !ok {
+		l.entries[slot] = &Entry{Ballot: b, Command: cmd}
+		l.BumpNextSlot(slot)
+		return true
+	}
+	if e.Committed {
+		// Same-ballot re-delivery is fine; conflicting commit is a bug
+		// upstream, refuse to overwrite.
+		return e.Ballot == b
+	}
+	if b < e.Ballot {
+		return false
+	}
+	e.Ballot = b
+	e.Command = cmd
+	l.BumpNextSlot(slot)
+	return true
+}
+
+// Commit marks slot committed with cmd. Commit is authoritative: phase-3
+// messages carry the anchored command, so the entry is overwritten even if a
+// different value was accepted locally under an older ballot.
+func (l *Log) Commit(slot uint64, b ids.Ballot, cmd kvstore.Command) {
+	e, ok := l.entries[slot]
+	if !ok {
+		e = &Entry{}
+		l.entries[slot] = e
+	}
+	if e.Executed {
+		return
+	}
+	e.Ballot = b
+	e.Command = cmd
+	e.Committed = true
+	l.BumpNextSlot(slot)
+}
+
+// Get returns the entry at slot, or nil.
+func (l *Log) Get(slot uint64) *Entry { return l.entries[slot] }
+
+// ExecuteReady applies every contiguous committed-but-unexecuted command
+// starting at the execution cursor to sm, invoking fn (if non-nil) with each
+// slot and result. It stops at the first gap or uncommitted slot and returns
+// the number of commands executed.
+func (l *Log) ExecuteReady(sm *kvstore.Store, fn func(slot uint64, cmd kvstore.Command, res kvstore.Result)) int {
+	n := 0
+	for {
+		e, ok := l.entries[l.execCur]
+		if !ok || !e.Committed {
+			return n
+		}
+		res := sm.Apply(e.Command)
+		e.Executed = true
+		if fn != nil {
+			fn(l.execCur, e.Command, res)
+		}
+		l.execCur++
+		n++
+	}
+}
+
+// ExecuteCursor returns the next slot awaiting execution.
+func (l *Log) ExecuteCursor() uint64 { return l.execCur }
+
+// Uncommitted returns the slots in [from, l.nextSlot) that hold accepted but
+// uncommitted proposals, together with their entries. New leaders use it
+// during phase-1 recovery.
+func (l *Log) Uncommitted(from uint64) map[uint64]Entry {
+	out := make(map[uint64]Entry)
+	for s, e := range l.entries {
+		if s >= from && !e.Committed {
+			out[s] = *e
+		}
+	}
+	return out
+}
+
+// CommittedCount returns how many slots have committed (for tests/metrics).
+func (l *Log) CommittedCount() int {
+	n := 0
+	for _, e := range l.entries {
+		if e.Committed {
+			n++
+		}
+	}
+	return n
+}
+
+// CompactTo discards executed entries below slot to bound memory. Slots are
+// only discarded if executed; callers typically pass the cluster-wide
+// minimum execution cursor.
+func (l *Log) CompactTo(slot uint64) int {
+	n := 0
+	for s, e := range l.entries {
+		if s < slot && e.Executed {
+			delete(l.entries, s)
+			n++
+		}
+	}
+	if slot > l.firstSlot {
+		l.firstSlot = slot
+	}
+	return n
+}
+
+// Len returns the number of live entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// String summarizes the log state.
+func (l *Log) String() string {
+	return fmt.Sprintf("log{next=%d exec=%d entries=%d}", l.nextSlot, l.execCur, len(l.entries))
+}

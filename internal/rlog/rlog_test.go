@@ -1,0 +1,267 @@
+package rlog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+)
+
+func bal(n int) ids.Ballot { return ids.NewBallot(n, ids.NewID(1, 1)) }
+
+func cmd(k uint64) kvstore.Command {
+	return kvstore.Command{Op: kvstore.Put, Key: k, Value: []byte{byte(k)}}
+}
+
+func TestNextSlotMonotonic(t *testing.T) {
+	l := New()
+	if s := l.NextSlot(); s != 1 {
+		t.Errorf("first slot = %d, want 1", s)
+	}
+	if s := l.NextSlot(); s != 2 {
+		t.Errorf("second slot = %d, want 2", s)
+	}
+	if l.PeekNextSlot() != 3 {
+		t.Error("peek should see 3")
+	}
+	if l.PeekNextSlot() != 3 {
+		t.Error("peek must not advance")
+	}
+}
+
+func TestAcceptBasic(t *testing.T) {
+	l := New()
+	if !l.Accept(1, bal(1), cmd(7)) {
+		t.Fatal("fresh accept should succeed")
+	}
+	e := l.Get(1)
+	if e == nil || e.Command.Key != 7 || e.Committed {
+		t.Fatalf("entry after accept: %+v", e)
+	}
+}
+
+func TestAcceptStaleBallotRejected(t *testing.T) {
+	l := New()
+	l.Accept(1, bal(5), cmd(1))
+	if l.Accept(1, bal(3), cmd(2)) {
+		t.Error("lower-ballot accept must be rejected")
+	}
+	if l.Get(1).Command.Key != 1 {
+		t.Error("stale accept must not overwrite")
+	}
+}
+
+func TestAcceptHigherBallotOverwrites(t *testing.T) {
+	l := New()
+	l.Accept(1, bal(1), cmd(1))
+	if !l.Accept(1, bal(2), cmd(2)) {
+		t.Error("higher-ballot accept must succeed")
+	}
+	if l.Get(1).Command.Key != 2 {
+		t.Error("higher-ballot accept must overwrite")
+	}
+}
+
+func TestAcceptAfterCommit(t *testing.T) {
+	l := New()
+	l.Commit(1, bal(2), cmd(9))
+	if l.Accept(1, bal(3), cmd(1)) {
+		t.Error("accept on a committed slot under a different ballot must fail")
+	}
+	if !l.Accept(1, bal(2), cmd(9)) {
+		t.Error("same-ballot re-delivery should be tolerated")
+	}
+	if l.Get(1).Command.Key != 9 {
+		t.Error("committed value must be preserved")
+	}
+}
+
+func TestCommitBumpsNextSlot(t *testing.T) {
+	l := New()
+	l.Commit(10, bal(1), cmd(1))
+	if l.PeekNextSlot() != 11 {
+		t.Errorf("nextSlot = %d, want 11", l.PeekNextSlot())
+	}
+}
+
+func TestExecuteInOrderWithGap(t *testing.T) {
+	l := New()
+	sm := kvstore.New()
+	l.Commit(1, bal(1), cmd(1))
+	l.Commit(3, bal(1), cmd(3)) // gap at 2
+	var got []uint64
+	n := l.ExecuteReady(sm, func(s uint64, _ kvstore.Command, _ kvstore.Result) {
+		got = append(got, s)
+	})
+	if n != 1 || len(got) != 1 || got[0] != 1 {
+		t.Fatalf("executed %v, want [1] only (gap at 2)", got)
+	}
+	l.Commit(2, bal(1), cmd(2))
+	n = l.ExecuteReady(sm, func(s uint64, _ kvstore.Command, _ kvstore.Result) {
+		got = append(got, s)
+	})
+	if n != 2 || len(got) != 3 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("after gap fill executed %v, want [1 2 3]", got)
+	}
+	if l.ExecuteCursor() != 4 {
+		t.Errorf("exec cursor = %d, want 4", l.ExecuteCursor())
+	}
+}
+
+func TestExecuteIdempotent(t *testing.T) {
+	l := New()
+	sm := kvstore.New()
+	l.Commit(1, bal(1), cmd(1))
+	l.ExecuteReady(sm, nil)
+	if n := l.ExecuteReady(sm, nil); n != 0 {
+		t.Error("second ExecuteReady must be a no-op")
+	}
+	if sm.Applied() != 1 {
+		t.Errorf("applied %d commands, want 1", sm.Applied())
+	}
+}
+
+func TestCommitAfterExecuteIgnored(t *testing.T) {
+	l := New()
+	sm := kvstore.New()
+	l.Commit(1, bal(1), cmd(1))
+	l.ExecuteReady(sm, nil)
+	l.Commit(1, bal(9), cmd(99)) // late duplicate commit
+	if l.Get(1).Command.Key != 1 {
+		t.Error("executed entry must not be overwritten")
+	}
+}
+
+func TestUncommitted(t *testing.T) {
+	l := New()
+	l.Accept(1, bal(1), cmd(1))
+	l.Commit(2, bal(1), cmd(2))
+	l.Accept(3, bal(1), cmd(3))
+	u := l.Uncommitted(1)
+	if len(u) != 2 {
+		t.Fatalf("uncommitted: %v, want slots 1 and 3", u)
+	}
+	if _, ok := u[2]; ok {
+		t.Error("committed slot must not appear")
+	}
+	u = l.Uncommitted(3)
+	if len(u) != 1 {
+		t.Error("from=3 should only see slot 3")
+	}
+}
+
+func TestCompactTo(t *testing.T) {
+	l := New()
+	sm := kvstore.New()
+	for s := uint64(1); s <= 5; s++ {
+		l.Commit(s, bal(1), cmd(s))
+	}
+	l.ExecuteReady(sm, nil)
+	n := l.CompactTo(4)
+	if n != 3 {
+		t.Errorf("compacted %d, want 3", n)
+	}
+	if l.Get(1) != nil || l.Get(4) == nil {
+		t.Error("compaction boundary wrong")
+	}
+}
+
+func TestCompactSkipsUnexecuted(t *testing.T) {
+	l := New()
+	l.Accept(1, bal(1), cmd(1)) // never committed/executed
+	if n := l.CompactTo(10); n != 0 {
+		t.Error("unexecuted entries must survive compaction")
+	}
+}
+
+func TestCommittedCount(t *testing.T) {
+	l := New()
+	l.Accept(1, bal(1), cmd(1))
+	l.Commit(2, bal(1), cmd(2))
+	l.Commit(3, bal(1), cmd(3))
+	if got := l.CommittedCount(); got != 2 {
+		t.Errorf("CommittedCount = %d, want 2", got)
+	}
+}
+
+// Property: replaying any interleaving of commits for slots 1..n executes
+// each slot exactly once and in ascending order.
+func TestExecutionOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		order := rng.Perm(n)
+		l := New()
+		sm := kvstore.New()
+		var execd []uint64
+		for _, i := range order {
+			l.Commit(uint64(i+1), bal(1), cmd(uint64(i)))
+			l.ExecuteReady(sm, func(s uint64, _ kvstore.Command, _ kvstore.Result) {
+				execd = append(execd, s)
+			})
+		}
+		if len(execd) != n {
+			return false
+		}
+		for i, s := range execd {
+			if s != uint64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two replicas that see the same commits (in different orders)
+// converge to identical state machines.
+func TestReplicaConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		cmds := make([]kvstore.Command, n)
+		for i := range cmds {
+			cmds[i] = kvstore.Command{
+				Op:    kvstore.Op(rng.Intn(3)),
+				Key:   uint64(rng.Intn(5)),
+				Value: []byte{byte(rng.Intn(256))},
+			}
+		}
+		mk := func(order []int) uint64 {
+			l := New()
+			sm := kvstore.New()
+			for _, i := range order {
+				l.Commit(uint64(i+1), bal(1), cmds[i])
+				l.ExecuteReady(sm, nil)
+			}
+			return sm.Checksum()
+		}
+		a := mk(rng.Perm(n))
+		b := mk(rng.Perm(n))
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAcceptCommitExecute(b *testing.B) {
+	l := New()
+	sm := kvstore.New()
+	c := cmd(1)
+	ball := bal(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		slot := l.NextSlot()
+		l.Accept(slot, ball, c)
+		l.Commit(slot, ball, c)
+		l.ExecuteReady(sm, nil)
+		if i%4096 == 0 {
+			l.CompactTo(l.ExecuteCursor() - 1)
+		}
+	}
+}

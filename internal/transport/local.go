@@ -1,0 +1,194 @@
+// Package transport provides live (non-simulated) substrates for the
+// protocol replicas: an in-process channel bus for single-binary clusters
+// and tests, and a TCP transport with length-prefixed binary frames for
+// real multi-process deployments. Both implement node.Context, so replicas
+// run on them unchanged.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/wire"
+)
+
+// envelope is one unit of work for a node's event loop: either a delivered
+// message or a timer/closure to run.
+type envelope struct {
+	from ids.ID
+	msg  wire.Msg
+	fn   func()
+}
+
+// LocalBus connects in-process nodes through buffered channels. Each node
+// owns a goroutine that serializes message handling and timer callbacks,
+// honoring the node.Context single-threading contract.
+type LocalBus struct {
+	mu    sync.RWMutex
+	nodes map[ids.ID]*LocalNode
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+// NewLocalBus creates an empty bus.
+func NewLocalBus() *LocalBus {
+	return &LocalBus{nodes: make(map[ids.ID]*LocalNode), start: time.Now()}
+}
+
+// LocalNode is one attachment to a LocalBus. It implements node.Context.
+type LocalNode struct {
+	bus     *LocalBus
+	id      ids.ID
+	handler node.Handler
+	inbox   chan envelope
+	done    chan struct{}
+	closed  sync.Once
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+}
+
+// Node registers handler h as id and starts its event loop. The mailbox
+// holds up to 4096 pending envelopes; Send blocks when it is full
+// (backpressure).
+func (b *LocalBus) Node(id ids.ID, h node.Handler) (*LocalNode, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.nodes[id]; dup {
+		return nil, fmt.Errorf("transport: duplicate node %v", id)
+	}
+	n := &LocalNode{
+		bus:     b,
+		id:      id,
+		handler: h,
+		inbox:   make(chan envelope, 4096),
+		done:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(int64(id) + time.Now().UnixNano())),
+	}
+	b.nodes[id] = n
+	b.wg.Add(1)
+	go n.loop(&b.wg)
+	return n, nil
+}
+
+// Stop kills one node: its loop exits and it is removed from the routing
+// table, so messages to it drop — an in-process crash.
+func (b *LocalBus) Stop(id ids.ID) {
+	b.mu.Lock()
+	n := b.nodes[id]
+	delete(b.nodes, id)
+	b.mu.Unlock()
+	if n != nil {
+		n.close()
+	}
+}
+
+// Close stops every node loop and waits for them to drain.
+func (b *LocalBus) Close() {
+	b.mu.Lock()
+	nodes := make([]*LocalNode, 0, len(b.nodes))
+	for _, n := range b.nodes {
+		nodes = append(nodes, n)
+	}
+	b.mu.Unlock()
+	for _, n := range nodes {
+		n.close()
+	}
+	b.wg.Wait()
+}
+
+func (n *LocalNode) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case env := <-n.inbox:
+			if env.fn != nil {
+				env.fn()
+			} else if n.handler != nil {
+				n.handler.OnMessage(env.from, env.msg)
+			}
+		}
+	}
+}
+
+func (n *LocalNode) close() { n.closed.Do(func() { close(n.done) }) }
+
+// ID implements node.Context.
+func (n *LocalNode) ID() ids.ID { return n.id }
+
+// Send implements node.Context: deliver m to the target's mailbox.
+func (n *LocalNode) Send(to ids.ID, m wire.Msg) {
+	n.bus.mu.RLock()
+	dst := n.bus.nodes[to]
+	n.bus.mu.RUnlock()
+	if dst == nil {
+		return // unknown destination: drop, like a dead host
+	}
+	select {
+	case dst.inbox <- envelope{from: n.id, msg: m}:
+	case <-dst.done:
+	}
+}
+
+// After implements node.Context: the callback is posted to the mailbox so
+// it serializes with message handling.
+func (n *LocalNode) After(d time.Duration, fn func()) node.Timer {
+	t := &localTimer{}
+	t.t = time.AfterFunc(d, func() {
+		select {
+		case n.inbox <- envelope{fn: func() {
+			if !t.stopped() {
+				fn()
+			}
+		}}:
+		case <-n.done:
+		}
+	})
+	return t
+}
+
+type localTimer struct {
+	t    *time.Timer
+	mu   sync.Mutex
+	dead bool
+}
+
+func (t *localTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead {
+		return false
+	}
+	t.dead = true
+	t.t.Stop() // best-effort; the wrapper also checks stopped()
+	return true
+}
+
+func (t *localTimer) stopped() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dead
+}
+
+// Now implements node.Context: wall time since the bus started.
+func (n *LocalNode) Now() time.Duration { return time.Since(n.bus.start) }
+
+// Rand implements node.Context.
+func (n *LocalNode) Rand() *rand.Rand {
+	// The rng is only touched from the node's own loop, but guard anyway:
+	// tests may probe it from the outside.
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng
+}
+
+// Work implements node.Context: live substrates spend real time, so this
+// is a no-op.
+func (n *LocalNode) Work(time.Duration) {}
+
+var _ node.Context = (*LocalNode)(nil)

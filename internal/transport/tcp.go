@@ -1,0 +1,355 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/wire"
+)
+
+// Frame format on TCP connections:
+//
+//	[4-byte little-endian body length][4-byte sender ID][encoded message]
+//
+// where "encoded message" is wire.Encode output (1-byte type + body). The
+// body length covers the sender ID and encoded message.
+const (
+	frameHeader  = 4
+	maxFrameSize = 16 << 20 // 16 MiB guards against corrupt streams
+)
+
+// WriteFrame writes one framed message from sender to w.
+func WriteFrame(w io.Writer, sender ids.ID, m wire.Msg) error {
+	body := make([]byte, 0, 8+m.Size()+1)
+	body = binary.LittleEndian.AppendUint32(body, uint32(sender))
+	body = wire.Encode(body, m)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one framed message from r.
+func ReadFrame(r io.Reader) (ids.ID, wire.Msg, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 4 || n > maxFrameSize {
+		return 0, nil, fmt.Errorf("transport: bad frame size %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	sender := ids.ID(binary.LittleEndian.Uint32(body[:4]))
+	m, used, err := wire.Decode(body[4:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if used != len(body)-4 {
+		return 0, nil, fmt.Errorf("transport: frame has %d trailing bytes", len(body)-4-used)
+	}
+	return sender, m, nil
+}
+
+// TCPNode is a live node reachable over TCP. It implements node.Context;
+// a single event-loop goroutine serializes handler calls and timers.
+type TCPNode struct {
+	id      ids.ID
+	handler node.Handler
+	addrs   map[ids.ID]string
+
+	ln    net.Listener
+	inbox chan envelope
+	done  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[ids.ID]*outConn
+
+	start time.Time
+	rng   *rand.Rand
+	rngMu sync.Mutex
+}
+
+type outConn struct {
+	mu     sync.Mutex
+	c      net.Conn
+	w      *bufio.Writer
+	dialed bool // we dialed it (vs a reverse route from an inbound conn)
+}
+
+// ListenTCP starts a node listening on addr. addrs maps every cluster
+// member (and optionally clients) to its host:port; outbound connections
+// are dialed lazily and redialed after failures.
+func ListenTCP(id ids.ID, addr string, addrs map[ids.ID]string, h node.Handler) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:      id,
+		handler: h,
+		addrs:   addrs,
+		ln:      ln,
+		inbox:   make(chan envelope, 4096),
+		done:    make(chan struct{}),
+		conns:   make(map[ids.ID]*outConn),
+		start:   time.Now(),
+		rng:     rand.New(rand.NewSource(int64(id) ^ time.Now().UnixNano())),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.eventLoop()
+	return n, nil
+}
+
+// Addr returns the listener's bound address (useful with ":0").
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// Close shuts the node down and waits for its goroutines.
+func (n *TCPNode) Close() {
+	n.once.Do(func() {
+		close(n.done)
+		n.ln.Close()
+		n.connMu.Lock()
+		for _, oc := range n.conns {
+			oc.mu.Lock()
+			if oc.c != nil {
+				oc.c.Close()
+			}
+			oc.mu.Unlock()
+		}
+		n.connMu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *TCPNode) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer c.Close()
+	br := bufio.NewReader(c)
+	var regID ids.ID
+	registered := false
+	defer func() {
+		if registered {
+			n.clearReverse(regID, c)
+		}
+	}()
+	for {
+		from, m, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if !registered {
+			regID = from
+			// Remember the inbound connection as a reverse route so
+			// replies reach peers we cannot dial (e.g. clients behind
+			// ephemeral ports).
+			n.registerReverse(from, c)
+			registered = true
+		}
+		select {
+		case n.inbox <- envelope{from: from, msg: m}:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// registerReverse installs conn as the outbound route to id. A fresh
+// inbound connection replaces a previous reverse route (the peer
+// reconnected) but never displaces a healthy dialed connection.
+func (n *TCPNode) registerReverse(id ids.ID, c net.Conn) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	oc, ok := n.conns[id]
+	if !ok {
+		oc = &outConn{}
+		n.conns[id] = oc
+	}
+	oc.mu.Lock()
+	if oc.c == nil || !oc.dialed {
+		if oc.c != nil && oc.c != c {
+			oc.c.Close()
+		}
+		oc.c = c
+		oc.w = bufio.NewWriter(c)
+		oc.dialed = false
+	}
+	oc.mu.Unlock()
+}
+
+// clearReverse drops a reverse route when its connection dies, so a later
+// reconnect (or dial) can take its place.
+func (n *TCPNode) clearReverse(id ids.ID, c net.Conn) {
+	n.connMu.Lock()
+	oc := n.conns[id]
+	n.connMu.Unlock()
+	if oc == nil {
+		return
+	}
+	oc.mu.Lock()
+	if oc.c == c {
+		oc.c, oc.w = nil, nil
+		oc.dialed = false
+	}
+	oc.mu.Unlock()
+}
+
+func (n *TCPNode) eventLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case env := <-n.inbox:
+			if env.fn != nil {
+				env.fn()
+			} else if n.handler != nil {
+				n.handler.OnMessage(env.from, env.msg)
+			}
+		}
+	}
+}
+
+// ID implements node.Context.
+func (n *TCPNode) ID() ids.ID { return n.id }
+
+// Send implements node.Context. Failures drop the message (the network is
+// allowed to lose messages; protocols retry), and the cached connection is
+// discarded so the next send redials.
+func (n *TCPNode) Send(to ids.ID, m wire.Msg) {
+	if to == n.id {
+		select {
+		case n.inbox <- envelope{from: n.id, msg: m}:
+		case <-n.done:
+		}
+		return
+	}
+	oc := n.conn(to)
+	if oc == nil {
+		// No configured address; a reverse route may still exist.
+		n.connMu.Lock()
+		oc = n.conns[to]
+		n.connMu.Unlock()
+		if oc == nil {
+			return
+		}
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.c == nil {
+		addr, ok := n.addrs[to]
+		if !ok {
+			return
+		}
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return
+		}
+		oc.c = c
+		oc.w = bufio.NewWriter(c)
+		oc.dialed = true
+		// Connections are full-duplex: read replies sent back over this
+		// socket (peers prefer an existing route over dialing back).
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+	if err := WriteFrame(oc.w, n.id, m); err == nil {
+		err = oc.w.Flush()
+		if err == nil {
+			return
+		}
+	}
+	oc.c.Close()
+	oc.c, oc.w = nil, nil
+	oc.dialed = false
+}
+
+func (n *TCPNode) conn(to ids.ID) *outConn {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	oc, ok := n.conns[to]
+	if !ok {
+		if _, known := n.addrs[to]; !known {
+			return nil
+		}
+		oc = &outConn{}
+		n.conns[to] = oc
+	}
+	return oc
+}
+
+// RegisterAddr adds (or updates) a peer address after startup — used for
+// clients that connect with ephemeral identities.
+func (n *TCPNode) RegisterAddr(id ids.ID, addr string) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.addrs == nil {
+		n.addrs = make(map[ids.ID]string)
+	}
+	n.addrs[id] = addr
+}
+
+// After implements node.Context.
+func (n *TCPNode) After(d time.Duration, fn func()) node.Timer {
+	t := &localTimer{}
+	t.t = time.AfterFunc(d, func() {
+		select {
+		case n.inbox <- envelope{fn: func() {
+			if !t.stopped() {
+				fn()
+			}
+		}}:
+		case <-n.done:
+		}
+	})
+	return t
+}
+
+// Now implements node.Context.
+func (n *TCPNode) Now() time.Duration { return time.Since(n.start) }
+
+// Rand implements node.Context.
+func (n *TCPNode) Rand() *rand.Rand {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng
+}
+
+// Work implements node.Context (no-op on live substrates).
+func (n *TCPNode) Work(time.Duration) {}
+
+var _ node.Context = (*TCPNode)(nil)

@@ -1,0 +1,256 @@
+// Package wire defines every protocol message exchanged in the repository
+// and a compact hand-rolled binary codec for them. The same definitions
+// serve both substrates: the live TCP transport frames and ships encoded
+// bytes, while the discrete-event simulator passes messages by value and
+// uses Size (the exact encoded length) to drive its per-byte CPU/network
+// cost model.
+//
+// Encoding is little-endian with fixed-width integers and length-prefixed
+// byte strings. Every message type registers a decoder in init; Decode
+// dispatches on the one-byte type tag.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+)
+
+// Type tags a message on the wire.
+type Type uint8
+
+// Message type tags. The numeric values are part of the wire format.
+const (
+	TRequest Type = iota + 1
+	TReply
+	TP1a
+	TP1b
+	TP2a
+	TP2b
+	TP3
+	TRelayP1a
+	TAggP1b
+	TRelayP2a
+	TAggP2b
+	TRelayP3
+	TPreAccept
+	TPreAcceptReply
+	TAccept
+	TAcceptReply
+	TCommit
+	TQReadReq
+	TQReadReply
+	THeartbeat
+	TCatchupReq
+	TCatchupReply
+	THeartbeatAck
+	maxType
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	names := map[Type]string{
+		TRequest: "Request", TReply: "Reply",
+		TP1a: "P1a", TP1b: "P1b", TP2a: "P2a", TP2b: "P2b", TP3: "P3",
+		TRelayP1a: "RelayP1a", TAggP1b: "AggP1b",
+		TRelayP2a: "RelayP2a", TAggP2b: "AggP2b", TRelayP3: "RelayP3",
+		TPreAccept: "PreAccept", TPreAcceptReply: "PreAcceptReply",
+		TAccept: "Accept", TAcceptReply: "AcceptReply", TCommit: "Commit",
+		TQReadReq: "QReadReq", TQReadReply: "QReadReply",
+		THeartbeat:  "Heartbeat",
+		TCatchupReq: "CatchupReq", TCatchupReply: "CatchupReply",
+		THeartbeatAck: "HeartbeatAck",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Msg is implemented by every wire message.
+type Msg interface {
+	// Type returns the wire tag.
+	Type() Type
+	// Size returns the exact encoded body length in bytes.
+	Size() int
+	// append encodes the body onto b.
+	append(b []byte) []byte
+}
+
+// Encode serializes m as [1-byte type][body] and appends to dst.
+func Encode(dst []byte, m Msg) []byte {
+	dst = append(dst, byte(m.Type()))
+	return m.append(dst)
+}
+
+// Decode parses one message from data (as produced by Encode). It returns
+// the message and the number of bytes consumed.
+func Decode(data []byte) (Msg, int, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("wire: empty buffer")
+	}
+	t := Type(data[0])
+	if t == 0 || t >= maxType {
+		return nil, 0, fmt.Errorf("wire: unknown message type %d", data[0])
+	}
+	r := &reader{b: data, off: 1}
+	m := decoders[t](r)
+	if r.err != nil {
+		return nil, 0, fmt.Errorf("wire: decoding %v: %w", t, r.err)
+	}
+	return m, r.off, nil
+}
+
+var decoders [maxType]func(*reader) Msg
+
+// ---- low-level encode/decode helpers ----
+
+func putU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func putBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+func putBytes(b []byte, v []byte) []byte {
+	b = putU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+func putIDs(b []byte, v []ids.ID) []byte {
+	b = putU16(b, uint16(len(v)))
+	for _, id := range v {
+		b = putU32(b, uint32(id))
+	}
+	return b
+}
+
+const (
+	szBool   = 1
+	szU16    = 2
+	szU32    = 4
+	szU64    = 8
+	szID     = 4
+	szBallot = 8
+)
+
+func szBytes(v []byte) int { return szU32 + len(v) }
+func szIDs(v []ids.ID) int { return szU16 + szID*len(v) }
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("short buffer at offset %d", r.off)
+	}
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) boolean() bool {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return false
+	}
+	v := r.b[r.off] != 0
+	r.off++
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.b[r.off:r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *reader) id() ids.ID         { return ids.ID(r.u32()) }
+func (r *reader) ballot() ids.Ballot { return ids.Ballot(r.u64()) }
+
+func (r *reader) idSlice() []ids.ID {
+	n := int(r.u16())
+	if r.err != nil || r.off+4*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]ids.ID, n)
+	for i := range v {
+		v[i] = r.id()
+	}
+	return v
+}
+
+// ---- command encoding (shared by several messages) ----
+
+func putCmd(b []byte, c kvstore.Command) []byte {
+	b = append(b, byte(c.Op))
+	b = putU64(b, c.Key)
+	b = putBytes(b, c.Value)
+	b = putU64(b, c.ClientID)
+	b = putU64(b, c.Seq)
+	return b
+}
+
+func szCmd(c kvstore.Command) int { return 1 + szU64 + szBytes(c.Value) + szU64 + szU64 }
+
+func (r *reader) cmd() kvstore.Command {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return kvstore.Command{}
+	}
+	op := kvstore.Op(r.b[r.off])
+	r.off++
+	return kvstore.Command{
+		Op:       op,
+		Key:      r.u64(),
+		Value:    r.bytes(),
+		ClientID: r.u64(),
+		Seq:      r.u64(),
+	}
+}

@@ -1,0 +1,151 @@
+// Package workload generates the paper's benchmark workloads: commands over
+// a fixed key space (1000 distinct 8-byte keys by default) with a uniform or
+// zipfian key distribution, a configurable read ratio (the paper's default
+// is an even read/write mix, §5.2), and configurable value payload sizes
+// (8 bytes by default, up to 1280 in the Figure 12 sweep).
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"pigpaxos/internal/kvstore"
+)
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+const (
+	// Uniform draws every key with equal probability (the paper's
+	// setting).
+	Uniform Distribution = iota
+	// Zipfian draws keys with a zipf(θ) skew, for hot-spot experiments.
+	Zipfian
+)
+
+// Config describes a workload.
+type Config struct {
+	// Keys is the number of distinct keys (default 1000).
+	Keys int
+	// ReadRatio is the fraction of GET operations (default 0.5).
+	ReadRatio float64
+	// PayloadSize is the value size in bytes for writes (default 8).
+	PayloadSize int
+	// Dist selects the key distribution.
+	Dist Distribution
+	// Theta is the zipfian skew parameter (default 0.99, YCSB-style).
+	Theta float64
+
+	// readRatioSet distinguishes an explicit 0 (write-only) from the
+	// unset zero value; set via WriteOnly.
+	readRatioSet bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Keys == 0 {
+		c.Keys = 1000
+	}
+	if c.ReadRatio == 0 && !c.readRatioSet {
+		c.ReadRatio = 0.5
+	}
+	if c.PayloadSize == 0 {
+		c.PayloadSize = 8
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+}
+
+// Generator produces commands for one client.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *zipf
+	payload []byte
+}
+
+// WriteOnly returns a copy of c that issues only writes (the paper's
+// Figure 12 payload sweep uses a write-only workload).
+func (c Config) WriteOnly() Config {
+	c.ReadRatio = 0
+	c.readRatioSet = true
+	return c
+}
+
+// New creates a generator drawing randomness from rng (pass the simulation
+// RNG for deterministic workloads).
+func New(cfg Config, rng *rand.Rand) *Generator {
+	cfg.applyDefaults()
+	g := &Generator{cfg: cfg, rng: rng}
+	if cfg.Dist == Zipfian {
+		g.zipf = newZipf(rng, cfg.Theta, uint64(cfg.Keys))
+	}
+	g.payload = make([]byte, cfg.PayloadSize)
+	for i := range g.payload {
+		g.payload[i] = byte(i)
+	}
+	return g
+}
+
+// Next produces the next command for the given client identity and sequence
+// number. The returned command shares the generator's payload buffer; the
+// state machine copies on apply.
+func (g *Generator) Next(clientID, seq uint64) kvstore.Command {
+	key := g.key()
+	if g.rng.Float64() < g.cfg.ReadRatio {
+		return kvstore.Command{Op: kvstore.Get, Key: key, ClientID: clientID, Seq: seq}
+	}
+	return kvstore.Command{
+		Op: kvstore.Put, Key: key, Value: g.payload,
+		ClientID: clientID, Seq: seq,
+	}
+}
+
+func (g *Generator) key() uint64 {
+	if g.zipf != nil {
+		return g.zipf.next()
+	}
+	return uint64(g.rng.Intn(g.cfg.Keys))
+}
+
+// zipf implements the Gray et al. quick zipf sampler (the same construction
+// YCSB uses), independent of math/rand.Zipf so the skew matches YCSB θ.
+type zipf struct {
+	rng             *rand.Rand
+	n               uint64
+	theta           float64
+	alpha, zetan    float64
+	eta, zetaTheta2 float64
+}
+
+func newZipf(rng *rand.Rand, theta float64, n uint64) *zipf {
+	if n == 0 {
+		n = 1
+	}
+	z := &zipf{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zetaTheta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zetaTheta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipf) next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"pigpaxos/internal/kvstore"
+)
+
+func TestDefaults(t *testing.T) {
+	g := New(Config{}, rand.New(rand.NewSource(1)))
+	reads, writes := 0, 0
+	keys := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		c := g.Next(1, uint64(i))
+		if c.Key >= 1000 {
+			t.Fatalf("key %d out of default 1000-key space", c.Key)
+		}
+		keys[c.Key] = true
+		if c.IsRead() {
+			reads++
+		} else {
+			writes++
+			if len(c.Value) != 8 {
+				t.Fatalf("default payload = %d bytes, want 8", len(c.Value))
+			}
+		}
+	}
+	if reads < 4500 || reads > 5500 {
+		t.Errorf("read ratio: %d/10000 reads, want ≈ 5000", reads)
+	}
+	if len(keys) < 900 {
+		t.Errorf("uniform draw touched only %d of 1000 keys", len(keys))
+	}
+}
+
+func TestWriteOnly(t *testing.T) {
+	g := New(Config{}.WriteOnly(), rand.New(rand.NewSource(1)))
+	for i := 0; i < 1000; i++ {
+		if g.Next(1, uint64(i)).IsRead() {
+			t.Fatal("write-only workload produced a read")
+		}
+	}
+}
+
+func TestPayloadSize(t *testing.T) {
+	g := New(Config{PayloadSize: 1280}.WriteOnly(), rand.New(rand.NewSource(1)))
+	c := g.Next(1, 1)
+	if len(c.Value) != 1280 {
+		t.Errorf("payload = %d, want 1280", len(c.Value))
+	}
+}
+
+func TestClientIdentityStamped(t *testing.T) {
+	g := New(Config{}, rand.New(rand.NewSource(1)))
+	c := g.Next(42, 7)
+	if c.ClientID != 42 || c.Seq != 7 {
+		t.Errorf("identity not stamped: %+v", c)
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	g := New(Config{Keys: 10}, rand.New(rand.NewSource(2)))
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next(1, uint64(i)).Key]++
+	}
+	for k, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("key %d drawn %d times, want ≈ %d", k, c, n/10)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := New(Config{Keys: 1000, Dist: Zipfian}, rand.New(rand.NewSource(3)))
+	counts := make(map[uint64]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		c := g.Next(1, uint64(i))
+		if c.Key >= 1000 {
+			t.Fatalf("zipf key %d out of range", c.Key)
+		}
+		counts[c.Key]++
+	}
+	// Hot key should dominate: key 0 gets far more than uniform share.
+	if counts[0] < 5*n/1000 {
+		t.Errorf("zipf hot key drawn %d times, want ≫ uniform %d", counts[0], n/1000)
+	}
+	if len(counts) < 100 {
+		t.Errorf("zipf touched only %d keys, too degenerate", len(counts))
+	}
+}
+
+func TestZipfDeterministicWithSeed(t *testing.T) {
+	mk := func() []uint64 {
+		g := New(Config{Keys: 50, Dist: Zipfian}, rand.New(rand.NewSource(9)))
+		out := make([]uint64, 100)
+		for i := range out {
+			out[i] = g.Next(1, uint64(i)).Key
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same key sequence")
+		}
+	}
+}
+
+func TestReadsCarryNoPayload(t *testing.T) {
+	g := New(Config{ReadRatio: 1.0, PayloadSize: 1280}, rand.New(rand.NewSource(1)))
+	c := g.Next(1, 1)
+	if c.Op != kvstore.Get || c.Value != nil {
+		t.Errorf("read with payload: %+v", c)
+	}
+}

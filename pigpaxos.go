@@ -1,0 +1,454 @@
+// Package pigpaxos is a strongly consistent replicated key-value store
+// built on the PigPaxos consensus protocol (Charapko, Ailijiang, Demirbas:
+// "PigPaxos: Devouring the Communication Bottlenecks in Distributed
+// Consensus"), with classical Multi-Paxos and EPaxos as selectable
+// baselines.
+//
+// PigPaxos removes the Paxos leader's communication bottleneck by routing
+// fan-out/fan-in through randomly rotating relay nodes, one per statically
+// configured relay group: the leader exchanges 2r+2 messages per command
+// (r = relay groups) instead of 2(N−1)+2, which lets consensus scale
+// vertically to tens of nodes within one conflict domain.
+//
+// The package offers three ways to run:
+//
+//   - NewCluster: an in-process cluster over channels, for embedding and
+//     experimentation (see examples/quickstart).
+//   - internal TCP transport via cmd/pigserver for real deployments.
+//   - Bench: deterministic discrete-event simulations reproducing every
+//     figure and table of the paper (see cmd/pigbench and bench_test.go).
+package pigpaxos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/epaxos"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/paxos"
+	"pigpaxos/internal/pigpaxos"
+	"pigpaxos/internal/pqr"
+	"pigpaxos/internal/transport"
+	"pigpaxos/internal/wire"
+)
+
+// Protocol selects the replication protocol of a cluster.
+type Protocol int
+
+// Supported protocols.
+const (
+	// ProtocolPigPaxos is the paper's contribution (default).
+	ProtocolPigPaxos Protocol = iota
+	// ProtocolPaxos is classical Multi-Paxos with a stable leader.
+	ProtocolPaxos
+	// ProtocolEPaxos is leaderless Egalitarian Paxos.
+	ProtocolEPaxos
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolPigPaxos:
+		return "pigpaxos"
+	case ProtocolPaxos:
+		return "paxos"
+	case ProtocolEPaxos:
+		return "epaxos"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol converts a protocol name ("pigpaxos", "paxos", "epaxos").
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "pigpaxos", "pig":
+		return ProtocolPigPaxos, nil
+	case "paxos", "multipaxos":
+		return ProtocolPaxos, nil
+	case "epaxos":
+		return ProtocolEPaxos, nil
+	default:
+		return 0, fmt.Errorf("pigpaxos: unknown protocol %q", s)
+	}
+}
+
+// ReadMode selects the read path for Paxos/PigPaxos clusters (§4.3 of the
+// paper discusses the trade-offs; EPaxos always orders reads itself).
+type ReadMode int
+
+const (
+	// ReadLog serializes reads through the replicated log: a consensus
+	// round per read, always linearizable (the paper's default).
+	ReadLog ReadMode = iota
+	// ReadLease serves reads locally at the leader under a heartbeat
+	// lease: linearizable and much cheaper.
+	ReadLease
+	// ReadAny answers from whichever replica is asked. Fast but stale
+	// reads are possible — provided for comparison and testing.
+	ReadAny
+)
+
+// Options configures an in-process cluster.
+type Options struct {
+	// N is the cluster size (default 3).
+	N int
+	// Protocol selects the replication protocol (default PigPaxos).
+	Protocol Protocol
+	// RelayGroups is PigPaxos' r (default 2; ignored by the baselines).
+	// The paper's evaluation (§5.3) finds small values best.
+	RelayGroups int
+	// RelayTimeout bounds relay-side aggregation waits (default 50ms).
+	RelayTimeout time.Duration
+	// ElectionTimeout enables automatic leader failover when positive.
+	ElectionTimeout time.Duration
+	// ReadMode selects the read path (Paxos/PigPaxos only).
+	ReadMode ReadMode
+}
+
+func (o Options) paxosReadMode() paxos.ReadMode {
+	switch o.ReadMode {
+	case ReadLease:
+		return paxos.ReadLease
+	case ReadAny:
+		return paxos.ReadAny
+	default:
+		return paxos.ReadLog
+	}
+}
+
+func (o *Options) applyDefaults() {
+	if o.N == 0 {
+		o.N = 3
+	}
+	if o.RelayGroups == 0 {
+		o.RelayGroups = 2
+	}
+	if o.RelayTimeout == 0 {
+		o.RelayTimeout = 50 * time.Millisecond
+	}
+}
+
+// Cluster is an in-process replicated KV cluster over the channel bus.
+type Cluster struct {
+	opts     Options
+	bus      *transport.LocalBus
+	cc       config.Cluster
+	handlers map[ids.ID]node.Handler
+	nodes    map[ids.ID]*transport.LocalNode
+	stores   map[ids.ID]*kvstore.Store
+
+	clientMu sync.Mutex
+	nextCl   int
+}
+
+// NewCluster starts an N-node cluster in the current process. Call Close
+// when done.
+func NewCluster(opts Options) (*Cluster, error) {
+	opts.applyDefaults()
+	if opts.Protocol == ProtocolPigPaxos && opts.RelayGroups >= opts.N {
+		return nil, fmt.Errorf("pigpaxos: %d relay groups need a cluster larger than %d", opts.RelayGroups, opts.N)
+	}
+	cc := config.NewLAN(opts.N)
+	c := &Cluster{
+		opts:     opts,
+		bus:      transport.NewLocalBus(),
+		cc:       cc,
+		handlers: make(map[ids.ID]node.Handler),
+		nodes:    make(map[ids.ID]*transport.LocalNode),
+		stores:   make(map[ids.ID]*kvstore.Store),
+	}
+	type starter interface{ Start() }
+	starters := make([]starter, 0, opts.N)
+	for _, id := range cc.Nodes {
+		tr := &relay{}
+		n, err := c.bus.Node(id, tr)
+		if err != nil {
+			c.bus.Close()
+			return nil, err
+		}
+		c.nodes[id] = n
+		switch opts.Protocol {
+		case ProtocolPaxos:
+			r := paxos.New(n, paxos.Config{
+				Cluster: cc, ID: id, InitialLeader: cc.Nodes[0],
+				ElectionTimeout: opts.ElectionTimeout,
+				ReadMode:        opts.paxosReadMode(),
+			}, nil)
+			tr.h = withQuorumReads(n, r.Store(), r.OnMessage)
+			c.stores[id] = r.Store()
+			starters = append(starters, r)
+		case ProtocolEPaxos:
+			r := epaxos.New(n, epaxos.Config{Cluster: cc, ID: id})
+			tr.h = withQuorumReads(n, r.Store(), r.OnMessage)
+			c.stores[id] = r.Store()
+			starters = append(starters, r)
+		default:
+			r := pigpaxos.New(n, pigpaxos.Config{
+				Paxos: paxos.Config{
+					Cluster: cc, ID: id, InitialLeader: cc.Nodes[0],
+					ElectionTimeout: opts.ElectionTimeout,
+					ReadMode:        opts.paxosReadMode(),
+				},
+				NumGroups:    opts.RelayGroups,
+				RelayTimeout: opts.RelayTimeout,
+			})
+			tr.h = withQuorumReads(n, r.Core().Store(), r.OnMessage)
+			c.stores[id] = r.Core().Store()
+			starters = append(starters, r)
+		}
+	}
+	// Start each replica on its own event loop.
+	var wg sync.WaitGroup
+	for _, id := range cc.Nodes {
+		id := id
+		wg.Add(1)
+		s := starters[indexOf(cc.Nodes, id)]
+		c.post(id, func() { s.Start(); wg.Done() })
+	}
+	wg.Wait()
+	return c, nil
+}
+
+func indexOf(s []ids.ID, id ids.ID) int {
+	for i, v := range s {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// withQuorumReads interposes a pqr.Responder on a replica's dispatch so
+// every node answers Paxos-Quorum-Read version probes (§4.3).
+func withQuorumReads(ctx node.Context, store *kvstore.Store, inner func(ids.ID, wire.Msg)) func(ids.ID, wire.Msg) {
+	resp := pqr.NewResponder(ctx, store)
+	return func(from ids.ID, m wire.Msg) {
+		if req, ok := m.(wire.QReadReq); ok {
+			resp.OnRequest(from, req)
+			return
+		}
+		inner(from, m)
+	}
+}
+
+// relay adapts a late-bound handler function to node.Handler.
+type relay struct {
+	mu sync.Mutex
+	h  func(from ids.ID, m wire.Msg)
+}
+
+// OnMessage implements node.Handler.
+func (r *relay) OnMessage(from ids.ID, m wire.Msg) {
+	r.mu.Lock()
+	h := r.h
+	r.mu.Unlock()
+	if h != nil {
+		h(from, m)
+	}
+}
+
+// post runs fn on a node's event loop (via a zero-delay timer).
+func (c *Cluster) post(id ids.ID, fn func()) {
+	c.nodes[id].After(0, fn)
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() { c.bus.Close() }
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.opts.N }
+
+// Leader returns the 1-based index of the initial leader node.
+func (c *Cluster) Leader() int { return 1 }
+
+// Client opens a synchronous client session against the cluster.
+func (c *Cluster) Client() (*Client, error) {
+	c.clientMu.Lock()
+	c.nextCl++
+	idx := c.nextCl
+	c.clientMu.Unlock()
+	id := ids.NewID(999, idx)
+	cl := &Client{
+		cluster: c,
+		id:      uint64(idx),
+		replies: make(chan wire.Reply, 16),
+		timeout: 5 * time.Second,
+	}
+	n, err := c.bus.Node(id, cl)
+	if err != nil {
+		return nil, err
+	}
+	cl.node = n
+	// Every client knows the whole membership: EPaxos clients round-robin
+	// across it, the leader-based protocols start at the initial leader
+	// and rotate only on timeouts (crash failover).
+	cl.targets = c.cc.Nodes
+	if c.opts.Protocol == ProtocolEPaxos {
+		cl.rr = idx % len(c.cc.Nodes)
+	}
+	cl.qresults = make(chan pqr.Result, 1)
+	cl.qreader = pqr.New(n, pqr.Config{Members: c.cc.Nodes}, nil)
+	return cl, nil
+}
+
+// StopNode crashes the 1-based node i: it stops processing and all traffic
+// to it is dropped. With ElectionTimeout configured the survivors elect a
+// new leader and clients fail over transparently.
+func (c *Cluster) StopNode(i int) error {
+	if i < 1 || i > len(c.cc.Nodes) {
+		return fmt.Errorf("pigpaxos: node %d out of range 1..%d", i, len(c.cc.Nodes))
+	}
+	c.bus.Stop(c.cc.Nodes[i-1])
+	return nil
+}
+
+// Client is a synchronous KV client. It is safe for use from one goroutine;
+// open one client per goroutine.
+type Client struct {
+	cluster *Cluster
+	node    *transport.LocalNode
+	id      uint64
+	seq     uint64
+	targets []ids.ID
+	rr      int
+	replies chan wire.Reply
+	timeout time.Duration
+
+	qreader  *pqr.Reader
+	qresults chan pqr.Result
+}
+
+// OnMessage implements node.Handler (internal use).
+func (cl *Client) OnMessage(from ids.ID, m wire.Msg) {
+	switch v := m.(type) {
+	case wire.Reply:
+		select {
+		case cl.replies <- v:
+		default:
+		}
+	case wire.QReadReply:
+		cl.qreader.OnReply(v)
+	}
+}
+
+// SetTimeout adjusts the per-operation timeout (default 5s).
+func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
+
+func (cl *Client) do(cmd kvstore.Command) (wire.Reply, error) {
+	cl.seq++
+	cmd.ClientID = cl.id
+	cmd.Seq = cl.seq
+	// Try each known node in turn: the preferred target first, rotating
+	// on per-attempt timeouts so a crashed leader does not strand the
+	// client (redirect replies re-route immediately).
+	attempts := len(cl.targets)
+	if attempts < 1 {
+		attempts = 1
+	}
+	perAttempt := cl.timeout / time.Duration(attempts)
+	if perAttempt <= 0 {
+		perAttempt = cl.timeout
+	}
+	for a := 0; a < attempts; a++ {
+		target := cl.targets[(cl.rr+a)%len(cl.targets)]
+		cl.node.Send(target, wire.Request{Cmd: cmd})
+		deadline := time.After(perAttempt)
+	waiting:
+		for {
+			select {
+			case rep := <-cl.replies:
+				if rep.Seq != cl.seq {
+					continue // stale reply from an earlier attempt
+				}
+				if !rep.OK {
+					if rep.Leader.IsZero() {
+						return rep, fmt.Errorf("pigpaxos: request rejected")
+					}
+					cl.node.Send(rep.Leader, wire.Request{Cmd: cmd})
+					continue
+				}
+				if cl.cluster.opts.Protocol == ProtocolEPaxos {
+					cl.rr++
+				}
+				return rep, nil
+			case <-deadline:
+				break waiting
+			}
+		}
+	}
+	return wire.Reply{}, fmt.Errorf("pigpaxos: operation timed out after %v", cl.timeout)
+}
+
+// Put stores value under key.
+func (cl *Client) Put(key uint64, value []byte) error {
+	_, err := cl.do(kvstore.Command{Op: kvstore.Put, Key: key, Value: value})
+	return err
+}
+
+// Get reads the value of key; found reports whether the key exists.
+func (cl *Client) Get(key uint64) (value []byte, found bool, err error) {
+	rep, err := cl.do(kvstore.Command{Op: kvstore.Get, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return rep.Value, rep.Exists, nil
+}
+
+// Delete removes key; found reports whether it existed.
+func (cl *Client) Delete(key uint64) (found bool, err error) {
+	rep, err := cl.do(kvstore.Command{Op: kvstore.Delete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return rep.Exists, nil
+}
+
+// QuorumRead performs a Paxos Quorum Read (§4.3): it probes a majority of
+// replicas for their version of key and returns the stable newest value,
+// without involving the leader or the log. The read is linearizable with
+// respect to completed writes.
+func (cl *Client) QuorumRead(key uint64) (value []byte, found bool, err error) {
+	// The reader must run on the client's event loop.
+	cl.node.After(0, func() {
+		cl.qreader.Read(key, func(r pqr.Result) {
+			select {
+			case cl.qresults <- r:
+			default:
+			}
+		})
+	})
+	select {
+	case r := <-cl.qresults:
+		if r.Failed {
+			return nil, false, fmt.Errorf("pigpaxos: quorum read did not stabilize")
+		}
+		return r.Value, r.Exists, nil
+	case <-time.After(cl.timeout):
+		return nil, false, fmt.Errorf("pigpaxos: quorum read timed out")
+	}
+}
+
+// StoreChecksums returns each replica's state-machine checksum, in node
+// order. Equal checksums mean converged replicas; useful in tests and
+// health checks.
+func (c *Cluster) StoreChecksums() []uint64 {
+	out := make([]uint64, 0, len(c.cc.Nodes))
+	for _, id := range c.cc.Nodes {
+		out = append(out, c.stores[id].Checksum())
+	}
+	return out
+}
+
+// StoreApplied returns each replica's applied-command count, in node order.
+func (c *Cluster) StoreApplied() []uint64 {
+	out := make([]uint64, 0, len(c.cc.Nodes))
+	for _, id := range c.cc.Nodes {
+		out = append(out, c.stores[id].Applied())
+	}
+	return out
+}

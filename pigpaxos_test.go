@@ -1,0 +1,250 @@
+package pigpaxos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClusterPutGetDelete(t *testing.T) {
+	for _, p := range []Protocol{ProtocolPigPaxos, ProtocolPaxos, ProtocolEPaxos} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			c, err := NewCluster(Options{N: 5, Protocol: p, RelayGroups: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			cl, err := c.Client()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Put(1, []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := cl.Get(1)
+			if err != nil || !ok || string(v) != "hello" {
+				t.Fatalf("get: %q %v %v", v, ok, err)
+			}
+			found, err := cl.Delete(1)
+			if err != nil || !found {
+				t.Fatalf("delete: %v %v", found, err)
+			}
+			_, ok, err = cl.Get(1)
+			if err != nil || ok {
+				t.Fatalf("get after delete: %v %v", ok, err)
+			}
+		})
+	}
+}
+
+func TestClusterGetMissing(t *testing.T) {
+	c, err := NewCluster(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _ := c.Client()
+	_, ok, err := cl.Get(424242)
+	if err != nil || ok {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestClusterConcurrentClients(t *testing.T) {
+	c, err := NewCluster(Options{N: 5, RelayGroups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		cl, err := c.Client()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, cl *Client) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key := uint64(g*1000 + i)
+				if err := cl.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					errs <- err
+					return
+				}
+				if _, ok, err := cl.Get(key); err != nil || !ok {
+					errs <- fmt.Errorf("get %d: ok=%v err=%v", key, ok, err)
+					return
+				}
+			}
+		}(g, cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterReplicasConverge(t *testing.T) {
+	c, err := NewCluster(Options{N: 5, RelayGroups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _ := c.Client()
+	for i := 0; i < 30; i++ {
+		if err := cl.Put(uint64(i%5), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Commit watermarks ride on heartbeats; allow them to flush.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		applied := c.StoreApplied()
+		all := true
+		for _, a := range applied {
+			if a != applied[0] {
+				all = false
+			}
+		}
+		if all && applied[0] >= 30 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas did not converge: %v", applied)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sums := c.StoreChecksums()
+	for _, s := range sums[1:] {
+		if s != sums[0] {
+			t.Fatalf("replica state diverged: %v", sums)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Options{N: 3, RelayGroups: 3}); err == nil {
+		t.Error("relay groups ≥ N must be rejected")
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for s, want := range map[string]Protocol{
+		"pigpaxos": ProtocolPigPaxos, "pig": ProtocolPigPaxos,
+		"paxos": ProtocolPaxos, "multipaxos": ProtocolPaxos,
+		"epaxos": ProtocolEPaxos,
+	} {
+		got, err := ParseProtocol(s)
+		if err != nil || got != want {
+			t.Errorf("ParseProtocol(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseProtocol("raft"); err == nil {
+		t.Error("unknown protocol must error")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtocolPigPaxos.String() != "pigpaxos" || ProtocolPaxos.String() != "paxos" || ProtocolEPaxos.String() != "epaxos" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestBenchFacade(t *testing.T) {
+	r := Bench(BenchOptions{
+		Protocol: ProtocolPigPaxos,
+		N:        9, RelayGroups: 3, Clients: 20,
+		Warmup: 100 * time.Millisecond, Measure: 500 * time.Millisecond,
+	})
+	if r.Throughput < 100 || r.MeanLatency <= 0 {
+		t.Fatalf("bench: %+v", r)
+	}
+	// Determinism through the facade.
+	r2 := Bench(BenchOptions{
+		Protocol: ProtocolPigPaxos,
+		N:        9, RelayGroups: 3, Clients: 20,
+		Warmup: 100 * time.Millisecond, Measure: 500 * time.Millisecond,
+	})
+	if r.Throughput != r2.Throughput {
+		t.Error("facade bench must be deterministic")
+	}
+}
+
+func TestClusterLeaderFailover(t *testing.T) {
+	c, err := NewCluster(Options{
+		N: 5, RelayGroups: 2,
+		ElectionTimeout: 150 * time.Millisecond,
+		RelayTimeout:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _ := c.Client()
+	cl.SetTimeout(10 * time.Second)
+	if err := cl.Put(1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StopNode(c.Leader()); err != nil {
+		t.Fatal(err)
+	}
+	// The next operation must succeed via the newly elected leader.
+	if err := cl.Put(2, []byte("after")); err != nil {
+		t.Fatalf("put after leader crash: %v", err)
+	}
+	v, ok, err := cl.Get(2)
+	if err != nil || !ok || string(v) != "after" {
+		t.Fatalf("get after failover: %q %v %v", v, ok, err)
+	}
+}
+
+func TestClusterQuorumRead(t *testing.T) {
+	c, err := NewCluster(Options{N: 5, RelayGroups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _ := c.Client()
+	if err := cl.Put(7, []byte("pqr-value")); err != nil {
+		t.Fatal(err)
+	}
+	// Commit watermarks need a heartbeat to reach a majority of stores.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		v, ok, err := cl.QuorumRead(7)
+		if err == nil && ok && string(v) == "pqr-value" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quorum read: %q %v %v", v, ok, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Missing keys read cleanly too.
+	_, ok, err := cl.QuorumRead(424242)
+	if err != nil || ok {
+		t.Fatalf("missing quorum read: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestClusterLeaseReads(t *testing.T) {
+	c, err := NewCluster(Options{N: 5, RelayGroups: 2, ReadMode: ReadLease})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _ := c.Client()
+	if err := cl.Put(3, []byte("leased")); err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeat acks establish the lease within ~2 intervals.
+	time.Sleep(100 * time.Millisecond)
+	v, ok, err := cl.Get(3)
+	if err != nil || !ok || string(v) != "leased" {
+		t.Fatalf("lease read: %q %v %v", v, ok, err)
+	}
+}

@@ -32,6 +32,16 @@ type BenchOptions struct {
 	Warmup, Measure time.Duration
 	// Seed drives all randomness; equal seeds give identical runs.
 	Seed int64
+	// BatchSize caps commands per log slot at the leader (≤1 = unbatched).
+	// Batching amortizes the per-slot fan-out round over the whole batch
+	// and multiplies saturation throughput for Paxos and PigPaxos alike.
+	BatchSize int
+	// BatchDelay holds under-full batches open at the leader (0 = group
+	// commit: batches form only while the pipeline window is full).
+	BatchDelay time.Duration
+	// MaxInFlight bounds uncommitted slots in flight at the leader
+	// (pipelining window; defaults to 4 when BatchSize > 1).
+	MaxInFlight int
 }
 
 // BenchResult is a simulated benchmark measurement.
@@ -42,19 +52,28 @@ type BenchResult struct {
 	MeanLatency, P99Latency time.Duration
 	// Messages is the total network messages sent during the run.
 	Messages uint64
+	// MeanBatchSize is commands per proposed slot at the leader (1 when
+	// batching is off; 0 for EPaxos).
+	MeanBatchSize float64
+	// MsgsPerCmd is cluster-wide network messages per command executed at
+	// the leader — the amortization batching buys.
+	MsgsPerCmd float64
 }
 
 // Bench runs one simulated benchmark and returns its measurements.
 func Bench(opts BenchOptions) BenchResult {
 	o := harness.Options{
-		N:          opts.N,
-		WAN:        opts.WAN,
-		ZoneGroups: opts.WAN,
-		Clients:    opts.Clients,
-		NumGroups:  opts.RelayGroups,
-		Warmup:     opts.Warmup,
-		Measure:    opts.Measure,
-		Seed:       opts.Seed,
+		N:           opts.N,
+		WAN:         opts.WAN,
+		ZoneGroups:  opts.WAN,
+		Clients:     opts.Clients,
+		NumGroups:   opts.RelayGroups,
+		Warmup:      opts.Warmup,
+		Measure:     opts.Measure,
+		Seed:        opts.Seed,
+		BatchSize:   opts.BatchSize,
+		BatchDelay:  opts.BatchDelay,
+		MaxInFlight: opts.MaxInFlight,
 	}
 	switch opts.Protocol {
 	case ProtocolPaxos:
@@ -74,9 +93,11 @@ func Bench(opts BenchOptions) BenchResult {
 	}
 	r := harness.Run(o)
 	return BenchResult{
-		Throughput:  r.Throughput,
-		MeanLatency: r.Latency.Mean,
-		P99Latency:  r.Latency.P99,
-		Messages:    r.Messages,
+		Throughput:    r.Throughput,
+		MeanLatency:   r.Latency.Mean,
+		P99Latency:    r.Latency.P99,
+		Messages:      r.Messages,
+		MeanBatchSize: r.MeanBatchSize,
+		MsgsPerCmd:    r.MsgsPerCmd,
 	}
 }

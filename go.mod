@@ -1,0 +1,3 @@
+module pigpaxos
+
+go 1.24

@@ -337,6 +337,47 @@ func (s Suite) Fig13FaultTolerance() Report {
 	return rep
 }
 
+// BatchSizeSweep is the batch-size ladder of the batching study.
+var BatchSizeSweep = []int{1, 4, 16, 64}
+
+// BatchSweep measures leader-side command batching (not in the paper; the
+// natural next step after its per-message leader cost analysis): saturation
+// throughput, realized mean batch size, and cluster messages per command
+// for Paxos and PigPaxos as the batch-size cap grows, on the 25-node
+// cluster at 200 clients. BatchSize 1 is the paper's unbatched baseline.
+func (s Suite) BatchSweep() Report {
+	rep := Report{
+		ID:     "Batching",
+		Title:  "Batch-size sweep, 25-node cluster, 200 clients (PigPaxos: 3 relay groups)",
+		Header: []string{"system", "batch cap", "throughput (req/s)", "mean batch", "msgs/cmd", "mean latency (ms)", "p99 (ms)"},
+		Raw:    map[string]float64{},
+	}
+	for _, proto := range []Protocol{Paxos, PigPaxos} {
+		for _, b := range BatchSizeSweep {
+			o := s.base()
+			o.Protocol = proto
+			o.N = 25
+			o.NumGroups = 3
+			o.Clients = 200
+			o.BatchSize = b
+			r := Run(o)
+			rep.Rows = append(rep.Rows, []string{
+				proto.String(),
+				fmt.Sprintf("%d", b),
+				fmt.Sprintf("%.0f", r.Throughput),
+				fmt.Sprintf("%.1f", r.MeanBatchSize),
+				fmt.Sprintf("%.1f", r.MsgsPerCmd),
+				fmt.Sprintf("%.2f", float64(r.Latency.Mean.Microseconds())/1000),
+				fmt.Sprintf("%.2f", float64(r.Latency.P99.Microseconds())/1000),
+			})
+			rep.Raw[fmt.Sprintf("%s_b%d", proto, b)] = r.Throughput
+			rep.Raw[fmt.Sprintf("%s_b%d_batch", proto, b)] = r.MeanBatchSize
+			rep.Raw[fmt.Sprintf("%s_b%d_msgs", proto, b)] = r.MsgsPerCmd
+		}
+	}
+	return rep
+}
+
 // Table1MessageLoad regenerates Table 1 (25-node analytical message loads),
 // cross-checked against messages actually counted on the simulated network.
 func (s Suite) Table1MessageLoad() Report {

@@ -66,6 +66,18 @@ type Options struct {
 	// Net overrides the simulator cost model (zero → DefaultOptions).
 	Net netsim.Options
 
+	// BatchSize caps commands per log slot at the leader (≤1 = unbatched,
+	// the paper's behaviour). Applies to Paxos and PigPaxos alike — the
+	// relay plane forwards batched P2as transparently.
+	BatchSize int
+	// BatchDelay holds under-full batches open at the leader (0 = group
+	// commit: batches form only while the pipeline window is full).
+	BatchDelay time.Duration
+	// MaxInFlight bounds uncommitted slots in flight at the leader
+	// (pipelining window). Defaults to 4 when BatchSize > 1 — without a
+	// window, closed-loop clients never let batches accumulate.
+	MaxInFlight int
+
 	// NumGroups is PigPaxos' r.
 	NumGroups int
 	// ZoneGroups uses one relay group per zone (WAN experiments).
@@ -114,6 +126,20 @@ func (o *Options) applyDefaults() {
 	if o.NumGroups == 0 {
 		o.NumGroups = 3
 	}
+	if o.BatchSize > 1 && o.MaxInFlight == 0 {
+		o.MaxInFlight = 4
+	}
+}
+
+// paxosBatching applies the batching/pipelining knobs to a decision-core
+// config. The knobs are independent: MaxInFlight alone gives pure bounded
+// pipelining without batching. All-zero options keep the seed defaults.
+func (o *Options) paxosBatching(cfg *paxos.Config) {
+	if o.BatchSize > 1 {
+		cfg.MaxBatchSize = o.BatchSize
+	}
+	cfg.BatchDelay = o.BatchDelay
+	cfg.MaxInFlight = o.MaxInFlight
 }
 
 // Result is one experiment's measurement.
@@ -131,6 +157,12 @@ type Result struct {
 	// count.
 	LeaderUtil       float64
 	MeanFollowerUtil float64
+	// MeanBatchSize is commands per proposed slot at the leader over the
+	// whole run (1.0 unbatched, 0 for EPaxos which does not batch).
+	MeanBatchSize float64
+	// MsgsPerCmd is network messages sent cluster-wide per command
+	// executed at the leader — the amortization batching buys.
+	MsgsPerCmd float64
 }
 
 // String implements fmt.Stringer.
@@ -235,6 +267,7 @@ func Run(opts Options) Result {
 		switch opts.Protocol {
 		case Paxos:
 			cfg := paxos.Config{Cluster: cc, ID: id, InitialLeader: leader}
+			opts.paxosBatching(&cfg)
 			if opts.MutPaxos != nil {
 				opts.MutPaxos(&cfg)
 			}
@@ -244,6 +277,7 @@ func Run(opts Options) Result {
 				Paxos:     paxos.Config{Cluster: cc, ID: id, InitialLeader: leader},
 				NumGroups: opts.NumGroups,
 			}
+			opts.paxosBatching(&cfg.Paxos)
 			if opts.ZoneGroups {
 				cfg.Strategy = pigpaxos.GroupByZone
 			}
@@ -335,6 +369,19 @@ func Run(opts Options) Result {
 		Throughput: float64(completed.Value()) / opts.Measure.Seconds(),
 		Latency:    hist.Snapshot(),
 		Messages:   net.MessagesSent(),
+	}
+	// Batching metrics come from the leader's decision core; EPaxos has no
+	// leader and reports zeroes.
+	var pstats paxos.Stats
+	switch rep := replicas[leader].(type) {
+	case *paxos.Replica:
+		pstats = rep.Stats()
+	case *pigpaxos.Replica:
+		pstats = rep.Core().Stats()
+	}
+	res.MeanBatchSize = pstats.MeanBatchSize()
+	if pstats.Executions > 0 {
+		res.MsgsPerCmd = float64(res.Messages) / float64(pstats.Executions)
 	}
 	wall := windowEnd.Seconds()
 	res.LeaderUtil = net.Endpoint(leader).BusyTotal().Seconds() / wall

@@ -125,6 +125,12 @@ type fixture struct {
 }
 
 func build(t *testing.T, kind protocolKind, n int, seed int64) *fixture {
+	return buildBatched(t, kind, n, seed, 0)
+}
+
+// buildBatched is build() with leader-side batching enabled when batch > 1
+// (a one-slot pipeline window forces commands to share slots).
+func buildBatched(t *testing.T, kind protocolKind, n int, seed int64, batch int) *fixture {
 	t.Helper()
 	sim := des.New(seed)
 	cc := config.NewLAN(n)
@@ -135,18 +141,26 @@ func build(t *testing.T, kind protocolKind, n int, seed int64) *fixture {
 		stores:   make(map[ids.ID]*kvstore.Store),
 		hist:     &linearizability.History{},
 	}
+	pcfg := func(id ids.ID) paxos.Config {
+		c := paxos.Config{Cluster: cc, ID: id, InitialLeader: cc.Nodes[0]}
+		if batch > 1 {
+			c.MaxBatchSize = batch
+			c.MaxInFlight = 1
+		}
+		return c
+	}
 	for _, id := range cc.Nodes {
 		tr := &trampoline{}
 		ep := net.Register(id, tr, false)
 		var rep replica
 		switch kind {
 		case kindPaxos:
-			r := paxos.New(ep, paxos.Config{Cluster: cc, ID: id, InitialLeader: cc.Nodes[0]}, nil)
+			r := paxos.New(ep, pcfg(id), nil)
 			f.stores[id] = r.Store()
 			rep = r
 		case kindPigPaxos:
 			r := pigpaxos.New(ep, pigpaxos.Config{
-				Paxos:        paxos.Config{Cluster: cc, ID: id, InitialLeader: cc.Nodes[0]},
+				Paxos:        pcfg(id),
 				NumGroups:    2,
 				RelayTimeout: 10 * time.Millisecond,
 			})
@@ -226,6 +240,29 @@ func TestLinearizabilityUnderContention(t *testing.T) {
 				res := f.hist.Check()
 				if !res.OK {
 					t.Fatalf("seed %d: history not linearizable (key %d, %d ops)",
+						seed, res.BadKey, f.hist.Len())
+				}
+			}
+		})
+	}
+}
+
+// Batched slots must not weaken the guarantee: commands sharing a slot
+// execute in batch order and reply only after the slot commits, so the
+// contended histories stay linearizable for both leader-based protocols.
+func TestLinearizabilityUnderBatching(t *testing.T) {
+	for _, kind := range []protocolKind{kindPaxos, kindPigPaxos} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				f := buildBatched(t, kind, 5, seed, 8)
+				for c := uint64(1); c <= 4; c++ {
+					f.addClient(kind, c, script(c, 6, 2), time.Duration(c)*100*time.Microsecond)
+				}
+				f.run(t, 5*time.Second)
+				res := f.hist.Check()
+				if !res.OK {
+					t.Fatalf("seed %d: batched history not linearizable (key %d, %d ops)",
 						seed, res.BadKey, f.hist.Len())
 				}
 			}

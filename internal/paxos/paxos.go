@@ -8,9 +8,17 @@
 // implementation "required almost no changes to the core Paxos code, and
 // focused only on the message passing layer" (§5.1). The decision logic
 // (ballots, quorums, log, execution) is identical under both planes.
+//
+// The leader additionally supports command batching with a bounded
+// pipelining window (MaxBatchSize / BatchDelay / MaxInFlight): up to
+// MaxBatchSize client commands share one log slot, amortizing the fan-out
+// round — the per-message leader cost the paper identifies as the
+// bottleneck — over the whole batch. Defaults keep the paper's unbatched
+// one-command-per-slot behaviour.
 package paxos
 
 import (
+	"math"
 	"time"
 
 	"pigpaxos/internal/config"
@@ -71,8 +79,10 @@ type Config struct {
 	// Thrifty enables the thrifty phase-2 optimization on the direct
 	// plane (ablation).
 	Thrifty bool
-	// LeaderWork is CPU charged per client request at the leader
-	// (decision making, tallying, reply preparation).
+	// LeaderWork is CPU charged per proposed slot at the leader (decision
+	// making, tallying, reply preparation). Batching amortizes it over the
+	// slot's whole command batch; with MaxBatchSize 1 it is charged per
+	// command, as in the paper's model.
 	LeaderWork time.Duration
 	// ExecWork is CPU charged per command executed at any replica.
 	ExecWork time.Duration
@@ -105,6 +115,21 @@ type Config struct {
 	// promise window, so a partitioned old leader's lease always expires
 	// before a new leader can commit writes.
 	LeaseDuration time.Duration
+	// MaxBatchSize caps how many client commands the leader packs into one
+	// log slot (default 1 — the paper's unbatched behaviour). Larger
+	// batches amortize the 2(N−1)+2 (or 2r+2) message round and the
+	// per-slot LeaderWork over MaxBatchSize commands.
+	MaxBatchSize int
+	// BatchDelay holds an under-full batch open this long waiting for more
+	// commands before proposing it. Zero never waits: under-full batches
+	// flush immediately, so batches only form while the pipelining window
+	// is full (group-commit dynamics).
+	BatchDelay time.Duration
+	// MaxInFlight bounds the number of uncommitted slots the leader keeps
+	// in flight (the pipelining window). Zero is unbounded — every batch
+	// proposes immediately, as in the seed. A small window creates the
+	// backpressure that lets batches accumulate under load.
+	MaxInFlight int
 }
 
 // ReadMode selects a read path (paper §4.3).
@@ -150,6 +175,13 @@ func (c *Config) applyDefaults() {
 	if c.LeaseDuration == 0 {
 		c.LeaseDuration = 4 * c.HeartbeatInterval
 	}
+	if c.MaxBatchSize <= 0 {
+		c.MaxBatchSize = 1
+	}
+	if c.MaxBatchSize > math.MaxUint16 {
+		// The wire format carries batch counts as uint16.
+		c.MaxBatchSize = math.MaxUint16
+	}
 	if c.ReadMode == ReadLease && c.ElectionTimeout > 0 && c.ElectionTimeout < 2*c.LeaseDuration {
 		// A follower must never campaign inside a window it promised to
 		// the leader.
@@ -177,6 +209,16 @@ type Stats struct {
 	Compactions uint64 // log compaction sweeps
 	LeaseReads  uint64 // reads served from the leader's lease
 	LocalReads  uint64 // reads served unsafely by ReadAny
+	Batches     uint64 // slots proposed by this node as leader
+	BatchedCmds uint64 // client commands packed into those slots
+}
+
+// MeanBatchSize reports commands per proposed slot (1.0 when unbatched).
+func (s Stats) MeanBatchSize() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedCmds) / float64(s.Batches)
 }
 
 // session provides at-most-once semantics per client: remember the last
@@ -203,11 +245,17 @@ type Replica struct {
 	// Leader state.
 	p1q       *quorum.Threshold
 	p2qs      map[uint64]*quorum.Threshold
-	routes    map[uint64]route
+	routes    map[uint64][]route // per-slot, aligned with the slot's batch
 	buffered  []pendingRequest
 	announced uint64 // commit watermark last disseminated
 	sessions  map[uint64]*session
 	retries   map[uint64]node.Timer
+
+	// Batch accumulator: commands admitted by the leader but not yet
+	// proposed into a slot.
+	pending    []pendingCmd
+	batchTimer node.Timer
+	batchDue   bool // BatchDelay expired; flush even under-full
 
 	// Follower state.
 	lastLeaderContact time.Duration
@@ -234,6 +282,12 @@ type pendingRequest struct {
 	req  wire.Request
 }
 
+// pendingCmd is one command waiting in the leader's batch accumulator.
+type pendingCmd struct {
+	from ids.ID
+	cmd  kvstore.Command
+}
+
 // New creates a replica. If diss is nil a Direct plane over the cluster's
 // peers is used.
 func New(ctx node.Context, cfg Config, diss Disseminator) *Replica {
@@ -245,7 +299,7 @@ func New(ctx node.Context, cfg Config, diss Disseminator) *Replica {
 		log:      rlog.New(),
 		store:    kvstore.New(),
 		p2qs:     make(map[uint64]*quorum.Threshold),
-		routes:   make(map[uint64]route),
+		routes:   make(map[uint64][]route),
 		sessions: make(map[uint64]*session),
 		retries:  make(map[uint64]node.Timer),
 		ackTimes: make(map[ids.ID]time.Duration),
@@ -327,13 +381,27 @@ func (r *Replica) OnMessage(from ids.ID, m wire.Msg) {
 
 // ------------------------------------------------------------- elections --
 
+// abortProposals discards in-flight phase-2 state (vote tallies and
+// retransmit timers) once this node's proposals can no longer commit under
+// its ballot — on losing leadership or opening a fresh campaign. Stale
+// entries would otherwise count against the pipelining window forever,
+// shrinking or wedging it after re-election.
+func (r *Replica) abortProposals() {
+	for slot, t := range r.retries {
+		t.Stop()
+		delete(r.retries, slot)
+	}
+	clear(r.p2qs)
+}
+
 func (r *Replica) campaign() {
 	r.stats.Elections++
+	r.abortProposals()
 	r.ballot = r.ballot.Next(r.cfg.ID)
 	r.active = false
 	r.p1q = quorum.NewThreshold(r.cfg.Cluster.N(), r.cfg.Q1)
 	r.p1q.ACK(r.cfg.ID) // self-promise
-	r.diss.FanOut(wire.P1a{Ballot: r.ballot})
+	r.diss.FanOut(wire.P1a{Ballot: r.ballot, From: r.log.ExecuteCursor()})
 	if r.p1q.Satisfied() { // single-node cluster
 		r.becomeLeader(nil)
 		return
@@ -394,8 +462,23 @@ func (r *Replica) HandleP1aLocal(m wire.P1a) wire.P1b {
 		r.redirectPending()
 	}
 	reply := wire.P1b{Ballot: r.ballot, From: r.cfg.ID}
-	for slot, e := range r.log.Uncommitted(r.log.ExecuteCursor()) {
-		reply.Entries = append(reply.Entries, wire.SlotEntry{Slot: slot, Ballot: e.Ballot, Cmd: e.Command})
+	// Report every known entry from the campaigner's cursor up — committed
+	// ones included, flagged, so a lagging winner installs them as commits
+	// instead of proposing no-op fillers over anchored slots (which would
+	// make one (ballot, slot) pair carry two values, breaking the
+	// same-ballot watermark commit rule).
+	low := m.From
+	if low < 1 {
+		low = 1
+	}
+	for slot := low; slot < r.log.PeekNextSlot() && len(reply.Entries) < math.MaxUint16; slot++ {
+		e := r.log.Get(slot)
+		if e == nil {
+			continue // gap, or compacted (an extreme lagger re-asks via catch-up)
+		}
+		reply.Entries = append(reply.Entries, wire.SlotEntry{
+			Slot: slot, Ballot: e.Ballot, Committed: e.Committed, Cmds: e.Commands,
+		})
 	}
 	return reply
 }
@@ -408,9 +491,13 @@ func (r *Replica) OnP1a(from ids.ID, m wire.P1a) {
 // OnP1b tallies phase-1 promises at a campaigning node.
 func (r *Replica) OnP1b(m wire.P1b) {
 	if m.Ballot > r.ballot {
-		// Someone promised a higher ballot: our campaign lost.
+		// Someone promised a higher ballot: our campaign lost. Step down
+		// fully — like every other step-down path — so queued and
+		// in-flight commands bounce to the new leader instead of being
+		// resurrected stale on a later re-election.
 		r.ballot = m.Ballot
 		r.active = false
+		r.redirectPending()
 		r.armElectionTimer()
 		return
 	}
@@ -424,15 +511,19 @@ func (r *Replica) OnP1b(m wire.P1b) {
 	}
 }
 
-// recovery accumulates the highest-ballot value seen per uncommitted slot
-// during phase-1.
-var _ = rlog.Entry{}
-
+// recoverEntries installs phase-1 knowledge: committed entries are
+// authoritative and land as commits; uncommitted ones accumulate the
+// highest-ballot value seen per slot.
 func (r *Replica) recoverEntries(entries []wire.SlotEntry) {
 	for _, e := range entries {
+		if e.Committed {
+			r.log.Commit(e.Slot, e.Ballot, e.Cmds)
+			r.stats.Commits++
+			continue
+		}
 		cur := r.log.Get(e.Slot)
 		if cur == nil || (!cur.Committed && e.Ballot > cur.Ballot) {
-			r.log.Accept(e.Slot, e.Ballot, e.Cmd)
+			r.log.Accept(e.Slot, e.Ballot, e.Cmds)
 		}
 	}
 }
@@ -440,6 +531,9 @@ func (r *Replica) recoverEntries(entries []wire.SlotEntry) {
 func (r *Replica) becomeLeader(_ []wire.SlotEntry) {
 	r.active = true
 	r.p1q = nil
+	// Apply commits learned during phase-1 before proposing, so the
+	// re-propose loop below starts past everything already anchored.
+	r.execute()
 	// Re-propose every accepted-but-uncommitted slot under our ballot,
 	// filling log gaps with no-ops, so earlier instances anchor before new
 	// commands enter.
@@ -450,11 +544,11 @@ func (r *Replica) becomeLeader(_ []wire.SlotEntry) {
 		if e != nil && e.Committed {
 			continue
 		}
-		var cmd kvstore.Command
+		var cmds []kvstore.Command
 		if e != nil {
-			cmd = e.Command
+			cmds = e.Commands
 		}
-		r.propose(slot, cmd)
+		r.propose(slot, cmds)
 	}
 	// Serve requests buffered during the campaign.
 	buf := r.buffered
@@ -527,15 +621,43 @@ func (r *Replica) OnRequest(from ids.ID, m wire.Request) {
 		return
 	}
 	if m.Cmd.Seq == sess.pendingSeq {
-		r.stats.Duplicates++
-		// Refresh the reply route in case the client moved.
-		for slot, rt := range r.routes {
-			if rt.clientID == m.Cmd.ClientID && rt.seq == m.Cmd.Seq {
-				rt.client = from
-				r.routes[slot] = rt
+		// Refresh the reply route in case the client moved — the command
+		// may be in a proposed slot or still in the batch accumulator.
+		found := false
+		for _, rts := range r.routes {
+			for i, rt := range rts {
+				if rt.clientID == m.Cmd.ClientID && rt.seq == m.Cmd.Seq {
+					rts[i].client = from
+					found = true
+				}
 			}
 		}
-		return
+		for i, p := range r.pending {
+			if p.cmd.ClientID == m.Cmd.ClientID && p.cmd.Seq == m.Cmd.Seq {
+				r.pending[i].from = from
+				found = true
+			}
+		}
+		if found {
+			r.stats.Duplicates++
+			return
+		}
+		// No live route: the route was dropped on an earlier step-down.
+		// The command may still sit in an accepted-but-uncommitted slot
+		// that becomeLeader re-proposed — re-attach the reply route there
+		// (re-admitting would commit the command in two slots).
+		if slot, idx, ok := r.findUncommitted(m.Cmd.ClientID, m.Cmd.Seq); ok {
+			rts := r.routes[slot]
+			for len(rts) <= idx {
+				rts = append(rts, route{})
+			}
+			rts[idx] = route{client: from, clientID: m.Cmd.ClientID, seq: m.Cmd.Seq}
+			r.routes[slot] = rts
+			r.stats.Duplicates++
+			return
+		}
+		// Truly gone — discarded before reaching a slot. Fall through and
+		// re-admit instead of swallowing the retry forever.
 	}
 	if m.Cmd.IsRead() && r.cfg.ReadMode == ReadLease && r.leaseValid() {
 		// Lease read: serve locally, cache the reply for retries. The
@@ -555,10 +677,73 @@ func (r *Replica) OnRequest(from ids.ID, m wire.Request) {
 	}
 	sess.pendingSeq = m.Cmd.Seq
 	r.stats.Requests++
-	r.ctx.Work(r.cfg.LeaderWork)
-	slot := r.log.NextSlot()
-	r.routes[slot] = route{client: from, clientID: m.Cmd.ClientID, seq: m.Cmd.Seq}
-	r.propose(slot, m.Cmd)
+	r.pending = append(r.pending, pendingCmd{from: from, cmd: m.Cmd})
+	r.flushBatches()
+}
+
+// findUncommitted scans the unexecuted log suffix for a command with the
+// given at-most-once identity, returning its slot and batch index.
+func (r *Replica) findUncommitted(clientID, seq uint64) (uint64, int, bool) {
+	for slot := r.log.ExecuteCursor(); slot < r.log.PeekNextSlot(); slot++ {
+		e := r.log.Get(slot)
+		if e == nil || e.Executed {
+			continue
+		}
+		for i, c := range e.Commands {
+			if c.ClientID == clientID && c.Seq == seq {
+				return slot, i, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// windowOpen reports whether the pipelining window admits another slot.
+func (r *Replica) windowOpen() bool {
+	return r.cfg.MaxInFlight <= 0 || len(r.p2qs) < r.cfg.MaxInFlight
+}
+
+// flushBatches proposes pending commands into slots, packing up to
+// MaxBatchSize commands per slot, while the pipelining window has room. An
+// under-full batch is held open for BatchDelay (when configured); otherwise
+// it flushes immediately, so batches form exactly while the window is full
+// — classic group commit. Called on request arrival, on commit (the window
+// may have opened), and when the batch timer fires.
+func (r *Replica) flushBatches() {
+	for r.active && len(r.pending) > 0 && r.windowOpen() {
+		if len(r.pending) < r.cfg.MaxBatchSize && r.cfg.BatchDelay > 0 && !r.batchDue {
+			if r.batchTimer == nil {
+				r.batchTimer = r.ctx.After(r.cfg.BatchDelay, func() {
+					r.batchTimer = nil
+					r.batchDue = true
+					r.flushBatches()
+				})
+			}
+			return
+		}
+		take := min(len(r.pending), r.cfg.MaxBatchSize)
+		cmds := make([]kvstore.Command, take)
+		rts := make([]route, take)
+		for i, p := range r.pending[:take] {
+			cmds[i] = p.cmd
+			rts[i] = route{client: p.from, clientID: p.cmd.ClientID, seq: p.cmd.Seq}
+		}
+		r.pending = r.pending[take:]
+		if len(r.pending) == 0 {
+			r.pending = nil
+			r.batchDue = false
+			if r.batchTimer != nil {
+				r.batchTimer.Stop()
+				r.batchTimer = nil
+			}
+		}
+		slot := r.log.NextSlot()
+		r.routes[slot] = rts
+		r.stats.Batches++
+		r.stats.BatchedCmds += uint64(take)
+		r.ctx.Work(r.cfg.LeaderWork)
+		r.propose(slot, cmds)
+	}
 }
 
 // leaseValid reports whether a majority of the cluster (counting this
@@ -585,13 +770,13 @@ func (r *Replica) OnHeartbeatAck(m wire.HeartbeatAck) {
 	r.ackTimes[m.From] = r.ctx.Now()
 }
 
-// propose runs phase-2 for (slot, cmd) under the current ballot.
-func (r *Replica) propose(slot uint64, cmd kvstore.Command) {
-	r.log.Accept(slot, r.ballot, cmd)
+// propose runs phase-2 for (slot, cmds) under the current ballot.
+func (r *Replica) propose(slot uint64, cmds []kvstore.Command) {
+	r.log.Accept(slot, r.ballot, cmds)
 	q := quorum.NewThreshold(r.cfg.Cluster.N(), r.cfg.Q2)
 	q.ACK(r.cfg.ID) // self-vote
 	r.p2qs[slot] = q
-	m := wire.P2a{Ballot: r.ballot, Slot: slot, Cmd: cmd, Commit: r.commitWatermark()}
+	m := wire.P2a{Ballot: r.ballot, Slot: slot, Cmds: cmds, Commit: r.commitWatermark()}
 	r.announced = m.Commit
 	r.diss.FanOut(m)
 	if q.Satisfied() { // single-node cluster
@@ -616,7 +801,7 @@ func (r *Replica) armRetransmit(slot uint64) {
 			return
 		}
 		r.stats.Retransmits++
-		m := wire.P2a{Ballot: r.ballot, Slot: slot, Cmd: e.Command, Commit: r.commitWatermark()}
+		m := wire.P2a{Ballot: r.ballot, Slot: slot, Cmds: e.Commands, Commit: r.commitWatermark()}
 		r.diss.FanOut(m)
 		r.armRetransmit(slot)
 	})
@@ -629,25 +814,44 @@ func (r *Replica) commitWatermark() uint64 { return r.log.ExecuteCursor() }
 // ----------------------------------------------------------------- phase2 --
 
 // AcceptP2a applies a phase-2 request locally and returns the vote (a P2b
-// whose Ballot exceeds m.Ballot signals rejection). Exposed for relays.
-func (r *Replica) AcceptP2a(m wire.P2a) wire.P2b {
+// whose Ballot exceeds m.Ballot signals rejection). ok reports whether the
+// proposal was actually accepted into the log: false with an equal-ballot
+// vote means the slot already committed a different batch — the caller must
+// NOT count the vote, and the anchored value has been sent back to the
+// proposer (a lagging re-elected leader anchoring gaps with no-ops would
+// otherwise quorum-commit over an acknowledged batch). Exposed for relays.
+func (r *Replica) AcceptP2a(m wire.P2a) (vote wire.P2b, ok bool) {
 	if m.Ballot >= r.ballot {
 		if m.Ballot > r.ballot {
+			// Ballot must be adopted before redirectPending so redirects
+			// name the new leader.
 			r.active = false
 			r.ballot = m.Ballot
 			r.redirectPending()
 		}
-		r.ballot = m.Ballot
 		r.lastLeaderContact = r.ctx.Now()
-		r.log.Accept(m.Slot, m.Ballot, m.Cmd)
+		ok = r.log.Accept(m.Slot, m.Ballot, m.Cmds)
+		if !ok {
+			// In this branch a refusal can only mean the slot committed a
+			// different batch (m.Ballot ≥ r.ballot ≥ any accepted ballot).
+			// Teach the proposer the anchored value instead of voting.
+			if e := r.log.Get(m.Slot); e != nil && e.Committed {
+				r.ctx.Send(m.Ballot.ID(), wire.P3{Ballot: r.ballot, Slot: m.Slot, Cmds: e.Commands})
+			}
+		}
 		r.applyWatermark(m.Commit, m.Ballot)
 	}
-	return wire.P2b{Ballot: r.ballot, From: r.cfg.ID, Slot: m.Slot}
+	return wire.P2b{Ballot: r.ballot, From: r.cfg.ID, Slot: m.Slot}, ok
 }
 
-// OnP2a handles a direct phase-2 request: accept locally, vote back.
+// OnP2a handles a direct phase-2 request: accept locally, vote back. A
+// refused proposal gets no vote (the teach-back P3 stands in for it);
+// higher-ballot NACKs still flow so a stale leader steps down.
 func (r *Replica) OnP2a(from ids.ID, m wire.P2a) {
-	r.ctx.Send(from, r.AcceptP2a(m))
+	vote, ok := r.AcceptP2a(m)
+	if ok || vote.Ballot > m.Ballot {
+		r.ctx.Send(from, vote)
+	}
 }
 
 // OnP2b tallies phase-2 votes at the leader.
@@ -680,42 +884,66 @@ func (r *Replica) commit(slot uint64) {
 	if e == nil || e.Committed {
 		return
 	}
-	r.log.Commit(slot, r.ballot, e.Command)
+	r.log.Commit(slot, r.ballot, e.Commands)
 	r.stats.Commits++
 	if r.onCommit != nil {
 		r.onCommit(slot)
 	}
 	r.execute()
+	// A committed slot frees pipeline window capacity: flush what queued.
+	r.flushBatches()
 }
 
-// execute applies all contiguous committed commands and answers clients for
-// slots this node proposed.
+// execute applies all contiguous committed batches and answers clients for
+// commands this node proposed (route lists are position-aligned with each
+// slot's batch).
 func (r *Replica) execute() {
-	r.log.ExecuteReady(r.store, func(slot uint64, cmd kvstore.Command, res kvstore.Result) {
+	start := r.log.ExecuteCursor()
+	r.log.ExecuteReady(r.store, func(slot uint64, idx int, cmd kvstore.Command, res kvstore.Result) {
 		r.stats.Executions++
 		r.execSinceCompact++
 		r.ctx.Work(r.cfg.ExecWork)
-		if rt, ok := r.routes[slot]; ok {
-			delete(r.routes, slot)
-			rep := wire.Reply{
-				ClientID: rt.clientID,
-				Seq:      rt.seq,
-				OK:       true,
-				Exists:   res.Exists,
-				Value:    res.Value,
-				Leader:   r.cfg.ID,
-				Slot:     slot,
+		rep := wire.Reply{
+			ClientID: cmd.ClientID,
+			Seq:      cmd.Seq,
+			OK:       true,
+			Exists:   res.Exists,
+			Value:    res.Value,
+			Leader:   r.cfg.ID,
+			Slot:     slot,
+		}
+		// Update at-most-once state from the command itself — creating the
+		// session if this replica never saw the original request. Every
+		// replica executes every command, so the at-most-once table
+		// replicates deterministically: a retry reaching a newly elected
+		// leader is answered from the cache, never re-admitted.
+		if cmd.ClientID != 0 {
+			sess := r.sessions[cmd.ClientID]
+			if sess == nil {
+				sess = &session{}
+				r.sessions[cmd.ClientID] = sess
 			}
-			if sess := r.sessions[rt.clientID]; sess != nil && rt.seq > sess.lastSeq {
-				sess.lastSeq = rt.seq
+			if cmd.Seq > sess.lastSeq {
+				sess.lastSeq = cmd.Seq
 				sess.lastReply = rep
-				if sess.pendingSeq == rt.seq {
+				if sess.pendingSeq == cmd.Seq {
 					sess.pendingSeq = 0
 				}
 			}
-			r.ctx.Send(rt.client, rep)
 		}
+		rts := r.routes[slot]
+		if idx >= len(rts) || rts[idx].client.IsZero() ||
+			rts[idx].clientID != cmd.ClientID || rts[idx].seq != cmd.Seq {
+			// Not proposed here, route dropped, or the committed batch is
+			// not the one the routes were recorded for (abandoned
+			// proposal): never deliver another command's reply.
+			return
+		}
+		r.ctx.Send(rts[idx].client, rep)
 	})
+	for slot := start; slot < r.log.ExecuteCursor(); slot++ {
+		delete(r.routes, slot)
+	}
 	r.maybeCompact()
 }
 
@@ -731,7 +959,7 @@ func (r *Replica) applyWatermark(w uint64, b ids.Ballot) {
 		if e == nil || e.Committed || e.Ballot != b {
 			continue
 		}
-		r.log.Commit(slot, b, e.Command)
+		r.log.Commit(slot, b, e.Commands)
 		r.stats.Commits++
 	}
 	r.execute()
@@ -757,7 +985,7 @@ func (r *Replica) OnCatchupReq(from ids.ID, m wire.CatchupReq) {
 		if e == nil || !e.Committed {
 			continue // compacted or unknown; the follower will re-ask
 		}
-		reply.Entries = append(reply.Entries, wire.SlotEntry{Slot: slot, Ballot: e.Ballot, Cmd: e.Command})
+		reply.Entries = append(reply.Entries, wire.SlotEntry{Slot: slot, Ballot: e.Ballot, Committed: true, Cmds: e.Commands})
 	}
 	if len(reply.Entries) > 0 {
 		r.ctx.Send(from, reply)
@@ -768,7 +996,7 @@ func (r *Replica) OnCatchupReq(from ids.ID, m wire.CatchupReq) {
 func (r *Replica) OnCatchupReply(m wire.CatchupReply) {
 	r.catchupInFlight = false
 	for _, e := range m.Entries {
-		r.log.Commit(e.Slot, e.Ballot, e.Cmd)
+		r.log.Commit(e.Slot, e.Ballot, e.Cmds)
 		r.stats.Commits++
 	}
 	r.execute()
@@ -789,15 +1017,68 @@ func (r *Replica) maybeCompact() {
 	r.stats.Compactions++
 }
 
-// OnP3 handles an explicit commit announcement.
+// OnP3 handles an explicit commit announcement. An active leader receiving
+// one for a slot it is still proposing into has been taught the anchored
+// batch by a follower (see AcceptP2a): it abandons its doomed proposal and
+// re-announces the anchored value so followers that accepted the doomed
+// batch are overwritten. This path is defense-in-depth — phase-1 recovery
+// reports committed slots, so a proposal into an anchored slot requires a
+// leader lagging beyond a promiser's compaction horizon. (The re-announce
+// is best-effort ordered against watermark carriers; the relay plane does
+// not guarantee FIFO across paths.)
 func (r *Replica) OnP3(m wire.P3) {
 	if m.Ballot >= r.ballot {
-		r.ballot = m.Ballot
+		if m.Ballot > r.ballot {
+			// A newer leader exists: step down fully before anything else,
+			// or the flushBatches below would propose under its ballot.
+			r.active = false
+			r.ballot = m.Ballot
+			r.redirectPending()
+		}
 		r.lastLeaderContact = r.ctx.Now()
 	}
-	r.log.Commit(m.Slot, m.Ballot, m.Cmd)
+	if _, proposing := r.p2qs[m.Slot]; proposing {
+		delete(r.p2qs, m.Slot)
+		if t, ok := r.retries[m.Slot]; ok {
+			t.Stop()
+			delete(r.retries, m.Slot)
+		}
+		r.reclaimDoomed(m.Slot, m.Cmds)
+		if r.active {
+			r.diss.FanOut(wire.P3{Ballot: r.ballot, Slot: m.Slot, Cmds: m.Cmds})
+		}
+	}
+	r.log.Commit(m.Slot, m.Ballot, m.Cmds)
 	r.stats.Commits++
 	r.execute()
+	r.flushBatches()
+}
+
+// reclaimDoomed salvages the commands of an abandoned proposal: everything
+// not in the anchored batch goes back into the batch accumulator for a
+// fresh slot, so those clients are served instead of waiting forever. The
+// slot's routes are dropped — the anchored batch was not proposed by us.
+func (r *Replica) reclaimDoomed(slot uint64, anchored []kvstore.Command) {
+	e := r.log.Get(slot)
+	rts := r.routes[slot]
+	delete(r.routes, slot)
+	if e == nil || e.Committed {
+		return
+	}
+	inAnchored := func(c kvstore.Command) bool {
+		for _, a := range anchored {
+			if a.ClientID == c.ClientID && a.Seq == c.Seq {
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range e.Commands {
+		if i >= len(rts) || rts[i].client.IsZero() || inAnchored(c) {
+			continue
+		}
+		r.pending = append(r.pending, pendingCmd{from: rts[i].client, cmd: c})
+	}
 }
 
 // OnHeartbeat refreshes the failure detector and applies the leader's
@@ -827,12 +1108,29 @@ func (r *Replica) redirectPending() {
 	if r.ballot.ID() == r.cfg.ID {
 		return
 	}
+	r.abortProposals()
 	leader := r.ballot.ID()
-	for slot, rt := range r.routes {
+	for slot, rts := range r.routes {
 		delete(r.routes, slot)
-		r.ctx.Send(rt.client, wire.Reply{
-			ClientID: rt.clientID, Seq: rt.seq, OK: false, Leader: leader,
+		for _, rt := range rts {
+			if rt.client.IsZero() {
+				continue // placeholder in a re-attached route list
+			}
+			r.ctx.Send(rt.client, wire.Reply{
+				ClientID: rt.clientID, Seq: rt.seq, OK: false, Leader: leader,
+			})
+		}
+	}
+	for _, p := range r.pending {
+		r.ctx.Send(p.from, wire.Reply{
+			ClientID: p.cmd.ClientID, Seq: p.cmd.Seq, OK: false, Leader: leader,
 		})
+	}
+	r.pending = nil
+	r.batchDue = false
+	if r.batchTimer != nil {
+		r.batchTimer.Stop()
+		r.batchTimer = nil
 	}
 	for _, p := range r.buffered {
 		r.ctx.Send(p.from, wire.Reply{

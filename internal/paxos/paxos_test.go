@@ -242,8 +242,11 @@ func TestStaleBallotP2aRejected(t *testing.T) {
 	tc.sim.Run(10 * time.Millisecond)
 	follower := tc.replicas[tc.cfg.Nodes[1]]
 	high := follower.Ballot()
-	stale := wire.P2a{Ballot: ids.NewBallot(0, ids.NewID(1, 3)), Slot: 99, Cmd: kvstore.Command{Op: kvstore.Put, Key: 1}}
-	vote := follower.AcceptP2a(stale)
+	stale := wire.P2a{Ballot: ids.NewBallot(0, ids.NewID(1, 3)), Slot: 99, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 1}}}
+	vote, ok := follower.AcceptP2a(stale)
+	if ok {
+		t.Error("stale P2a must not be accepted")
+	}
 	if vote.Ballot <= stale.Ballot {
 		t.Error("stale P2a must be answered with the higher ballot (NACK)")
 	}

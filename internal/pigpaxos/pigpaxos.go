@@ -427,7 +427,7 @@ func (r *Replica) onAggP1b(m wire.AggP1b) {
 
 func (r *Replica) onRelayP2a(from ids.ID, m wire.RelayP2a) {
 	r.stats.RelayRounds++
-	vote := r.core.AcceptP2a(m.P2a)
+	vote, ok := r.core.AcceptP2a(m.P2a)
 	if vote.Ballot > m.P2a.Ballot {
 		// Reject: answer immediately without waiting for the group
 		// (paper footnote 2).
@@ -444,9 +444,15 @@ func (r *Replica) onRelayP2a(from ids.ID, m wire.RelayP2a) {
 	}
 	a := &agg{
 		leader:    from,
-		acks:      []ids.ID{r.ctx.ID()},
 		expected:  len(m.Peers) + 1,
 		threshold: int(m.Threshold),
+	}
+	if ok {
+		a.acks = []ids.ID{r.ctx.ID()}
+	} else {
+		// Our own accept was refused (committed slot, different batch —
+		// the core already sent the teach-back): relay without a self-vote.
+		a.expected = len(m.Peers)
 	}
 	r.aggs[key] = a
 
@@ -670,11 +676,4 @@ func (r *Replica) onRelayP3(m wire.RelayP3) {
 	for _, p := range m.Peers {
 		r.ctx.Send(p, m.P3)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -387,7 +387,7 @@ func TestStaleRelayP2aRejectedFast(t *testing.T) {
 	follower := tc.replicas[tc.cfg.Nodes[2]]
 	// Inject a stale relayed P2a directly.
 	stale := wire.RelayP2a{
-		P2a:   wire.P2a{Ballot: ids.NewBallot(0, ids.NewID(1, 4)), Slot: 50, Cmd: kvstore.Command{Op: kvstore.Put, Key: 1}},
+		P2a:   wire.P2a{Ballot: ids.NewBallot(0, ids.NewID(1, 4)), Slot: 50, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 1}}},
 		Peers: []ids.ID{tc.cfg.Nodes[3]},
 	}
 	follower.OnMessage(ids.NewID(1, 4), stale)

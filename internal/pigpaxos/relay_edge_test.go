@@ -1,0 +1,205 @@
+package pigpaxos
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/wire"
+)
+
+// Relay-plane edge cases the batching change must not regress: late votes
+// after a threshold flush, duplicate relay assignment on leader retry, and
+// multi-layer sub-aggregate merging. All three drive a follower replica
+// directly with relay messages under the leader's established ballot.
+
+func establish(t *testing.T, n int, mut func(*Config)) (*cluster, *Replica) {
+	t.Helper()
+	tc := newCluster(t, n, false, mut)
+	tc.sim.Run(20 * time.Millisecond)
+	if !tc.leader().Core().IsLeader() {
+		t.Fatal("no leader")
+	}
+	return tc, tc.replicas[tc.cfg.Nodes[3]] // an arbitrary follower
+}
+
+func TestLateVoteAfterThresholdFlushDropped(t *testing.T) {
+	tc, relay := establish(t, 9, nil)
+	ballot := tc.leader().Core().Ballot()
+	leaderID := tc.cfg.Nodes[0]
+	peers := []ids.ID{tc.cfg.Nodes[4], tc.cfg.Nodes[5]}
+
+	// Threshold 1: the relay's own vote satisfies g_i, so it flushes the
+	// aggregate immediately and remembers the key as completed.
+	relay.OnMessage(leaderID, wire.RelayP2a{
+		P2a:       wire.P2a{Ballot: ballot, Slot: 1000, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 1}}},
+		Peers:     peers,
+		Threshold: 1,
+		Timeout:   50 * time.Millisecond,
+	})
+	if len(relay.aggs) != 0 {
+		t.Fatal("threshold-1 aggregation must flush instantly")
+	}
+	if relay.Stats().PartialFlushes == 0 {
+		t.Error("threshold flush must be counted as partial")
+	}
+
+	// A group member's vote arrives after the flush: it must be dropped
+	// (forwarding it would rebuild the leader bottleneck §4.2 removes).
+	sentBefore := tc.net.MessagesSent()
+	late := relay.Stats().LateVotes
+	relay.OnMessage(peers[0], wire.P2b{Ballot: ballot, From: peers[0], Slot: 1000})
+	if relay.Stats().LateVotes != late+1 {
+		t.Error("late vote not counted")
+	}
+	if tc.net.MessagesSent() != sentBefore {
+		t.Error("late vote after a threshold flush must not be forwarded")
+	}
+
+	// A vote for a slot this relay never aggregated is NOT dropped — it is
+	// passed to the ballot owner rather than lost.
+	relay.OnMessage(peers[0], wire.P2b{Ballot: ballot, From: peers[0], Slot: 2000})
+	if tc.net.MessagesSent() != sentBefore+1 {
+		t.Error("unknown-slot vote must be forwarded to the ballot owner")
+	}
+}
+
+func TestDuplicateRelayAssignmentRestartsCleanly(t *testing.T) {
+	tc, relay := establish(t, 9, nil)
+	ballot := tc.leader().Core().Ballot()
+	leaderID := tc.cfg.Nodes[0]
+	peers := []ids.ID{tc.cfg.Nodes[4], tc.cfg.Nodes[5], tc.cfg.Nodes[6]}
+	m := wire.RelayP2a{
+		P2a:     wire.P2a{Ballot: ballot, Slot: 1000, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 1}}},
+		Peers:   peers,
+		Timeout: time.Hour, // no timeout interference
+	}
+	key := aggKey{ballot: ballot, slot: 1000}
+
+	relay.OnMessage(leaderID, m)
+	relay.OnMessage(peers[0], wire.P2b{Ballot: ballot, From: peers[0], Slot: 1000})
+	if a := relay.aggs[key]; a == nil || len(a.acks) != 2 {
+		t.Fatalf("pre-retry aggregation state wrong: %+v", relay.aggs[key])
+	}
+
+	// The leader timed out and drew this relay again: the aggregation must
+	// restart from scratch, not double-count stale acks.
+	relay.OnMessage(leaderID, m)
+	a := relay.aggs[key]
+	if a == nil || len(a.acks) != 1 || a.acks[0] != relay.ctx.ID() {
+		t.Fatalf("duplicate assignment must restart the aggregation, got %+v", a)
+	}
+
+	// Completing the restarted round still flushes one full aggregate.
+	sentBefore := tc.net.MessagesSent()
+	for _, p := range peers {
+		relay.OnMessage(p, wire.P2b{Ballot: ballot, From: p, Slot: 1000})
+	}
+	if _, open := relay.aggs[key]; open {
+		t.Error("full group must flush the aggregation")
+	}
+	if tc.net.MessagesSent() != sentBefore+1 {
+		t.Errorf("restarted round must flush exactly one aggregate, sent %d",
+			tc.net.MessagesSent()-sentBefore)
+	}
+}
+
+func TestMultiLayerSubAggregateMerge(t *testing.T) {
+	tc, relay := establish(t, 9, func(c *Config) {
+		c.MultiLayer = true
+		c.SubGroupSize = 2
+	})
+	ballot := tc.leader().Core().Ballot()
+	leaderID := tc.cfg.Nodes[0]
+	peers := []ids.ID{tc.cfg.Nodes[4], tc.cfg.Nodes[5], tc.cfg.Nodes[6], tc.cfg.Nodes[7]}
+	relay.OnMessage(leaderID, wire.RelayP2a{
+		P2a:     wire.P2a{Ballot: ballot, Slot: 1000, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 1}}},
+		Peers:   peers,
+		Timeout: time.Hour,
+	})
+	key := aggKey{ballot: ballot, slot: 1000}
+	if relay.aggs[key] == nil {
+		t.Fatal("aggregation not opened")
+	}
+
+	// A sub-relay's aggregate merges into the open aggregation, with
+	// duplicates (our own ack, repeated members) deduplicated.
+	sub := wire.AggP2b{Ballot: ballot, Relay: peers[0], Slot: 1000,
+		Acks: []ids.ID{peers[0], peers[1], relay.ctx.ID()}}
+	relay.OnMessage(peers[0], sub)
+	a := relay.aggs[key]
+	if a == nil || len(a.acks) != 3 {
+		t.Fatalf("merged acks = %v, want self + 2 sub-relay members", a.acks)
+	}
+	relay.OnMessage(peers[0], sub) // replayed sub-aggregate: no double count
+	if len(relay.aggs[key].acks) != 3 {
+		t.Error("replayed sub-aggregate must not double-count acks")
+	}
+
+	// The second sub-group's aggregate completes the expected count and
+	// flushes upward.
+	relay.OnMessage(peers[2], wire.AggP2b{Ballot: ballot, Relay: peers[2], Slot: 1000,
+		Acks: []ids.ID{peers[2], peers[3]}})
+	if _, open := relay.aggs[key]; open {
+		t.Error("complete sub-aggregates must flush the parent aggregation")
+	}
+
+	// A sub-aggregate for an already-flushed key is passed to the ballot
+	// owner (late), not merged or lost.
+	sentBefore := tc.net.MessagesSent()
+	relay.OnMessage(peers[2], wire.AggP2b{Ballot: ballot, Relay: peers[2], Slot: 1000,
+		Acks: []ids.ID{peers[3]}})
+	if tc.net.MessagesSent() != sentBefore+1 {
+		t.Error("post-flush sub-aggregate must be passed up to the leader")
+	}
+}
+
+// The relay plane must forward batched P2as transparently: per-slot
+// aggregation logic is unchanged, so a batch costs the leader the same
+// 2r+2 messages a single command does (the paper's orthogonality claim).
+func TestRelaysForwardBatchesTransparently(t *testing.T) {
+	const n, cmds = 9, 24
+	tc := newCluster(t, n, false, func(c *Config) {
+		c.NumGroups = 2
+		c.Paxos.MaxBatchSize = 8
+		c.Paxos.MaxInFlight = 1
+		// Sparse heartbeats: enough to flush the final commit watermark to
+		// followers without drowning the message-economy measurement.
+		c.Paxos.HeartbeatInterval = 100 * time.Millisecond
+	})
+	tc.sim.Run(5 * time.Millisecond)
+	lep := tc.net.Endpoint(tc.cfg.Nodes[0])
+	base := lep.Sent() + lep.Received()
+	tc.sim.Schedule(0, func() {
+		for i := 0; i < cmds; i++ {
+			tc.client.ep.Send(tc.cfg.Nodes[0], wire.Request{Cmd: kvstore.Command{
+				Op: kvstore.Put, Key: uint64(i), Value: []byte{byte(i)}, ClientID: uint64(i + 1), Seq: 1,
+			}})
+		}
+	})
+	tc.sim.Run(tc.sim.Now() + 300*time.Millisecond)
+	if len(tc.client.replies) != cmds {
+		t.Fatalf("replies = %d, want %d", len(tc.client.replies), cmds)
+	}
+	st := tc.leader().Core().Stats()
+	if st.MeanBatchSize() <= 2 {
+		t.Fatalf("mean batch %.2f — batching did not engage through relays", st.MeanBatchSize())
+	}
+	// Leader messages per command: 2 client msgs + (2r+2−2)/batch, plus a
+	// few heartbeat fan-outs — well under the unbatched 2r+2 = 6.
+	perCmd := float64(lep.Sent()+lep.Received()-base) / cmds
+	if perCmd >= 5 {
+		t.Errorf("leader messages/command %.1f under batching, want < 5", perCmd)
+	}
+	// Replicas converge on the batched log once heartbeat watermarks flush
+	// the tail.
+	tc.sim.Run(tc.sim.Now() + 500*time.Millisecond)
+	want := tc.leader().Core().Store().Checksum()
+	for _, id := range tc.cfg.Nodes[1:] {
+		r := tc.replicas[id].Core()
+		if r.Store().Applied() != cmds || r.Store().Checksum() != want {
+			t.Errorf("%v diverged under batched relay rounds", id)
+		}
+	}
+}

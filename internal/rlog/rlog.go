@@ -2,6 +2,11 @@
 // PigPaxos replicas: a sparse slot → entry map with commit tracking and an
 // in-order execution cursor that tolerates gaps (commands execute only once
 // every lower slot has executed, per Paxos phase-3 semantics).
+//
+// Each slot holds a command *batch*: the leader may pack several client
+// commands into one consensus instance, amortizing the fan-out round over
+// the whole batch. A one-element batch is the unbatched degenerate case; a
+// nil batch is a no-op filler slot (leader-change gap anchoring).
 package rlog
 
 import (
@@ -13,10 +18,10 @@ import (
 
 // Entry is one slot of the replicated log.
 type Entry struct {
-	Ballot    ids.Ballot      // ballot under which the command was accepted
-	Command   kvstore.Command // the accepted command
-	Committed bool            // leader anchored the command
-	Executed  bool            // applied to the state machine
+	Ballot    ids.Ballot        // ballot under which the batch was accepted
+	Commands  []kvstore.Command // the accepted command batch (nil = no-op)
+	Committed bool              // leader anchored the batch
+	Executed  bool              // applied to the state machine
 }
 
 // Log is a single replica's view of the replicated log. It is not safe for
@@ -51,14 +56,14 @@ func (l *Log) BumpNextSlot(slot uint64) {
 	}
 }
 
-// Accept records command cmd as accepted in slot under ballot b, overwriting
+// Accept records batch cmds as accepted in slot under ballot b, overwriting
 // any previously accepted value with a lower ballot. It returns false when
 // the slot already holds a value under a higher ballot (the accept is stale)
 // or the slot has already committed a different proposal.
-func (l *Log) Accept(slot uint64, b ids.Ballot, cmd kvstore.Command) bool {
+func (l *Log) Accept(slot uint64, b ids.Ballot, cmds []kvstore.Command) bool {
 	e, ok := l.entries[slot]
 	if !ok {
-		l.entries[slot] = &Entry{Ballot: b, Command: cmd}
+		l.entries[slot] = &Entry{Ballot: b, Commands: cmds}
 		l.BumpNextSlot(slot)
 		return true
 	}
@@ -71,15 +76,15 @@ func (l *Log) Accept(slot uint64, b ids.Ballot, cmd kvstore.Command) bool {
 		return false
 	}
 	e.Ballot = b
-	e.Command = cmd
+	e.Commands = cmds
 	l.BumpNextSlot(slot)
 	return true
 }
 
-// Commit marks slot committed with cmd. Commit is authoritative: phase-3
-// messages carry the anchored command, so the entry is overwritten even if a
-// different value was accepted locally under an older ballot.
-func (l *Log) Commit(slot uint64, b ids.Ballot, cmd kvstore.Command) {
+// Commit marks slot committed with batch cmds. Commit is authoritative:
+// phase-3 messages carry the anchored batch, so the entry is overwritten
+// even if a different value was accepted locally under an older ballot.
+func (l *Log) Commit(slot uint64, b ids.Ballot, cmds []kvstore.Command) {
 	e, ok := l.entries[slot]
 	if !ok {
 		e = &Entry{}
@@ -89,7 +94,7 @@ func (l *Log) Commit(slot uint64, b ids.Ballot, cmd kvstore.Command) {
 		return
 	}
 	e.Ballot = b
-	e.Command = cmd
+	e.Commands = cmds
 	e.Committed = true
 	l.BumpNextSlot(slot)
 }
@@ -97,24 +102,27 @@ func (l *Log) Commit(slot uint64, b ids.Ballot, cmd kvstore.Command) {
 // Get returns the entry at slot, or nil.
 func (l *Log) Get(slot uint64) *Entry { return l.entries[slot] }
 
-// ExecuteReady applies every contiguous committed-but-unexecuted command
-// starting at the execution cursor to sm, invoking fn (if non-nil) with each
-// slot and result. It stops at the first gap or uncommitted slot and returns
-// the number of commands executed.
-func (l *Log) ExecuteReady(sm *kvstore.Store, fn func(slot uint64, cmd kvstore.Command, res kvstore.Result)) int {
+// ExecuteReady applies every contiguous committed-but-unexecuted batch
+// starting at the execution cursor to sm, invoking fn (if non-nil) with the
+// slot, the command's index within its batch, and the result. It stops at
+// the first gap or uncommitted slot and returns the number of commands
+// executed (no-op slots advance the cursor without executing anything).
+func (l *Log) ExecuteReady(sm *kvstore.Store, fn func(slot uint64, idx int, cmd kvstore.Command, res kvstore.Result)) int {
 	n := 0
 	for {
 		e, ok := l.entries[l.execCur]
 		if !ok || !e.Committed {
 			return n
 		}
-		res := sm.Apply(e.Command)
-		e.Executed = true
-		if fn != nil {
-			fn(l.execCur, e.Command, res)
+		for i, cmd := range e.Commands {
+			res := sm.Apply(cmd)
+			if fn != nil {
+				fn(l.execCur, i, cmd, res)
+			}
+			n++
 		}
+		e.Executed = true
 		l.execCur++
-		n++
 	}
 }
 
@@ -122,8 +130,9 @@ func (l *Log) ExecuteReady(sm *kvstore.Store, fn func(slot uint64, cmd kvstore.C
 func (l *Log) ExecuteCursor() uint64 { return l.execCur }
 
 // Uncommitted returns the slots in [from, l.nextSlot) that hold accepted but
-// uncommitted proposals, together with their entries. New leaders use it
-// during phase-1 recovery.
+// uncommitted proposals, together with their entries. (Phase-1 recovery now
+// walks the log directly to include committed entries; this remains as a
+// diagnostic helper.)
 func (l *Log) Uncommitted(from uint64) map[uint64]Entry {
 	out := make(map[uint64]Entry)
 	for s, e := range l.entries {

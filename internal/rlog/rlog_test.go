@@ -15,6 +15,9 @@ func cmd(k uint64) kvstore.Command {
 	return kvstore.Command{Op: kvstore.Put, Key: k, Value: []byte{byte(k)}}
 }
 
+// one wraps a single command into the degenerate one-element batch.
+func one(k uint64) []kvstore.Command { return []kvstore.Command{cmd(k)} }
+
 func TestNextSlotMonotonic(t *testing.T) {
 	l := New()
 	if s := l.NextSlot(); s != 1 {
@@ -33,54 +36,54 @@ func TestNextSlotMonotonic(t *testing.T) {
 
 func TestAcceptBasic(t *testing.T) {
 	l := New()
-	if !l.Accept(1, bal(1), cmd(7)) {
+	if !l.Accept(1, bal(1), one(7)) {
 		t.Fatal("fresh accept should succeed")
 	}
 	e := l.Get(1)
-	if e == nil || e.Command.Key != 7 || e.Committed {
+	if e == nil || e.Commands[0].Key != 7 || e.Committed {
 		t.Fatalf("entry after accept: %+v", e)
 	}
 }
 
 func TestAcceptStaleBallotRejected(t *testing.T) {
 	l := New()
-	l.Accept(1, bal(5), cmd(1))
-	if l.Accept(1, bal(3), cmd(2)) {
+	l.Accept(1, bal(5), one(1))
+	if l.Accept(1, bal(3), one(2)) {
 		t.Error("lower-ballot accept must be rejected")
 	}
-	if l.Get(1).Command.Key != 1 {
+	if l.Get(1).Commands[0].Key != 1 {
 		t.Error("stale accept must not overwrite")
 	}
 }
 
 func TestAcceptHigherBallotOverwrites(t *testing.T) {
 	l := New()
-	l.Accept(1, bal(1), cmd(1))
-	if !l.Accept(1, bal(2), cmd(2)) {
+	l.Accept(1, bal(1), one(1))
+	if !l.Accept(1, bal(2), one(2)) {
 		t.Error("higher-ballot accept must succeed")
 	}
-	if l.Get(1).Command.Key != 2 {
+	if l.Get(1).Commands[0].Key != 2 {
 		t.Error("higher-ballot accept must overwrite")
 	}
 }
 
 func TestAcceptAfterCommit(t *testing.T) {
 	l := New()
-	l.Commit(1, bal(2), cmd(9))
-	if l.Accept(1, bal(3), cmd(1)) {
+	l.Commit(1, bal(2), one(9))
+	if l.Accept(1, bal(3), one(1)) {
 		t.Error("accept on a committed slot under a different ballot must fail")
 	}
-	if !l.Accept(1, bal(2), cmd(9)) {
+	if !l.Accept(1, bal(2), one(9)) {
 		t.Error("same-ballot re-delivery should be tolerated")
 	}
-	if l.Get(1).Command.Key != 9 {
+	if l.Get(1).Commands[0].Key != 9 {
 		t.Error("committed value must be preserved")
 	}
 }
 
 func TestCommitBumpsNextSlot(t *testing.T) {
 	l := New()
-	l.Commit(10, bal(1), cmd(1))
+	l.Commit(10, bal(1), one(1))
 	if l.PeekNextSlot() != 11 {
 		t.Errorf("nextSlot = %d, want 11", l.PeekNextSlot())
 	}
@@ -89,17 +92,17 @@ func TestCommitBumpsNextSlot(t *testing.T) {
 func TestExecuteInOrderWithGap(t *testing.T) {
 	l := New()
 	sm := kvstore.New()
-	l.Commit(1, bal(1), cmd(1))
-	l.Commit(3, bal(1), cmd(3)) // gap at 2
+	l.Commit(1, bal(1), one(1))
+	l.Commit(3, bal(1), one(3)) // gap at 2
 	var got []uint64
-	n := l.ExecuteReady(sm, func(s uint64, _ kvstore.Command, _ kvstore.Result) {
+	n := l.ExecuteReady(sm, func(s uint64, _ int, _ kvstore.Command, _ kvstore.Result) {
 		got = append(got, s)
 	})
 	if n != 1 || len(got) != 1 || got[0] != 1 {
 		t.Fatalf("executed %v, want [1] only (gap at 2)", got)
 	}
-	l.Commit(2, bal(1), cmd(2))
-	n = l.ExecuteReady(sm, func(s uint64, _ kvstore.Command, _ kvstore.Result) {
+	l.Commit(2, bal(1), one(2))
+	n = l.ExecuteReady(sm, func(s uint64, _ int, _ kvstore.Command, _ kvstore.Result) {
 		got = append(got, s)
 	})
 	if n != 2 || len(got) != 3 || got[1] != 2 || got[2] != 3 {
@@ -113,7 +116,7 @@ func TestExecuteInOrderWithGap(t *testing.T) {
 func TestExecuteIdempotent(t *testing.T) {
 	l := New()
 	sm := kvstore.New()
-	l.Commit(1, bal(1), cmd(1))
+	l.Commit(1, bal(1), one(1))
 	l.ExecuteReady(sm, nil)
 	if n := l.ExecuteReady(sm, nil); n != 0 {
 		t.Error("second ExecuteReady must be a no-op")
@@ -126,19 +129,19 @@ func TestExecuteIdempotent(t *testing.T) {
 func TestCommitAfterExecuteIgnored(t *testing.T) {
 	l := New()
 	sm := kvstore.New()
-	l.Commit(1, bal(1), cmd(1))
+	l.Commit(1, bal(1), one(1))
 	l.ExecuteReady(sm, nil)
-	l.Commit(1, bal(9), cmd(99)) // late duplicate commit
-	if l.Get(1).Command.Key != 1 {
+	l.Commit(1, bal(9), one(99)) // late duplicate commit
+	if l.Get(1).Commands[0].Key != 1 {
 		t.Error("executed entry must not be overwritten")
 	}
 }
 
 func TestUncommitted(t *testing.T) {
 	l := New()
-	l.Accept(1, bal(1), cmd(1))
-	l.Commit(2, bal(1), cmd(2))
-	l.Accept(3, bal(1), cmd(3))
+	l.Accept(1, bal(1), one(1))
+	l.Commit(2, bal(1), one(2))
+	l.Accept(3, bal(1), one(3))
 	u := l.Uncommitted(1)
 	if len(u) != 2 {
 		t.Fatalf("uncommitted: %v, want slots 1 and 3", u)
@@ -156,7 +159,7 @@ func TestCompactTo(t *testing.T) {
 	l := New()
 	sm := kvstore.New()
 	for s := uint64(1); s <= 5; s++ {
-		l.Commit(s, bal(1), cmd(s))
+		l.Commit(s, bal(1), one(s))
 	}
 	l.ExecuteReady(sm, nil)
 	n := l.CompactTo(4)
@@ -170,7 +173,7 @@ func TestCompactTo(t *testing.T) {
 
 func TestCompactSkipsUnexecuted(t *testing.T) {
 	l := New()
-	l.Accept(1, bal(1), cmd(1)) // never committed/executed
+	l.Accept(1, bal(1), one(1)) // never committed/executed
 	if n := l.CompactTo(10); n != 0 {
 		t.Error("unexecuted entries must survive compaction")
 	}
@@ -178,9 +181,9 @@ func TestCompactSkipsUnexecuted(t *testing.T) {
 
 func TestCommittedCount(t *testing.T) {
 	l := New()
-	l.Accept(1, bal(1), cmd(1))
-	l.Commit(2, bal(1), cmd(2))
-	l.Commit(3, bal(1), cmd(3))
+	l.Accept(1, bal(1), one(1))
+	l.Commit(2, bal(1), one(2))
+	l.Commit(3, bal(1), one(3))
 	if got := l.CommittedCount(); got != 2 {
 		t.Errorf("CommittedCount = %d, want 2", got)
 	}
@@ -197,8 +200,8 @@ func TestExecutionOrderProperty(t *testing.T) {
 		sm := kvstore.New()
 		var execd []uint64
 		for _, i := range order {
-			l.Commit(uint64(i+1), bal(1), cmd(uint64(i)))
-			l.ExecuteReady(sm, func(s uint64, _ kvstore.Command, _ kvstore.Result) {
+			l.Commit(uint64(i+1), bal(1), one(uint64(i)))
+			l.ExecuteReady(sm, func(s uint64, _ int, _ kvstore.Command, _ kvstore.Result) {
 				execd = append(execd, s)
 			})
 		}
@@ -235,7 +238,7 @@ func TestReplicaConvergenceProperty(t *testing.T) {
 			l := New()
 			sm := kvstore.New()
 			for _, i := range order {
-				l.Commit(uint64(i+1), bal(1), cmds[i])
+				l.Commit(uint64(i+1), bal(1), []kvstore.Command{cmds[i]})
 				l.ExecuteReady(sm, nil)
 			}
 			return sm.Checksum()
@@ -249,10 +252,46 @@ func TestReplicaConvergenceProperty(t *testing.T) {
 	}
 }
 
+func TestExecuteBatchInOrder(t *testing.T) {
+	l := New()
+	sm := kvstore.New()
+	l.Commit(1, bal(1), []kvstore.Command{cmd(1), cmd(2), cmd(3)})
+	var idxs []int
+	n := l.ExecuteReady(sm, func(s uint64, i int, c kvstore.Command, _ kvstore.Result) {
+		if s != 1 || c.Key != uint64(i+1) {
+			t.Errorf("slot %d idx %d got key %d", s, i, c.Key)
+		}
+		idxs = append(idxs, i)
+	})
+	if n != 3 || len(idxs) != 3 || idxs[0] != 0 || idxs[2] != 2 {
+		t.Fatalf("executed %d commands, idxs %v", n, idxs)
+	}
+	if l.ExecuteCursor() != 2 {
+		t.Errorf("cursor = %d, want 2 (one slot, three commands)", l.ExecuteCursor())
+	}
+	if sm.Applied() != 3 {
+		t.Errorf("applied %d, want 3", sm.Applied())
+	}
+}
+
+func TestNoopSlotAdvancesCursor(t *testing.T) {
+	l := New()
+	sm := kvstore.New()
+	l.Commit(1, bal(1), nil) // leader-change filler
+	l.Commit(2, bal(1), one(9))
+	n := l.ExecuteReady(sm, nil)
+	if n != 1 {
+		t.Fatalf("executed %d commands, want 1 (no-op slot applies nothing)", n)
+	}
+	if l.ExecuteCursor() != 3 {
+		t.Errorf("cursor = %d, want 3", l.ExecuteCursor())
+	}
+}
+
 func BenchmarkAcceptCommitExecute(b *testing.B) {
 	l := New()
 	sm := kvstore.New()
-	c := cmd(1)
+	c := one(1)
 	ball := bal(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -105,7 +105,7 @@ func TestLocalTimerFiresAndStops(t *testing.T) {
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	want := wire.P2a{Ballot: 9, Slot: 4, Cmd: kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("xyz")}}
+	want := wire.P2a{Ballot: 9, Slot: 4, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 1, Value: []byte("xyz")}}}
 	if err := WriteFrame(&buf, ids.NewID(2, 3), want); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Errorf("from = %v", from)
 	}
 	got, ok := m.(wire.P2a)
-	if !ok || got.Slot != 4 || string(got.Cmd.Value) != "xyz" {
+	if !ok || got.Slot != 4 || len(got.Cmds) != 1 || string(got.Cmds[0].Value) != "xyz" {
 		t.Errorf("got %+v", m)
 	}
 }

@@ -56,36 +56,47 @@ func (m Reply) append(b []byte) []byte {
 
 // ----------------------------------------------------------------- paxos --
 
-// P1a is the phase-1 leadership bid ("lead with ballot b?").
+// P1a is the phase-1 leadership bid ("lead with ballot b?"). From is the
+// campaigner's execution cursor: promisers report every log entry at or
+// above it — committed ones included — so a lagging winner learns anchored
+// slots it never saw instead of proposing no-op fillers over them.
 type P1a struct {
 	Ballot ids.Ballot
+	From   uint64
 }
 
 // Type implements Msg.
 func (P1a) Type() Type { return TP1a }
 
 // Size implements Msg.
-func (P1a) Size() int { return szBallot }
+func (P1a) Size() int { return szBallot + szU64 }
 
-func (m P1a) append(b []byte) []byte { return putU64(b, uint64(m.Ballot)) }
-
-// SlotEntry reports one accepted-but-uncommitted slot in a P1b ("Ok, but").
-type SlotEntry struct {
-	Slot   uint64
-	Ballot ids.Ballot
-	Cmd    kvstore.Command
+func (m P1a) append(b []byte) []byte {
+	b = putU64(b, uint64(m.Ballot))
+	return putU64(b, m.From)
 }
 
-func szSlotEntry(e SlotEntry) int { return szU64 + szBallot + szCmd(e.Cmd) }
+// SlotEntry reports one known slot in a P1b or CatchupReply. Cmds is the
+// slot's full command batch; Committed marks batches the sender knows are
+// anchored (the receiver must install them as commits, not proposals).
+type SlotEntry struct {
+	Slot      uint64
+	Ballot    ids.Ballot
+	Committed bool
+	Cmds      []kvstore.Command
+}
+
+func szSlotEntry(e SlotEntry) int { return szU64 + szBallot + szBool + szCmds(e.Cmds) }
 
 func putSlotEntry(b []byte, e SlotEntry) []byte {
 	b = putU64(b, e.Slot)
 	b = putU64(b, uint64(e.Ballot))
-	return putCmd(b, e.Cmd)
+	b = putBool(b, e.Committed)
+	return putCmds(b, e.Cmds)
 }
 
 func (r *reader) slotEntry() SlotEntry {
-	return SlotEntry{Slot: r.u64(), Ballot: r.ballot(), Cmd: r.cmd()}
+	return SlotEntry{Slot: r.u64(), Ballot: r.ballot(), Committed: r.boolean(), Cmds: r.cmds()}
 }
 
 // P1b is a follower's phase-1 promise, carrying its uncommitted log suffix.
@@ -117,13 +128,16 @@ func (m P1b) append(b []byte) []byte {
 	return b
 }
 
-// P2a is the phase-2 accept request. Commit is the leader's execution
-// watermark: every slot below it is committed (phase-3 piggybacking per the
-// Multi-Paxos optimization in the paper's Figure 2).
+// P2a is the phase-2 accept request for one log slot. Cmds is the slot's
+// command batch: the leader packs up to MaxBatchSize client commands into a
+// single consensus instance, so the whole batch costs one fan-out round (a
+// one-element batch is the degenerate unbatched case). Commit is the
+// leader's execution watermark: every slot below it is committed (phase-3
+// piggybacking per the Multi-Paxos optimization in the paper's Figure 2).
 type P2a struct {
 	Ballot ids.Ballot
 	Slot   uint64
-	Cmd    kvstore.Command
+	Cmds   []kvstore.Command
 	Commit uint64
 }
 
@@ -131,12 +145,12 @@ type P2a struct {
 func (P2a) Type() Type { return TP2a }
 
 // Size implements Msg.
-func (m P2a) Size() int { return szBallot + szU64 + szCmd(m.Cmd) + szU64 }
+func (m P2a) Size() int { return szBallot + szU64 + szCmds(m.Cmds) + szU64 }
 
 func (m P2a) append(b []byte) []byte {
 	b = putU64(b, uint64(m.Ballot))
 	b = putU64(b, m.Slot)
-	b = putCmd(b, m.Cmd)
+	b = putCmds(b, m.Cmds)
 	b = putU64(b, m.Commit)
 	return b
 }
@@ -162,23 +176,23 @@ func (m P2b) append(b []byte) []byte {
 }
 
 // P3 is an explicit phase-3 commit announcement, used when there is no
-// follow-up P2a to piggyback on.
+// follow-up P2a to piggyback on. It carries the slot's full command batch.
 type P3 struct {
 	Ballot ids.Ballot
 	Slot   uint64
-	Cmd    kvstore.Command
+	Cmds   []kvstore.Command
 }
 
 // Type implements Msg.
 func (P3) Type() Type { return TP3 }
 
 // Size implements Msg.
-func (m P3) Size() int { return szBallot + szU64 + szCmd(m.Cmd) }
+func (m P3) Size() int { return szBallot + szU64 + szCmds(m.Cmds) }
 
 func (m P3) append(b []byte) []byte {
 	b = putU64(b, uint64(m.Ballot))
 	b = putU64(b, m.Slot)
-	return putCmd(b, m.Cmd)
+	return putCmds(b, m.Cmds)
 }
 
 // -------------------------------------------------------------- pigpaxos --
@@ -546,7 +560,7 @@ func init() {
 			Value: r.bytes(), Leader: r.id(), Slot: r.u64(),
 		}
 	}
-	decoders[TP1a] = func(r *reader) Msg { return P1a{Ballot: r.ballot()} }
+	decoders[TP1a] = func(r *reader) Msg { return P1a{Ballot: r.ballot(), From: r.u64()} }
 	decoders[TP1b] = func(r *reader) Msg {
 		m := P1b{Ballot: r.ballot(), From: r.id()}
 		n := int(r.u16())
@@ -556,16 +570,16 @@ func init() {
 		return m
 	}
 	decoders[TP2a] = func(r *reader) Msg {
-		return P2a{Ballot: r.ballot(), Slot: r.u64(), Cmd: r.cmd(), Commit: r.u64()}
+		return P2a{Ballot: r.ballot(), Slot: r.u64(), Cmds: r.cmds(), Commit: r.u64()}
 	}
 	decoders[TP2b] = func(r *reader) Msg {
 		return P2b{Ballot: r.ballot(), From: r.id(), Slot: r.u64()}
 	}
 	decoders[TP3] = func(r *reader) Msg {
-		return P3{Ballot: r.ballot(), Slot: r.u64(), Cmd: r.cmd()}
+		return P3{Ballot: r.ballot(), Slot: r.u64(), Cmds: r.cmds()}
 	}
 	decoders[TRelayP1a] = func(r *reader) Msg {
-		return RelayP1a{P1a: P1a{Ballot: r.ballot()}, Peers: r.idSlice()}
+		return RelayP1a{P1a: P1a{Ballot: r.ballot(), From: r.u64()}, Peers: r.idSlice()}
 	}
 	decoders[TAggP1b] = func(r *reader) Msg {
 		m := AggP1b{Ballot: r.ballot(), Relay: r.id()}
@@ -578,7 +592,7 @@ func init() {
 	}
 	decoders[TRelayP2a] = func(r *reader) Msg {
 		return RelayP2a{
-			P2a:       P2a{Ballot: r.ballot(), Slot: r.u64(), Cmd: r.cmd(), Commit: r.u64()},
+			P2a:       P2a{Ballot: r.ballot(), Slot: r.u64(), Cmds: r.cmds(), Commit: r.u64()},
 			Peers:     r.idSlice(),
 			Threshold: r.u16(),
 			Timeout:   time.Duration(r.u64()),
@@ -592,7 +606,7 @@ func init() {
 	}
 	decoders[TRelayP3] = func(r *reader) Msg {
 		return RelayP3{
-			P3:    P3{Ballot: r.ballot(), Slot: r.u64(), Cmd: r.cmd()},
+			P3:    P3{Ballot: r.ballot(), Slot: r.u64(), Cmds: r.cmds()},
 			Peers: r.idSlice(),
 		}
 	}

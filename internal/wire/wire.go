@@ -13,6 +13,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"pigpaxos/internal/ids"
 	"pigpaxos/internal/kvstore"
@@ -238,6 +239,49 @@ func putCmd(b []byte, c kvstore.Command) []byte {
 }
 
 func szCmd(c kvstore.Command) int { return 1 + szU64 + szBytes(c.Value) + szU64 + szU64 }
+
+// szCmdMin is the smallest possible encoded command (empty value), used to
+// bound batch counts against the remaining buffer before allocating.
+const szCmdMin = 1 + szU64 + szU32 + szU64 + szU64
+
+// putCmds encodes a count-prefixed command batch. A one-element batch is the
+// degenerate single-command case; protocols that never batch pay only the
+// two-byte count. Batches beyond the uint16 count are a bug upstream
+// (paxos clamps MaxBatchSize); truncating silently would corrupt the frame.
+func putCmds(b []byte, v []kvstore.Command) []byte {
+	if len(v) > math.MaxUint16 {
+		panic(fmt.Sprintf("wire: command batch of %d exceeds uint16 count", len(v)))
+	}
+	b = putU16(b, uint16(len(v)))
+	for _, c := range v {
+		b = putCmd(b, c)
+	}
+	return b
+}
+
+func szCmds(v []kvstore.Command) int {
+	n := szU16
+	for _, c := range v {
+		n += szCmd(c)
+	}
+	return n
+}
+
+func (r *reader) cmds() []kvstore.Command {
+	n := int(r.u16())
+	if r.err != nil || r.off+szCmdMin*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]kvstore.Command, n)
+	for i := range v {
+		v[i] = r.cmd()
+	}
+	return v
+}
 
 func (r *reader) cmd() kvstore.Command {
 	if r.err != nil || r.off+1 > len(r.b) {

@@ -39,6 +39,14 @@ func sampleCmd() kvstore.Command {
 	return kvstore.Command{Op: kvstore.Put, Key: 77, Value: []byte("abc"), ClientID: 5, Seq: 9}
 }
 
+func sampleBatch(n int) []kvstore.Command {
+	out := make([]kvstore.Command, n)
+	for i := range out {
+		out[i] = kvstore.Command{Op: kvstore.Put, Key: uint64(i), Value: []byte{byte(i)}, ClientID: 5, Seq: uint64(i + 1)}
+	}
+	return out
+}
+
 func TestRoundTripAllTypes(t *testing.T) {
 	b := ids.NewBallot(3, ids.NewID(1, 2))
 	id1, id2 := ids.NewID(1, 4), ids.NewID(2, 1)
@@ -47,16 +55,21 @@ func TestRoundTripAllTypes(t *testing.T) {
 		Reply{ClientID: 1, Seq: 2, OK: true, Exists: true, Value: []byte("v"), Leader: id1, Slot: 7},
 		Reply{ClientID: 1, Seq: 2}, // zero-variant
 		P1a{Ballot: b},
-		P1b{Ballot: b, From: id1, Entries: []SlotEntry{{Slot: 3, Ballot: b, Cmd: sampleCmd()}}},
+		P1a{Ballot: b, From: 42},
+		P1b{Ballot: b, From: id1, Entries: []SlotEntry{{Slot: 3, Ballot: b, Cmds: []kvstore.Command{sampleCmd()}}}},
+		P1b{Ballot: b, From: id1, Entries: []SlotEntry{{Slot: 5, Ballot: b, Committed: true, Cmds: sampleBatch(2)}}},
 		P1b{Ballot: b, From: id1},
-		P2a{Ballot: b, Slot: 10, Cmd: sampleCmd(), Commit: 9},
+		P2a{Ballot: b, Slot: 10, Cmds: []kvstore.Command{sampleCmd()}, Commit: 9},
+		P2a{Ballot: b, Slot: 11, Cmds: sampleBatch(5), Commit: 9},
+		P2a{Ballot: b, Slot: 12, Commit: 9}, // no-op filler slot
 		P2b{Ballot: b, From: id2, Slot: 10},
-		P3{Ballot: b, Slot: 4, Cmd: sampleCmd()},
+		P3{Ballot: b, Slot: 4, Cmds: []kvstore.Command{sampleCmd()}},
+		P3{Ballot: b, Slot: 5, Cmds: sampleBatch(3)},
 		RelayP1a{P1a: P1a{Ballot: b}, Peers: []ids.ID{id1, id2}},
 		AggP1b{Ballot: b, Relay: id1, Replies: []P1b{{Ballot: b, From: id2}}},
-		RelayP2a{P2a: P2a{Ballot: b, Slot: 1, Cmd: sampleCmd()}, Peers: []ids.ID{id2}, Threshold: 2, Timeout: 50 * time.Millisecond},
+		RelayP2a{P2a: P2a{Ballot: b, Slot: 1, Cmds: sampleBatch(4)}, Peers: []ids.ID{id2}, Threshold: 2, Timeout: 50 * time.Millisecond},
 		AggP2b{Ballot: b, Relay: id1, Slot: 1, Acks: []ids.ID{id1, id2}, Partial: true},
-		RelayP3{P3: P3{Ballot: b, Slot: 2, Cmd: sampleCmd()}, Peers: []ids.ID{id1}},
+		RelayP3{P3: P3{Ballot: b, Slot: 2, Cmds: []kvstore.Command{sampleCmd()}}, Peers: []ids.ID{id1}},
 		PreAccept{Ballot: b, Inst: InstRef{Replica: id1, Slot: 3}, Cmd: sampleCmd(), Seq: 4, Deps: []InstRef{{Replica: id2, Slot: 1}}},
 		PreAcceptReply{Inst: InstRef{Replica: id1, Slot: 3}, From: id2, OK: true, Ballot: b, Seq: 5, Deps: []InstRef{{Replica: id1, Slot: 2}}, Changed: true},
 		Accept{Ballot: b, Inst: InstRef{Replica: id1, Slot: 3}, Cmd: sampleCmd(), Seq: 4, Deps: nil},
@@ -88,7 +101,7 @@ func TestDecodeTruncationNeverPanics(t *testing.T) {
 	// Every prefix of every valid encoding must decode cleanly or error.
 	full := Encode(nil, P1b{
 		Ballot: ids.NewBallot(1, ids.NewID(1, 1)), From: ids.NewID(1, 2),
-		Entries: []SlotEntry{{Slot: 1, Ballot: 2, Cmd: sampleCmd()}},
+		Entries: []SlotEntry{{Slot: 1, Ballot: 2, Cmds: sampleBatch(2)}},
 	})
 	for i := 1; i < len(full); i++ {
 		_, _, err := Decode(full[:i])
@@ -120,18 +133,22 @@ func TestTypeString(t *testing.T) {
 func TestEncodeAppends(t *testing.T) {
 	prefix := []byte{9, 9, 9}
 	out := Encode(prefix, P1a{Ballot: 5})
-	if len(out) != 3+1+8 || out[0] != 9 {
+	if len(out) != 3+1+8+8 || out[0] != 9 {
 		t.Error("Encode must append to dst")
 	}
 }
 
-// Property: P2a with random command round-trips and Size matches.
+// Property: P2a with a random command batch round-trips and Size matches.
 func TestP2aProperty(t *testing.T) {
-	f := func(bn uint16, slot, key, cl, seq uint64, commit uint64, val []byte, op uint8) bool {
+	f := func(bn uint16, slot, key, cl, seq uint64, commit uint64, val []byte, op uint8, extra uint8) bool {
+		batch := []kvstore.Command{{Op: kvstore.Op(op % 3), Key: key, Value: val, ClientID: cl, Seq: seq}}
+		for i := 0; i < int(extra%8); i++ {
+			batch = append(batch, kvstore.Command{Op: kvstore.Put, Key: uint64(i), ClientID: cl, Seq: seq + uint64(i) + 1})
+		}
 		m := P2a{
 			Ballot: ids.NewBallot(int(bn), ids.NewID(1, 1)),
 			Slot:   slot,
-			Cmd:    kvstore.Command{Op: kvstore.Op(op % 3), Key: key, Value: val, ClientID: cl, Seq: seq},
+			Cmds:   batch,
 			Commit: commit,
 		}
 		enc := Encode(nil, m)
@@ -143,8 +160,8 @@ func TestP2aProperty(t *testing.T) {
 			return false
 		}
 		g := got.(P2a)
-		if len(m.Cmd.Value) == 0 {
-			m.Cmd.Value = nil // decoder normalizes empty to nil
+		if len(m.Cmds[0].Value) == 0 {
+			m.Cmds[0].Value = nil // decoder normalizes empty to nil
 		}
 		return reflect.DeepEqual(g, m)
 	}
@@ -215,7 +232,7 @@ func TestStreamDecodeProperty(t *testing.T) {
 }
 
 func BenchmarkEncodeP2a(b *testing.B) {
-	m := P2a{Ballot: 77, Slot: 123, Cmd: kvstore.Command{Op: kvstore.Put, Key: 42, Value: make([]byte, 128)}}
+	m := P2a{Ballot: 77, Slot: 123, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 42, Value: make([]byte, 128)}}}
 	buf := make([]byte, 0, 256)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -224,7 +241,7 @@ func BenchmarkEncodeP2a(b *testing.B) {
 }
 
 func BenchmarkDecodeP2a(b *testing.B) {
-	m := P2a{Ballot: 77, Slot: 123, Cmd: kvstore.Command{Op: kvstore.Put, Key: 42, Value: make([]byte, 128)}}
+	m := P2a{Ballot: 77, Slot: 123, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 42, Value: make([]byte, 128)}}}
 	enc := Encode(nil, m)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -234,13 +251,22 @@ func BenchmarkDecodeP2a(b *testing.B) {
 	}
 }
 
+func BenchmarkEncodeP2aBatch16(b *testing.B) {
+	m := P2a{Ballot: 77, Slot: 123, Cmds: sampleBatch(16)}
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
 func TestCatchupRoundTrip(t *testing.T) {
 	checkEqual(t, CatchupReq{From: 3, To: 9})
 	checkEqual(t, CatchupReply{
 		Ballot: ids.NewBallot(2, ids.NewID(1, 1)),
 		Entries: []SlotEntry{
-			{Slot: 3, Ballot: 5, Cmd: sampleCmd()},
-			{Slot: 4, Ballot: 5, Cmd: sampleCmd()},
+			{Slot: 3, Ballot: 5, Cmds: []kvstore.Command{sampleCmd()}},
+			{Slot: 4, Ballot: 5, Cmds: sampleBatch(3)},
 		},
 	})
 	checkEqual(t, CatchupReply{Ballot: 1})

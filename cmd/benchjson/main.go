@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON array on stdout, one object per benchmark result:
+//
+//	go test -run xxx -bench . -benchmem ./internal/... | benchjson > BENCH_hotpath.json
+//
+// CI runs it after every push so the perf trajectory of the hot-path
+// benchmarks (allocs/op and ns/op for wire, des, netsim, transport) is
+// tracked as a build artifact from PR 2 on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Package is the Go package the benchmark ran in (from the preceding
+	// "pkg:" or trailing "ok" lines; empty if not seen).
+	Package string `json:"package,omitempty"`
+	// Name is the benchmark name without the -N GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any extra b.ReportMetric columns (unit → value).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results := []Result{} // non-nil: empty input must encode as [], not null
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Package: pkg, Name: name, Iterations: iters}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				n := int64(v)
+				r.BytesPerOp = &n
+			case "allocs/op":
+				n := int64(v)
+				r.AllocsPerOp = &n
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

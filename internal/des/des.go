@@ -4,53 +4,58 @@
 // a simulated network (internal/netsim) whose delays advance virtual time
 // instead of wall time, so experiments that take minutes of cluster time
 // finish in milliseconds and are exactly reproducible.
+//
+// Events live in a slab with free-list reuse: scheduling allocates nothing
+// once the slab has grown to the experiment's working set, and the binary
+// heap orders int32 slab indices instead of pointers. Canceled timers are
+// compacted out of the heap once they outnumber live events, so retransmit
+// and heartbeat churn cannot grow the queue without bound.
 package des
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback.
+// Runner is a pre-allocated schedulable unit: an alternative to closure
+// callbacks for hot paths that reuse one object across many events (e.g.
+// netsim's pooled message deliveries).
+type Runner interface {
+	Run()
+}
+
+// event is one scheduled callback, stored in the simulator's slab. Exactly
+// one of fn and runner is set. gen guards Timer handles against slot reuse.
 type event struct {
-	at  time.Duration
-	seq uint64 // tie-break so same-time events run in schedule order
-	fn  func()
-	// canceled supports timer cancellation without heap surgery.
+	at       time.Duration
+	seq      uint64 // tie-break so same-time events run in schedule order
+	fn       func()
+	runner   Runner
+	gen      uint32
 	canceled bool
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Timer is a handle to a scheduled event that can be stopped.
-type Timer struct{ e *event }
+type Timer struct {
+	s   *Sim
+	idx int32
+	gen uint32
+}
 
 // Stop cancels the timer if it has not fired. It reports whether the call
 // prevented the event from firing.
 func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.canceled {
+	if t == nil || t.s == nil {
 		return false
 	}
-	t.e.canceled = true
+	s := t.s
+	e := &s.slab[t.idx]
+	if e.gen != t.gen || e.canceled {
+		return false // already fired (slot recycled) or already stopped
+	}
+	e.canceled = true
+	s.canceled++
+	s.maybeCompact()
 	return true
 }
 
@@ -58,11 +63,14 @@ func (t *Timer) Stop() bool {
 // run on the caller's goroutine inside Run*; the simulator itself is not
 // safe for concurrent use.
 type Sim struct {
-	now    time.Duration
-	queue  eventHeap
-	seq    uint64
-	rng    *rand.Rand
-	events uint64
+	now      time.Duration
+	slab     []event
+	free     []int32 // free slab slots (stack)
+	queue    []int32 // binary heap of slab indices, ordered by (at, seq)
+	seq      uint64
+	rng      *rand.Rand
+	events   uint64
+	canceled int // canceled events still sitting in the queue
 }
 
 // New creates a simulator with a deterministic RNG seeded by seed.
@@ -77,30 +85,161 @@ func (s *Sim) Now() time.Duration { return s.now }
 // (relay selection, jitter) must come from here for reproducibility.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
+// alloc takes a slab slot from the free list, growing the slab when empty.
+func (s *Sim) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	s.slab = append(s.slab, event{})
+	return int32(len(s.slab) - 1)
+}
+
+// release returns a slot to the free list, bumping its generation so stale
+// Timer handles cannot cancel the slot's next tenant.
+func (s *Sim) release(idx int32) {
+	e := &s.slab[idx]
+	e.fn, e.runner = nil, nil
+	e.canceled = false
+	e.gen++
+	s.free = append(s.free, idx)
+}
+
+func (s *Sim) scheduleEvent(delay time.Duration, fn func(), r Runner) (int32, uint32) {
+	if delay < 0 {
+		delay = 0 // run at the current instant, after queued same-time events
+	}
+	idx := s.alloc()
+	e := &s.slab[idx]
+	e.at = s.now + delay
+	e.seq = s.seq
+	s.seq++
+	e.fn, e.runner = fn, r
+	gen := e.gen
+	s.queue = append(s.queue, idx)
+	s.up(len(s.queue) - 1)
+	return idx, gen
+}
+
 // Schedule runs fn after delay of virtual time and returns a cancellable
 // handle. A negative delay is treated as zero (run at the current instant,
 // after already-queued same-time events).
 func (s *Sim) Schedule(delay time.Duration, fn func()) *Timer {
-	if delay < 0 {
-		delay = 0
+	idx, gen := s.scheduleEvent(delay, fn, nil)
+	return &Timer{s: s, idx: idx, gen: gen}
+}
+
+// ScheduleRunner schedules r.Run after delay of virtual time without
+// allocating: no closure, no Timer handle. Hot paths that reschedule a
+// pooled object (netsim message delivery) use this instead of Schedule.
+func (s *Sim) ScheduleRunner(delay time.Duration, r Runner) {
+	s.scheduleEvent(delay, nil, r)
+}
+
+// ---- index heap, ordered by (at, seq) ----
+
+func (s *Sim) less(a, b int32) bool {
+	ea, eb := &s.slab[a], &s.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
 	}
-	e := &event{at: s.now + delay, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return &Timer{e: e}
+	return ea.seq < eb.seq
+}
+
+func (s *Sim) up(j int) {
+	q := s.queue
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.less(q[j], q[i]) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func (s *Sim) down(i int) {
+	q := s.queue
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && s.less(q[r], q[l]) {
+			j = r
+		}
+		if !s.less(q[j], q[i]) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+}
+
+func (s *Sim) popMin() int32 {
+	q := s.queue
+	idx := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	s.queue = q[:n]
+	if n > 0 {
+		s.down(0)
+	}
+	return idx
+}
+
+// compactMinCanceled bounds how small a queue bothers compacting; below
+// this, canceled events drain cheaply through normal pops.
+const compactMinCanceled = 64
+
+// maybeCompact rebuilds the heap without canceled events once they reach
+// half the queue, so mass timer cancellation (retransmit guards on commit,
+// heartbeat resets) returns memory instead of accumulating tombstones.
+// Heapify order does not affect pop order: (at, seq) is a total order.
+func (s *Sim) maybeCompact() {
+	if s.canceled < compactMinCanceled || 2*s.canceled < len(s.queue) {
+		return
+	}
+	live := s.queue[:0]
+	for _, idx := range s.queue {
+		if s.slab[idx].canceled {
+			s.canceled--
+			s.release(idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	s.queue = live
+	for i := len(s.queue)/2 - 1; i >= 0; i-- {
+		s.down(i)
+	}
 }
 
 // step executes the earliest pending event. It returns false when the queue
 // is empty.
 func (s *Sim) step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
+	for len(s.queue) > 0 {
+		idx := s.popMin()
+		e := &s.slab[idx]
 		if e.canceled {
+			s.canceled--
+			s.release(idx)
 			continue
 		}
 		s.now = e.at
 		s.events++
-		e.fn()
+		fn, r := e.fn, e.runner
+		// Release before running: the callback may schedule new events,
+		// which can then reuse this slot immediately.
+		s.release(idx)
+		if r != nil {
+			r.Run()
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -109,14 +248,17 @@ func (s *Sim) step() bool {
 // Run processes events until virtual time exceeds until or the queue drains.
 // Events scheduled exactly at until still run.
 func (s *Sim) Run(until time.Duration) {
-	for s.queue.Len() > 0 {
+	for len(s.queue) > 0 {
 		// Peek: stop before executing an event beyond the horizon.
-		next := s.queue[0]
-		if next.canceled {
-			heap.Pop(&s.queue)
+		root := s.queue[0]
+		e := &s.slab[root]
+		if e.canceled {
+			s.popMin()
+			s.canceled--
+			s.release(root)
 			continue
 		}
-		if next.at > until {
+		if e.at > until {
 			s.now = until
 			return
 		}
@@ -133,8 +275,9 @@ func (s *Sim) RunUntilIdle() {
 	}
 }
 
-// Pending returns the number of queued (possibly canceled) events.
-func (s *Sim) Pending() int { return s.queue.Len() }
+// Pending returns the number of queued events, including canceled ones not
+// yet compacted away.
+func (s *Sim) Pending() int { return len(s.queue) }
 
 // Executed returns the total number of events executed so far.
 func (s *Sim) Executed() uint64 { return s.events }

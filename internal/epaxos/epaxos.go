@@ -374,9 +374,7 @@ func (r *Replica) onRequest(from ids.ID, m wire.Request) {
 		targets = targets[:r.fastQ]
 	}
 	pa := wire.PreAccept{Ballot: ids.NewBallot(0, r.cfg.ID), Inst: ref, Cmd: m.Cmd, Seq: seq, Deps: deps}
-	for _, p := range targets {
-		r.ctx.Send(p, pa)
-	}
+	r.ctx.Broadcast(targets, pa)
 	if r.fastQ == 0 { // single-node cluster
 		r.commitInstance(ref, in, in.seq, in.deps)
 	}
@@ -444,9 +442,7 @@ func (r *Replica) onPreAcceptReply(m wire.PreAcceptReply) {
 		Ballot: ids.NewBallot(0, r.cfg.ID), Inst: m.Inst,
 		Cmd: in.cmd, Seq: in.seq, Deps: in.deps,
 	}
-	for _, p := range r.peers {
-		r.ctx.Send(p, acc)
-	}
+	r.ctx.Broadcast(r.peers, acc)
 }
 
 // ---------------------------------------------------------- slow path --
@@ -486,9 +482,7 @@ func (r *Replica) commitInstance(ref wire.InstRef, in *instance, seq uint64, dep
 	in.status = statusCommitted
 	r.stats.Commits++
 	cm := wire.Commit{Inst: ref, Cmd: in.cmd, Seq: seq, Deps: deps}
-	for _, p := range r.peers {
-		r.ctx.Send(p, cm)
-	}
+	r.ctx.Broadcast(r.peers, cm)
 	r.pendingExec[ref] = true
 	r.tryExecuteAll()
 }

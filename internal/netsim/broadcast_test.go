@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/des"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/wire"
+)
+
+type timeRecorder struct {
+	at   []time.Duration
+	from []ids.ID
+	sim  *des.Sim
+}
+
+func (r *timeRecorder) OnMessage(from ids.ID, m wire.Msg) {
+	r.at = append(r.at, r.sim.Now())
+	r.from = append(r.from, from)
+}
+
+// TestBroadcastMatchesSendLoop is the cost-model invariant behind the
+// encode-once Broadcast API: on the simulator, Broadcast must be
+// indistinguishable from the per-recipient Send loop it replaced — same
+// delivery times, same sender CPU, same counters — so every benchmark
+// number is bit-identical at equal seeds.
+func TestBroadcastMatchesSendLoop(t *testing.T) {
+	run := func(broadcast bool) ([]time.Duration, time.Duration, uint64) {
+		sim := des.New(99)
+		cc := config.NewLAN(9)
+		net := New(sim, cc, DefaultOptions())
+		leader := net.Register(cc.Nodes[0], &sink{}, false)
+		recs := make([]*timeRecorder, 0, 8)
+		for _, id := range cc.Nodes[1:] {
+			r := &timeRecorder{sim: sim}
+			recs = append(recs, r)
+			net.Register(id, r, false)
+		}
+		var m wire.Msg = wire.P2a{Ballot: 3, Slot: 7, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 1, Value: []byte("v")}}}
+		for round := 0; round < 5; round++ {
+			if broadcast {
+				leader.Broadcast(cc.Nodes[1:], m)
+			} else {
+				for _, id := range cc.Nodes[1:] {
+					leader.Send(id, m)
+				}
+			}
+			sim.RunUntilIdle()
+		}
+		var all []time.Duration
+		for _, r := range recs {
+			all = append(all, r.at...)
+		}
+		return all, leader.BusyTotal(), net.MessagesDelivered()
+	}
+	at1, busy1, n1 := run(false)
+	at2, busy2, n2 := run(true)
+	if n1 != n2 {
+		t.Fatalf("delivered %d vs %d messages", n1, n2)
+	}
+	if busy1 != busy2 {
+		t.Fatalf("sender CPU %v vs %v: Broadcast must charge per-recipient cost", busy1, busy2)
+	}
+	if len(at1) != len(at2) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(at1), len(at2))
+	}
+	for i := range at1 {
+		if at1[i] != at2[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, at1[i], at2[i])
+		}
+	}
+}
+
+// TestSendSteadyStateZeroAllocs: the simulated message path (send → cost
+// accounting → two slab events → handler) must not allocate once the
+// delivery pool and event slab have grown — this is what lets large sweeps
+// run at memory-bandwidth speed.
+func TestSendSteadyStateZeroAllocs(t *testing.T) {
+	sim := des.New(1)
+	cc := config.NewLAN(2)
+	net := New(sim, cc, DefaultOptions())
+	recv := &sink{}
+	a := net.Register(cc.Nodes[0], &sink{}, false)
+	z := net.Register(cc.Nodes[1], recv, false)
+	var m wire.Msg = wire.P2b{Ballot: 7, From: a.ID(), Slot: 1}
+	// Warm the pools.
+	for i := 0; i < 100; i++ {
+		a.Send(z.ID(), m)
+		sim.RunUntilIdle()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		a.Send(z.ID(), m)
+		sim.RunUntilIdle()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state simulated send allocates %.2f allocs/op, want 0", allocs)
+	}
+	if recv.n == 0 {
+		t.Fatal("no messages delivered")
+	}
+}
+
+// TestDeliveryPoolReuseUnderFault: crashed/cut deliveries release their
+// pooled event without running the handler.
+func TestDeliveryPoolReuseUnderFault(t *testing.T) {
+	sim := des.New(1)
+	cc := config.NewLAN(3)
+	net := New(sim, cc, DefaultOptions())
+	a := net.Register(cc.Nodes[0], &sink{}, false)
+	recvB := &sink{}
+	net.Register(cc.Nodes[1], recvB, false)
+	recvC := &sink{}
+	net.Register(cc.Nodes[2], recvC, false)
+
+	net.Crash(cc.Nodes[1])
+	var m wire.Msg = wire.Heartbeat{Ballot: 1, From: a.ID()}
+	for i := 0; i < 50; i++ {
+		a.Broadcast(cc.Nodes[1:], m)
+		sim.RunUntilIdle()
+	}
+	if recvB.n != 0 {
+		t.Errorf("crashed node received %d messages", recvB.n)
+	}
+	if recvC.n != 50 {
+		t.Errorf("healthy node received %d messages, want 50", recvC.n)
+	}
+	if net.MessagesDropped() != 50 {
+		t.Errorf("dropped = %d, want 50", net.MessagesDropped())
+	}
+}

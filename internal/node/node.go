@@ -29,6 +29,12 @@ type Context interface {
 	ID() ids.ID
 	// Send transmits m to another node (or client) asynchronously.
 	Send(to ids.ID, m wire.Msg)
+	// Broadcast transmits the same m to every node in to. Semantically
+	// identical to calling Send per recipient, and the simulator charges
+	// the full per-recipient CPU cost either way (the paper's leader
+	// bottleneck); live transports exploit it to serialize m once and
+	// ship the encoded bytes N times.
+	Broadcast(to []ids.ID, m wire.Msg)
 	// After schedules fn to run after d. The callback is serialized with
 	// message delivery.
 	After(d time.Duration, fn func()) Timer

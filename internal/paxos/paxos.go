@@ -50,7 +50,9 @@ type Direct struct {
 	Q2      int
 }
 
-// FanOut implements Disseminator.
+// FanOut implements Disseminator. The broadcast lets live transports
+// encode m once for the whole fan-out; the simulator still charges the
+// paper's per-recipient CPU cost.
 func (d *Direct) FanOut(m wire.Msg) {
 	peers := d.Peers
 	if d.Thrifty && d.Q2 > 0 {
@@ -59,9 +61,7 @@ func (d *Direct) FanOut(m wire.Msg) {
 			peers = peers[:d.Q2-1]
 		}
 	}
-	for _, p := range peers {
-		d.Ctx.Send(p, m)
-	}
+	d.Ctx.Broadcast(peers, m)
 }
 
 // Config parameterizes a replica.

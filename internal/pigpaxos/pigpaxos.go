@@ -306,14 +306,11 @@ func (p *pigPlane) FanOut(m wire.Msg) {
 		r.fanOutP3(v)
 	case wire.Heartbeat:
 		// Heartbeats are rare control traffic; send direct so the
-		// failure detector does not depend on relay liveness.
-		for _, peer := range r.cfg.Paxos.Cluster.Peers(r.cfg.Paxos.ID) {
-			r.ctx.Send(peer, v)
-		}
+		// failure detector does not depend on relay liveness. Broadcast
+		// encodes the heartbeat once for all N−1 followers.
+		r.ctx.Broadcast(r.cfg.Paxos.Cluster.Peers(r.cfg.Paxos.ID), v)
 	default:
-		for _, peer := range r.cfg.Paxos.Cluster.Peers(r.cfg.Paxos.ID) {
-			r.ctx.Send(peer, v)
-		}
+		r.ctx.Broadcast(r.cfg.Paxos.Cluster.Peers(r.cfg.Paxos.ID), v)
 	}
 }
 
@@ -459,10 +456,9 @@ func (r *Replica) onRelayP2a(from ids.ID, m wire.RelayP2a) {
 	if r.cfg.MultiLayer && len(m.Peers) > 2*r.cfg.SubGroupSize {
 		r.splitToSubRelays(m)
 	} else {
-		inner := m.P2a
-		for _, p := range m.Peers {
-			r.ctx.Send(p, inner)
-		}
+		// Relay fan-out: one encode for the whole group on live
+		// transports (the relay's own CPU tax is what §3 spreads around).
+		r.ctx.Broadcast(m.Peers, m.P2a)
 	}
 	if r.maybeFlushP2(key, a, false) {
 		return
@@ -486,9 +482,7 @@ func (r *Replica) splitToSubRelays(m wire.RelayP2a) {
 	r.stats.Splits++
 	sub, err := config.EvenGroups(m.Peers, (len(m.Peers)+r.cfg.SubGroupSize-1)/r.cfg.SubGroupSize)
 	if err != nil {
-		for _, p := range m.Peers {
-			r.ctx.Send(p, m.P2a)
-		}
+		r.ctx.Broadcast(m.Peers, m.P2a)
 		return
 	}
 	for _, g := range sub.Groups {
@@ -630,9 +624,7 @@ func (r *Replica) onRelayP1a(from ids.ID, m wire.RelayP1a) {
 		isP1:      true,
 	}
 	r.aggs[key] = a
-	for _, p := range m.Peers {
-		r.ctx.Send(p, m.P1a)
-	}
+	r.ctx.Broadcast(m.Peers, m.P1a)
 	if len(a.p1Replies) >= a.expected {
 		r.flushP1(key, a)
 		return
@@ -673,7 +665,5 @@ func (r *Replica) flushP1(key aggKey, a *agg) {
 
 func (r *Replica) onRelayP3(m wire.RelayP3) {
 	r.core.OnP3(m.P3)
-	for _, p := range m.Peers {
-		r.ctx.Send(p, m.P3)
-	}
+	r.ctx.Broadcast(m.Peers, m.P3)
 }

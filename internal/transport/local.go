@@ -135,6 +135,15 @@ func (n *LocalNode) Send(to ids.ID, m wire.Msg) {
 	}
 }
 
+// Broadcast implements node.Context. In-process delivery passes m by
+// reference, so there is nothing to encode once: it is exactly a Send per
+// recipient.
+func (n *LocalNode) Broadcast(to []ids.ID, m wire.Msg) {
+	for _, id := range to {
+		n.Send(id, m)
+	}
+}
+
 // After implements node.Context: the callback is posted to the mailbox so
 // it serializes with message handling.
 func (n *LocalNode) After(d time.Duration, fn func()) node.Timer {

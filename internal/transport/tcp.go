@@ -2,12 +2,14 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pigpaxos/internal/ids"
@@ -24,69 +26,132 @@ import (
 const (
 	frameHeader  = 4
 	maxFrameSize = 16 << 20 // 16 MiB guards against corrupt streams
+
+	// outboundQueue bounds frames buffered per peer; when full, Send drops
+	// (the network is allowed to lose messages; protocols retry).
+	outboundQueue = 1024
+	dialTimeout   = 2 * time.Second
 )
+
+// frame is one encoded outbound frame (header included). Frames are pooled
+// and reference-counted so a Broadcast can enqueue the same encoded bytes
+// on every peer's writer without copying; the last writer to finish
+// returns the buffer to the pool.
+type frame struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// newFrame encodes m (from sender) into a pooled frame with refs initial
+// references.
+func newFrame(sender ids.ID, m wire.Msg, refs int32) *frame {
+	f := framePool.Get().(*frame)
+	f.refs.Store(refs)
+	b := append(f.buf[:0], 0, 0, 0, 0) // header backpatched below
+	b = binary.LittleEndian.AppendUint32(b, uint32(sender))
+	b = wire.Encode(b, m)
+	binary.LittleEndian.PutUint32(b[:frameHeader], uint32(len(b)-frameHeader))
+	f.buf = b
+	return f
+}
+
+// maxPooledFrame bounds the buffers kept in framePool: the occasional
+// giant frame (up to maxFrameSize) must not pin megabytes for the node's
+// lifetime when steady-state frames are a few hundred bytes.
+const maxPooledFrame = 64 << 10
+
+func (f *frame) release() {
+	if f.refs.Add(-1) == 0 {
+		if cap(f.buf) > maxPooledFrame {
+			f.buf = nil
+		}
+		framePool.Put(f)
+	}
+}
 
 // WriteFrame writes one framed message from sender to w.
 func WriteFrame(w io.Writer, sender ids.ID, m wire.Msg) error {
-	body := make([]byte, 0, 8+m.Size()+1)
-	body = binary.LittleEndian.AppendUint32(body, uint32(sender))
-	body = wire.Encode(body, m)
-	var hdr [frameHeader]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
+	f := newFrame(sender, m, 1)
+	_, err := w.Write(f.buf)
+	f.release()
 	return err
 }
 
-// ReadFrame reads one framed message from r.
-func ReadFrame(r io.Reader) (ids.ID, wire.Msg, error) {
+// readFrameInto reads one framed message from r, reusing buf as the frame
+// scratch; it returns the (possibly grown) buffer for the next call. The
+// decoded message owns its contents (wire.Decode copies), so the buffer is
+// free for reuse immediately.
+func readFrameInto(r io.Reader, buf []byte) (ids.ID, wire.Msg, []byte, error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, buf, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n < 4 || n > maxFrameSize {
-		return 0, nil, fmt.Errorf("transport: bad frame size %d", n)
+		return 0, nil, buf, fmt.Errorf("transport: bad frame size %d", n)
 	}
-	body := make([]byte, n)
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, err
+		return 0, nil, buf, err
 	}
 	sender := ids.ID(binary.LittleEndian.Uint32(body[:4]))
 	m, used, err := wire.Decode(body[4:])
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, buf, err
 	}
 	if used != len(body)-4 {
-		return 0, nil, fmt.Errorf("transport: frame has %d trailing bytes", len(body)-4-used)
+		return 0, nil, buf, fmt.Errorf("transport: frame has %d trailing bytes", len(body)-4-used)
 	}
-	return sender, m, nil
+	return sender, m, buf, nil
+}
+
+// ReadFrame reads one framed message from r.
+func ReadFrame(r io.Reader) (ids.ID, wire.Msg, error) {
+	sender, m, _, err := readFrameInto(r, nil)
+	return sender, m, err
 }
 
 // TCPNode is a live node reachable over TCP. It implements node.Context;
-// a single event-loop goroutine serializes handler calls and timers.
+// a single event-loop goroutine serializes handler calls and timers, and a
+// writer goroutine per peer drains a bounded outbound queue so Send never
+// blocks the event loop — a peer that never answers its dial costs its own
+// writer 2 seconds, not the replica.
 type TCPNode struct {
 	id      ids.ID
 	handler node.Handler
 	addrs   map[ids.ID]string
 
-	ln    net.Listener
-	inbox chan envelope
-	done  chan struct{}
-	once  sync.Once
-	wg    sync.WaitGroup
+	ln      net.Listener
+	inbox   chan envelope
+	done    chan struct{}
+	ctx     context.Context // canceled at Close; aborts in-flight dials
+	cancel  context.CancelFunc
+	once    sync.Once
+	closing atomic.Bool // set before Close sweeps connections
+	wg      sync.WaitGroup
 
 	connMu sync.Mutex
-	conns  map[ids.ID]*outConn
+	peers  map[ids.ID]*peer
 
 	start time.Time
 	rng   *rand.Rand
 	rngMu sync.Mutex
 }
 
-type outConn struct {
+// peer is the outbound side of one neighbor: a bounded frame queue drained
+// by a dedicated writer goroutine that coalesces queued frames into a
+// single Flush (and therefore typically a single syscall).
+type peer struct {
+	n     *TCPNode
+	id    ids.ID
+	queue chan *frame
+	stop  chan struct{} // closed when the peer record is reaped
+
 	mu     sync.Mutex
 	c      net.Conn
 	w      *bufio.Writer
@@ -95,12 +160,13 @@ type outConn struct {
 
 // ListenTCP starts a node listening on addr. addrs maps every cluster
 // member (and optionally clients) to its host:port; outbound connections
-// are dialed lazily and redialed after failures.
+// are dialed lazily by the peer's writer and redialed after failures.
 func ListenTCP(id ids.ID, addr string, addrs map[ids.ID]string, h node.Handler) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	n := &TCPNode{
 		id:      id,
 		handler: h,
@@ -108,7 +174,9 @@ func ListenTCP(id ids.ID, addr string, addrs map[ids.ID]string, h node.Handler) 
 		ln:      ln,
 		inbox:   make(chan envelope, 4096),
 		done:    make(chan struct{}),
-		conns:   make(map[ids.ID]*outConn),
+		ctx:     ctx,
+		cancel:  cancel,
+		peers:   make(map[ids.ID]*peer),
 		start:   time.Now(),
 		rng:     rand.New(rand.NewSource(int64(id) ^ time.Now().UnixNano())),
 	}
@@ -124,15 +192,17 @@ func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
 // Close shuts the node down and waits for its goroutines.
 func (n *TCPNode) Close() {
 	n.once.Do(func() {
+		n.closing.Store(true)
 		close(n.done)
+		n.cancel()
 		n.ln.Close()
 		n.connMu.Lock()
-		for _, oc := range n.conns {
-			oc.mu.Lock()
-			if oc.c != nil {
-				oc.c.Close()
+		for _, p := range n.peers {
+			p.mu.Lock()
+			if p.c != nil {
+				p.c.Close()
 			}
-			oc.mu.Unlock()
+			p.mu.Unlock()
 		}
 		n.connMu.Unlock()
 	})
@@ -160,6 +230,7 @@ func (n *TCPNode) readLoop(c net.Conn) {
 	defer n.wg.Done()
 	defer c.Close()
 	br := bufio.NewReader(c)
+	var buf []byte // reusable frame scratch; grows to the stream's largest frame
 	var regID ids.ID
 	registered := false
 	defer func() {
@@ -168,10 +239,11 @@ func (n *TCPNode) readLoop(c net.Conn) {
 		}
 	}()
 	for {
-		from, m, err := ReadFrame(br)
+		from, m, nextBuf, err := readFrameInto(br, buf)
 		if err != nil {
 			return
 		}
+		buf = nextBuf
 		if !registered {
 			regID = from
 			// Remember the inbound connection as a reverse route so
@@ -188,44 +260,84 @@ func (n *TCPNode) readLoop(c net.Conn) {
 	}
 }
 
+// peerFor returns the peer record for id, creating it when create is set
+// or when id has a configured address. nil means the peer is unreachable
+// (no address, no reverse route).
+func (n *TCPNode) peerFor(id ids.ID, create bool) *peer {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	p, ok := n.peers[id]
+	if ok {
+		return p
+	}
+	if n.closing.Load() {
+		return nil // shutting down: no new writers
+	}
+	if !create {
+		if _, known := n.addrs[id]; !known {
+			return nil
+		}
+	}
+	p = &peer{n: n, id: id, queue: make(chan *frame, outboundQueue), stop: make(chan struct{})}
+	n.peers[id] = p
+	n.wg.Add(1)
+	go p.writeLoop()
+	return p
+}
+
 // registerReverse installs conn as the outbound route to id. A fresh
 // inbound connection replaces a previous reverse route (the peer
 // reconnected) but never displaces a healthy dialed connection.
 func (n *TCPNode) registerReverse(id ids.ID, c net.Conn) {
-	n.connMu.Lock()
-	defer n.connMu.Unlock()
-	oc, ok := n.conns[id]
-	if !ok {
-		oc = &outConn{}
-		n.conns[id] = oc
+	p := n.peerFor(id, true)
+	if p == nil {
+		return // node is shutting down
 	}
-	oc.mu.Lock()
-	if oc.c == nil || !oc.dialed {
-		if oc.c != nil && oc.c != c {
-			oc.c.Close()
+	p.mu.Lock()
+	if p.c == nil || !p.dialed {
+		if p.c != nil && p.c != c {
+			p.c.Close()
 		}
-		oc.c = c
-		oc.w = bufio.NewWriter(c)
-		oc.dialed = false
+		p.c = c
+		p.w = bufio.NewWriter(c)
+		p.dialed = false
 	}
-	oc.mu.Unlock()
+	p.mu.Unlock()
 }
 
 // clearReverse drops a reverse route when its connection dies, so a later
-// reconnect (or dial) can take its place.
+// reconnect (or dial) can take its place. Peers with no configured address
+// (ephemeral clients known only through their inbound connection) are
+// reaped entirely — record, queue and writer goroutine — so churning
+// clients cannot grow the peer table without bound.
 func (n *TCPNode) clearReverse(id ids.ID, c net.Conn) {
 	n.connMu.Lock()
-	oc := n.conns[id]
+	p := n.peers[id]
+	_, hasAddr := n.addrs[id]
 	n.connMu.Unlock()
-	if oc == nil {
+	if p == nil {
 		return
 	}
-	oc.mu.Lock()
-	if oc.c == c {
-		oc.c, oc.w = nil, nil
-		oc.dialed = false
+	p.mu.Lock()
+	mine := p.c == c
+	if mine {
+		p.c, p.w = nil, nil
+		p.dialed = false
 	}
-	oc.mu.Unlock()
+	p.mu.Unlock()
+	if !mine || hasAddr {
+		return
+	}
+	n.connMu.Lock()
+	p.mu.Lock()
+	// Re-check under both locks: a reconnect may have installed a fresh
+	// route while we were deciding.
+	if p.c == nil && n.peers[id] == p {
+		delete(n.peers, id)
+		close(p.stop)
+	}
+	p.mu.Unlock()
+	n.connMu.Unlock()
 }
 
 func (n *TCPNode) eventLoop() {
@@ -247,9 +359,11 @@ func (n *TCPNode) eventLoop() {
 // ID implements node.Context.
 func (n *TCPNode) ID() ids.ID { return n.id }
 
-// Send implements node.Context. Failures drop the message (the network is
-// allowed to lose messages; protocols retry), and the cached connection is
-// discarded so the next send redials.
+// Send implements node.Context. It encodes m once, enqueues the frame on
+// the peer's writer, and returns immediately: dial latency, slow peers and
+// write syscalls are paid by the peer's writer goroutine, never by the
+// calling event loop. A full queue drops the frame (the network is allowed
+// to lose messages; protocols retry).
 func (n *TCPNode) Send(to ids.ID, m wire.Msg) {
 	if to == n.id {
 		select {
@@ -258,58 +372,164 @@ func (n *TCPNode) Send(to ids.ID, m wire.Msg) {
 		}
 		return
 	}
-	oc := n.conn(to)
-	if oc == nil {
-		// No configured address; a reverse route may still exist.
-		n.connMu.Lock()
-		oc = n.conns[to]
-		n.connMu.Unlock()
-		if oc == nil {
-			return
-		}
+	p := n.peerFor(to, false)
+	if p == nil {
+		return
 	}
-	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	if oc.c == nil {
-		addr, ok := n.addrs[to]
-		if !ok {
-			return
-		}
-		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err != nil {
-			return
-		}
-		oc.c = c
-		oc.w = bufio.NewWriter(c)
-		oc.dialed = true
-		// Connections are full-duplex: read replies sent back over this
-		// socket (peers prefer an existing route over dialing back).
-		n.wg.Add(1)
-		go n.readLoop(c)
-	}
-	if err := WriteFrame(oc.w, n.id, m); err == nil {
-		err = oc.w.Flush()
-		if err == nil {
-			return
-		}
-	}
-	oc.c.Close()
-	oc.c, oc.w = nil, nil
-	oc.dialed = false
+	p.enqueue(newFrame(n.id, m, 1))
 }
 
-func (n *TCPNode) conn(to ids.ID) *outConn {
-	n.connMu.Lock()
-	defer n.connMu.Unlock()
-	oc, ok := n.conns[to]
-	if !ok {
-		if _, known := n.addrs[to]; !known {
-			return nil
+// Broadcast implements node.Context: m is encoded exactly once and the
+// same frame bytes are enqueued on every recipient's writer.
+func (n *TCPNode) Broadcast(to []ids.ID, m wire.Msg) {
+	var f *frame
+	for _, id := range to {
+		if id == n.id {
+			n.Send(id, m) // self-delivery through the inbox
+			continue
 		}
-		oc = &outConn{}
-		n.conns[to] = oc
+		p := n.peerFor(id, false)
+		if p == nil {
+			continue
+		}
+		if f == nil {
+			f = newFrame(n.id, m, 1) // the extra ref is released below
+		}
+		f.refs.Add(1)
+		p.enqueue(f)
 	}
-	return oc
+	if f != nil {
+		f.release()
+	}
+}
+
+func (p *peer) enqueue(f *frame) {
+	select {
+	case p.queue <- f:
+	default:
+		f.release() // bounded queue full: drop, like a congested network
+	}
+}
+
+func (p *peer) writeLoop() {
+	defer p.n.wg.Done()
+	for {
+		select {
+		case <-p.n.done:
+			p.drainQueue()
+			return
+		case <-p.stop:
+			p.drainQueue()
+			return
+		case f := <-p.queue:
+			p.write(f)
+		}
+	}
+}
+
+// write ships one frame plus everything else already queued, then flushes
+// once — many frames, one syscall. Connection setup happens here, off the
+// event loop.
+func (p *peer) write(first *frame) {
+	c, w := p.ensureConn()
+	if w == nil {
+		// Unreachable: drop this frame and everything queued behind it,
+		// so a flood at a dead peer does not serialize dial timeouts.
+		first.release()
+		p.drainQueue()
+		return
+	}
+	_, err := w.Write(first.buf)
+	first.release()
+	for err == nil {
+		select {
+		case f := <-p.queue:
+			_, err = w.Write(f.buf)
+			f.release()
+		default:
+			err = w.Flush()
+			if err == nil {
+				return
+			}
+		}
+	}
+	p.dropConn(c)
+}
+
+// ensureConn returns the current connection, dialing if none exists. The
+// dial happens without holding p.mu so reverse-route registration is never
+// blocked behind a slow dial.
+func (p *peer) ensureConn() (net.Conn, *bufio.Writer) {
+	p.mu.Lock()
+	if p.c != nil {
+		c, w := p.c, p.w
+		p.mu.Unlock()
+		return c, w
+	}
+	p.mu.Unlock()
+
+	p.n.connMu.Lock()
+	addr, ok := p.n.addrs[p.id]
+	p.n.connMu.Unlock()
+	if !ok {
+		return nil, nil
+	}
+	d := net.Dialer{Timeout: dialTimeout}
+	c, err := d.DialContext(p.n.ctx, "tcp", addr)
+	if err != nil {
+		return nil, nil
+	}
+	p.mu.Lock()
+	if p.c != nil {
+		// A reverse route arrived while we dialed; prefer it.
+		existing, w := p.c, p.w
+		p.mu.Unlock()
+		c.Close()
+		return existing, w
+	}
+	if p.n.closing.Load() {
+		// Close swept connections while we were dialing; installing now
+		// would leak a conn (and its readLoop) that Close never closes,
+		// hanging wg.Wait. The store of closing happens before the sweep
+		// takes p.mu, so seeing it false here means the sweep will see
+		// our installed conn.
+		p.mu.Unlock()
+		c.Close()
+		return nil, nil
+	}
+	p.c = c
+	p.w = bufio.NewWriter(c)
+	p.dialed = true
+	w := p.w
+	p.mu.Unlock()
+	// Connections are full-duplex: read replies sent back over this
+	// socket (peers prefer an existing route over dialing back).
+	p.n.wg.Add(1)
+	go p.n.readLoop(c)
+	return c, w
+}
+
+// dropConn discards a failed connection so the next frame redials.
+func (p *peer) dropConn(c net.Conn) {
+	c.Close()
+	p.mu.Lock()
+	if p.c == c {
+		p.c, p.w = nil, nil
+		p.dialed = false
+	}
+	p.mu.Unlock()
+}
+
+// drainQueue releases everything currently queued.
+func (p *peer) drainQueue() {
+	for {
+		select {
+		case f := <-p.queue:
+			f.release()
+		default:
+			return
+		}
+	}
 }
 
 // RegisterAddr adds (or updates) a peer address after startup — used for

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+)
+
+// deref unwraps the pointer-boxed messages DecodeInto returns for hot
+// types, so tests can compare against value-decoded messages.
+func deref(m Msg) Msg {
+	v := reflect.ValueOf(m)
+	if v.Kind() == reflect.Pointer {
+		return v.Elem().Interface().(Msg)
+	}
+	return m
+}
+
+func sampleMsgs() []Msg {
+	b := ids.NewBallot(3, ids.NewID(1, 2))
+	id1, id2 := ids.NewID(1, 4), ids.NewID(2, 1)
+	return []Msg{
+		Request{Cmd: sampleCmd()},
+		Reply{ClientID: 1, Seq: 2, OK: true, Exists: true, Value: []byte("v"), Leader: id1, Slot: 7},
+		P1a{Ballot: b, From: 42},
+		P1b{Ballot: b, From: id1, Entries: []SlotEntry{{Slot: 5, Ballot: b, Committed: true, Cmds: sampleBatch(2)}}},
+		P1b{Ballot: b, From: id1},
+		P2a{Ballot: b, Slot: 11, Cmds: sampleBatch(5), Commit: 9},
+		P2a{Ballot: b, Slot: 12, Commit: 9},
+		P2b{Ballot: b, From: id2, Slot: 10},
+		P3{Ballot: b, Slot: 5, Cmds: sampleBatch(3)},
+		RelayP1a{P1a: P1a{Ballot: b}, Peers: []ids.ID{id1, id2}},
+		AggP1b{Ballot: b, Relay: id1, Replies: []P1b{
+			{Ballot: b, From: id2},
+			{Ballot: b, From: id1, Entries: []SlotEntry{{Slot: 3, Ballot: b, Cmds: sampleBatch(1)}}},
+		}},
+		RelayP2a{P2a: P2a{Ballot: b, Slot: 1, Cmds: sampleBatch(4)}, Peers: []ids.ID{id2}, Threshold: 2, Timeout: 50 * time.Millisecond},
+		AggP2b{Ballot: b, Relay: id1, Slot: 1, Acks: []ids.ID{id1, id2}, Partial: true},
+		RelayP3{P3: P3{Ballot: b, Slot: 2, Cmds: []kvstore.Command{sampleCmd()}}, Peers: []ids.ID{id1}},
+		PreAccept{Ballot: b, Inst: InstRef{Replica: id1, Slot: 3}, Cmd: sampleCmd(), Seq: 4, Deps: []InstRef{{Replica: id2, Slot: 1}}},
+		PreAcceptReply{Inst: InstRef{Replica: id1, Slot: 3}, From: id2, OK: true, Ballot: b, Seq: 5, Deps: []InstRef{{Replica: id1, Slot: 2}}, Changed: true},
+		Accept{Ballot: b, Inst: InstRef{Replica: id1, Slot: 3}, Cmd: sampleCmd(), Seq: 4},
+		AcceptReply{Inst: InstRef{Replica: id1, Slot: 3}, From: id2, OK: false, Ballot: b},
+		Commit{Inst: InstRef{Replica: id1, Slot: 3}, Cmd: sampleCmd(), Seq: 4, Deps: []InstRef{{Replica: id2, Slot: 9}}},
+		QReadReq{Key: 8, RID: 99},
+		QReadReply{Key: 8, RID: 99, From: id1, Version: 3, Exists: true, Value: []byte("x")},
+		Heartbeat{Ballot: b, From: id1, Commit: 42},
+		HeartbeatAck{Ballot: b, From: id2},
+		CatchupReq{From: 3, To: 9},
+		CatchupReply{Ballot: b, Entries: []SlotEntry{{Slot: 3, Ballot: 5, Cmds: sampleBatch(3)}}},
+	}
+}
+
+// TestDecodeIntoMatchesDecode: the arena decoder must produce the same
+// message as the allocating decoder, for every type, including when the
+// same Scratch is reused across a stream of messages.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	s := GetScratch()
+	defer PutScratch(s)
+	for _, m := range sampleMsgs() {
+		enc := Encode(nil, m)
+		want, wn, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", m.Type(), err)
+		}
+		s.Reset()
+		got, gn, err := DecodeInto(s, enc)
+		if err != nil {
+			t.Fatalf("%v: DecodeInto: %v", m.Type(), err)
+		}
+		if gn != wn {
+			t.Errorf("%v: DecodeInto consumed %d, Decode consumed %d", m.Type(), gn, wn)
+		}
+		if !reflect.DeepEqual(deref(got), want) {
+			t.Errorf("%v mismatch:\n got %+v\nwant %+v", m.Type(), deref(got), want)
+		}
+	}
+}
+
+// TestDecodeIntoStream reuses one Scratch (without Reset) across several
+// slice-carrying messages to exercise arena growth and the sub-slice
+// capping that keeps earlier messages intact.
+func TestDecodeIntoStream(t *testing.T) {
+	s := GetScratch()
+	defer PutScratch(s)
+	b := ids.NewBallot(2, ids.NewID(1, 1))
+	stream := []Msg{
+		P3{Ballot: b, Slot: 1, Cmds: sampleBatch(3)},
+		AggP2b{Ballot: b, Relay: ids.NewID(1, 2), Slot: 1, Acks: []ids.ID{ids.NewID(1, 3), ids.NewID(1, 4)}},
+		CatchupReply{Ballot: b, Entries: []SlotEntry{
+			{Slot: 1, Ballot: b, Committed: true, Cmds: sampleBatch(2)},
+			{Slot: 2, Ballot: b, Cmds: sampleBatch(1)},
+		}},
+	}
+	var buf []byte
+	for _, m := range stream {
+		buf = Encode(buf, m)
+	}
+	// Messages of distinct kinds decoded into one scratch stay valid
+	// simultaneously (no singleton reuse, arenas only append).
+	var got []Msg
+	for range stream {
+		m, n, err := DecodeInto(s, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, deref(m))
+		buf = buf[n:]
+	}
+	for i, want := range stream {
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("stream[%d] mismatch:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestHotPathZeroAllocs is the acceptance gate for the pooled codec:
+// steady-state encode+decode round-trips of the phase-2 hot-path messages
+// (P2a, P2b, P3, AggP2b) must not allocate.
+func TestHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool does not pool under -race; allocation counts are meaningless")
+	}
+	b := ids.NewBallot(7, ids.NewID(1, 1))
+	msgs := []Msg{
+		P2a{Ballot: b, Slot: 123, Cmds: sampleBatch(16), Commit: 120},
+		P2b{Ballot: b, From: ids.NewID(1, 3), Slot: 123},
+		P3{Ballot: b, Slot: 123, Cmds: sampleBatch(16)},
+		AggP2b{Ballot: b, Relay: ids.NewID(1, 2), Slot: 123, Acks: []ids.ID{ids.NewID(1, 2), ids.NewID(1, 3), ids.NewID(1, 4)}, Partial: false},
+	}
+	s := GetScratch()
+	defer PutScratch(s)
+	buf := GetBuf()
+	defer PutBuf(buf)
+	roundTrip := func() {
+		for _, m := range msgs {
+			*buf = Encode((*buf)[:0], m)
+			s.Reset()
+			if _, _, err := DecodeInto(s, *buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	roundTrip() // warm up: grow arenas and pools to steady state
+	if allocs := testing.AllocsPerRun(200, roundTrip); allocs != 0 {
+		t.Errorf("steady-state hot-path round-trip allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestCountClampPanics: entry counts beyond uint16 must panic loudly
+// instead of truncating silently into a corrupt frame.
+func TestCountClampPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic on oversized count", name)
+			}
+		}()
+		fn()
+	}
+	bigIDs := make([]ids.ID, 70000)
+	mustPanic("putIDs", func() { Encode(nil, AggP2b{Acks: bigIDs}) })
+	bigRefs := make([]InstRef, 70000)
+	mustPanic("putInstRefs", func() { Encode(nil, Commit{Deps: bigRefs}) })
+	bigEntries := make([]SlotEntry, 70000)
+	mustPanic("P1b entries", func() { Encode(nil, P1b{Entries: bigEntries}) })
+	mustPanic("CatchupReply entries", func() { Encode(nil, CatchupReply{Entries: bigEntries}) })
+	bigReplies := make([]P1b, 70000)
+	mustPanic("AggP1b replies", func() { Encode(nil, AggP1b{Replies: bigReplies}) })
+	bigCmds := make([]kvstore.Command, 70000)
+	mustPanic("putCmds", func() { Encode(nil, P2a{Cmds: bigCmds}) })
+}
+
+func TestTypeStringNoAlloc(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() { _ = TP2a.String() }); allocs != 0 {
+		t.Errorf("Type.String allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkDecodeIntoP2a(b *testing.B) {
+	m := P2a{Ballot: 77, Slot: 123, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 42, Value: make([]byte, 128)}}}
+	enc := Encode(nil, m)
+	s := GetScratch()
+	defer PutScratch(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		if _, _, err := DecodeInto(s, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeIntoP2aBatch16(b *testing.B) {
+	m := P2a{Ballot: 77, Slot: 123, Cmds: sampleBatch(16)}
+	enc := Encode(nil, m)
+	s := GetScratch()
+	defer PutScratch(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		if _, _, err := DecodeInto(s, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripPooled is the codec-level hot path end to end: encode
+// into pooled scratch, decode from a reusable arena. The message is
+// pre-boxed as Msg, as it is everywhere in the protocols, so the bench
+// measures the codec rather than call-site interface conversion.
+func BenchmarkRoundTripPooled(b *testing.B) {
+	var m Msg = P2a{Ballot: 77, Slot: 123, Cmds: sampleBatch(16), Commit: 120}
+	s := GetScratch()
+	defer PutScratch(s)
+	buf := GetBuf()
+	defer PutBuf(buf)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		*buf = Encode((*buf)[:0], m)
+		s.Reset()
+		if _, _, err := DecodeInto(s, *buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

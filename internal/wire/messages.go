@@ -121,6 +121,7 @@ func (m P1b) Size() int {
 func (m P1b) append(b []byte) []byte {
 	b = putU64(b, uint64(m.Ballot))
 	b = putU32(b, uint32(m.From))
+	checkCount(len(m.Entries), "P1b entry list")
 	b = putU16(b, uint16(len(m.Entries)))
 	for _, e := range m.Entries {
 		b = putSlotEntry(b, e)
@@ -237,6 +238,7 @@ func (m AggP1b) Size() int {
 func (m AggP1b) append(b []byte) []byte {
 	b = putU64(b, uint64(m.Ballot))
 	b = putU32(b, uint32(m.Relay))
+	checkCount(len(m.Replies), "AggP1b reply list")
 	b = putU16(b, uint16(len(m.Replies)))
 	for _, p := range m.Replies {
 		b = p.append(b)
@@ -332,6 +334,7 @@ func putInstRef(b []byte, i InstRef) []byte {
 func (r *reader) instRef() InstRef { return InstRef{Replica: r.id(), Slot: r.u64()} }
 
 func putInstRefs(b []byte, v []InstRef) []byte {
+	checkCount(len(v), "instance-ref list")
 	b = putU16(b, uint16(len(v)))
 	for _, i := range v {
 		b = putInstRef(b, i)
@@ -349,6 +352,13 @@ func (r *reader) instRefs() []InstRef {
 	}
 	if n == 0 {
 		return nil
+	}
+	if s := r.scratch; s != nil {
+		start := len(s.refs)
+		for i := 0; i < n; i++ {
+			s.refs = append(s.refs, r.instRef())
+		}
+		return s.refs[start:len(s.refs):len(s.refs)]
 	}
 	v := make([]InstRef, n)
 	for i := range v {
@@ -553,42 +563,63 @@ func (m Heartbeat) append(b []byte) []byte {
 // ---------------------------------------------------------------- decode --
 
 func init() {
-	decoders[TRequest] = func(r *reader) Msg { return Request{Cmd: r.cmd()} }
-	decoders[TReply] = func(r *reader) Msg {
-		return Reply{
-			ClientID: r.u64(), Seq: r.u64(), OK: r.boolean(), Exists: r.boolean(),
-			Value: r.bytes(), Leader: r.id(), Slot: r.u64(),
-		}
-	}
-	decoders[TP1a] = func(r *reader) Msg { return P1a{Ballot: r.ballot(), From: r.u64()} }
-	decoders[TP1b] = func(r *reader) Msg {
-		m := P1b{Ballot: r.ballot(), From: r.id()}
-		n := int(r.u16())
-		for i := 0; i < n && r.err == nil; i++ {
-			m.Entries = append(m.Entries, r.slotEntry())
+	decoders[TRequest] = func(r *reader) Msg {
+		m := Request{Cmd: r.cmd()}
+		if s := r.scratch; s != nil {
+			s.request = m
+			return &s.request
 		}
 		return m
 	}
+	decoders[TReply] = func(r *reader) Msg {
+		m := Reply{
+			ClientID: r.u64(), Seq: r.u64(), OK: r.boolean(), Exists: r.boolean(),
+			Value: r.bytes(), Leader: r.id(), Slot: r.u64(),
+		}
+		if s := r.scratch; s != nil {
+			s.reply = m
+			return &s.reply
+		}
+		return m
+	}
+	decoders[TP1a] = func(r *reader) Msg {
+		m := P1a{Ballot: r.ballot(), From: r.u64()}
+		if s := r.scratch; s != nil {
+			s.p1a = m
+			return &s.p1a
+		}
+		return m
+	}
+	decoders[TP1b] = func(r *reader) Msg { return r.p1b() }
 	decoders[TP2a] = func(r *reader) Msg {
-		return P2a{Ballot: r.ballot(), Slot: r.u64(), Cmds: r.cmds(), Commit: r.u64()}
+		m := P2a{Ballot: r.ballot(), Slot: r.u64(), Cmds: r.cmds(), Commit: r.u64()}
+		if s := r.scratch; s != nil {
+			s.p2a = m
+			return &s.p2a
+		}
+		return m
 	}
 	decoders[TP2b] = func(r *reader) Msg {
-		return P2b{Ballot: r.ballot(), From: r.id(), Slot: r.u64()}
+		m := P2b{Ballot: r.ballot(), From: r.id(), Slot: r.u64()}
+		if s := r.scratch; s != nil {
+			s.p2b = m
+			return &s.p2b
+		}
+		return m
 	}
 	decoders[TP3] = func(r *reader) Msg {
-		return P3{Ballot: r.ballot(), Slot: r.u64(), Cmds: r.cmds()}
+		m := P3{Ballot: r.ballot(), Slot: r.u64(), Cmds: r.cmds()}
+		if s := r.scratch; s != nil {
+			s.p3 = m
+			return &s.p3
+		}
+		return m
 	}
 	decoders[TRelayP1a] = func(r *reader) Msg {
 		return RelayP1a{P1a: P1a{Ballot: r.ballot(), From: r.u64()}, Peers: r.idSlice()}
 	}
 	decoders[TAggP1b] = func(r *reader) Msg {
-		m := AggP1b{Ballot: r.ballot(), Relay: r.id()}
-		n := int(r.u16())
-		for i := 0; i < n && r.err == nil; i++ {
-			p := decoders[TP1b](r).(P1b)
-			m.Replies = append(m.Replies, p)
-		}
-		return m
+		return AggP1b{Ballot: r.ballot(), Relay: r.id(), Replies: r.p1bs()}
 	}
 	decoders[TRelayP2a] = func(r *reader) Msg {
 		return RelayP2a{
@@ -599,10 +630,15 @@ func init() {
 		}
 	}
 	decoders[TAggP2b] = func(r *reader) Msg {
-		return AggP2b{
+		m := AggP2b{
 			Ballot: r.ballot(), Relay: r.id(), Slot: r.u64(),
 			Acks: r.idSlice(), Partial: r.boolean(),
 		}
+		if s := r.scratch; s != nil {
+			s.aggP2b = m
+			return &s.aggP2b
+		}
+		return m
 	}
 	decoders[TRelayP3] = func(r *reader) Msg {
 		return RelayP3{
@@ -646,7 +682,12 @@ func init() {
 		}
 	}
 	decoders[THeartbeat] = func(r *reader) Msg {
-		return Heartbeat{Ballot: r.ballot(), From: r.id(), Commit: r.u64()}
+		m := Heartbeat{Ballot: r.ballot(), From: r.id(), Commit: r.u64()}
+		if s := r.scratch; s != nil {
+			s.heartbeat = m
+			return &s.heartbeat
+		}
+		return m
 	}
 }
 
@@ -691,6 +732,7 @@ func (m CatchupReply) Size() int {
 
 func (m CatchupReply) append(b []byte) []byte {
 	b = putU64(b, uint64(m.Ballot))
+	checkCount(len(m.Entries), "CatchupReply entry list")
 	b = putU16(b, uint16(len(m.Entries)))
 	for _, e := range m.Entries {
 		b = putSlotEntry(b, e)
@@ -703,12 +745,7 @@ func init() {
 		return CatchupReq{From: r.u64(), To: r.u64()}
 	}
 	decoders[TCatchupReply] = func(r *reader) Msg {
-		m := CatchupReply{Ballot: r.ballot()}
-		n := int(r.u16())
-		for i := 0; i < n && r.err == nil; i++ {
-			m.Entries = append(m.Entries, r.slotEntry())
-		}
-		return m
+		return CatchupReply{Ballot: r.ballot(), Entries: r.slotEntries()}
 	}
 }
 
@@ -732,6 +769,11 @@ func (m HeartbeatAck) append(b []byte) []byte {
 
 func init() {
 	decoders[THeartbeatAck] = func(r *reader) Msg {
-		return HeartbeatAck{Ballot: r.ballot(), From: r.id()}
+		m := HeartbeatAck{Ballot: r.ballot(), From: r.id()}
+		if s := r.scratch; s != nil {
+			s.heartbeatAck = m
+			return &s.heartbeatAck
+		}
+		return m
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately defeats pooling under -race, so zero-allocation assertions
+// only hold in normal builds.
+const raceEnabled = false

@@ -8,12 +8,19 @@
 // Encoding is little-endian with fixed-width integers and length-prefixed
 // byte strings. Every message type registers a decoder in init; Decode
 // dispatches on the one-byte type tag.
+//
+// The codec is built to be allocation-free on the steady-state hot path:
+// Encode appends into a caller-owned buffer (GetBuf/PutBuf pool reusable
+// scratch), Decode draws its reader from a sync.Pool, and DecodeInto
+// decodes into a reusable Scratch arena so that command batches, ID lists
+// and byte strings reuse grown storage instead of allocating per message.
 package wire
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"pigpaxos/internal/ids"
 	"pigpaxos/internal/kvstore"
@@ -50,22 +57,25 @@ const (
 	maxType
 )
 
+// typeNames is indexed by Type; a static array so String never allocates
+// a lookup table per call.
+var typeNames = [maxType]string{
+	TRequest: "Request", TReply: "Reply",
+	TP1a: "P1a", TP1b: "P1b", TP2a: "P2a", TP2b: "P2b", TP3: "P3",
+	TRelayP1a: "RelayP1a", TAggP1b: "AggP1b",
+	TRelayP2a: "RelayP2a", TAggP2b: "AggP2b", TRelayP3: "RelayP3",
+	TPreAccept: "PreAccept", TPreAcceptReply: "PreAcceptReply",
+	TAccept: "Accept", TAcceptReply: "AcceptReply", TCommit: "Commit",
+	TQReadReq: "QReadReq", TQReadReply: "QReadReply",
+	THeartbeat:  "Heartbeat",
+	TCatchupReq: "CatchupReq", TCatchupReply: "CatchupReply",
+	THeartbeatAck: "HeartbeatAck",
+}
+
 // String implements fmt.Stringer.
 func (t Type) String() string {
-	names := map[Type]string{
-		TRequest: "Request", TReply: "Reply",
-		TP1a: "P1a", TP1b: "P1b", TP2a: "P2a", TP2b: "P2b", TP3: "P3",
-		TRelayP1a: "RelayP1a", TAggP1b: "AggP1b",
-		TRelayP2a: "RelayP2a", TAggP2b: "AggP2b", TRelayP3: "RelayP3",
-		TPreAccept: "PreAccept", TPreAcceptReply: "PreAcceptReply",
-		TAccept: "Accept", TAcceptReply: "AcceptReply", TCommit: "Commit",
-		TQReadReq: "QReadReq", TQReadReply: "QReadReply",
-		THeartbeat:  "Heartbeat",
-		TCatchupReq: "CatchupReq", TCatchupReply: "CatchupReply",
-		THeartbeatAck: "HeartbeatAck",
-	}
-	if n, ok := names[t]; ok {
-		return n
+	if t > 0 && t < maxType {
+		return typeNames[t]
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -86,25 +96,153 @@ func Encode(dst []byte, m Msg) []byte {
 	return m.append(dst)
 }
 
+// bufPool holds reusable encode scratch buffers. Stored as *[]byte so the
+// slice header itself is not re-boxed on every Put.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetBuf returns a pooled, zero-length encode buffer. Use as
+//
+//	b := wire.GetBuf()
+//	*b = wire.Encode((*b)[:0], m)
+//	... ship *b ...
+//	wire.PutBuf(b)
+//
+// so steady-state encoding performs no allocations once buffers have grown
+// to the working-set frame size.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) {
+	if b == nil {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// readerPool recycles decode readers so Decode performs no bookkeeping
+// allocation per message.
+var readerPool = sync.Pool{New: func() any { return new(reader) }}
+
 // Decode parses one message from data (as produced by Encode). It returns
-// the message and the number of bytes consumed.
+// the message and the number of bytes consumed. All variable-length
+// contents (command batches, values, ID lists) are freshly allocated and
+// safe to retain.
 func Decode(data []byte) (Msg, int, error) {
+	return decode(data, nil)
+}
+
+// DecodeInto is Decode with a reusable Scratch arena: command batches, ID
+// lists, slot entries and byte strings in the returned message are carved
+// out of s instead of allocated, and the hottest message kinds (P1a, P2a,
+// P2b, P3, AggP2b, Heartbeat, HeartbeatAck, Request, Reply) are returned as
+// pointers into s rather than freshly boxed values. Steady state it
+// performs zero allocations.
+//
+// Everything reachable from the returned Msg is owned by s: it remains
+// valid only until the next DecodeInto on the same Scratch that reuses the
+// storage (same hot message kind, or a Reset). Callers that retain message
+// contents past that point must copy them. The one-shot Decode has no such
+// caveat.
+//
+// CAUTION — pointer boxing: for the hot kinds the dynamic type of the
+// returned Msg is *P2a, *P2b, etc., not P2a. A type switch written for
+// value types (`case P2a:`), like the ones in every protocol's OnMessage,
+// silently misses pointer-boxed messages. Do not feed DecodeInto output
+// into such a switch; either match both forms or use Decode, which always
+// returns value-boxed messages (and is what the transport read path uses,
+// since handlers retain decoded contents).
+//
+// DecodeInto is therefore for consumers that fully process a message
+// before the next decode — measurement harnesses, replay/inspection
+// tools, and the codec benchmarks that assert the hot-path allocation
+// floor. The live TCP read path deliberately stays on Decode.
+func DecodeInto(s *Scratch, data []byte) (Msg, int, error) {
+	return decode(data, s)
+}
+
+func decode(data []byte, s *Scratch) (Msg, int, error) {
 	if len(data) == 0 {
-		return nil, 0, fmt.Errorf("wire: empty buffer")
+		return nil, 0, errEmpty
 	}
 	t := Type(data[0])
 	if t == 0 || t >= maxType {
 		return nil, 0, fmt.Errorf("wire: unknown message type %d", data[0])
 	}
-	r := &reader{b: data, off: 1}
+	r := readerPool.Get().(*reader)
+	r.b, r.off, r.err, r.scratch = data, 1, nil, s
 	m := decoders[t](r)
-	if r.err != nil {
-		return nil, 0, fmt.Errorf("wire: decoding %v: %w", t, r.err)
+	off, err := r.off, r.err
+	r.b, r.err, r.scratch = nil, nil, nil
+	readerPool.Put(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: decoding %v: %w", t, err)
 	}
-	return m, r.off, nil
+	return m, off, nil
 }
 
+var errEmpty = fmt.Errorf("wire: empty buffer")
+
 var decoders [maxType]func(*reader) Msg
+
+// Scratch is a reusable decode arena for DecodeInto. The zero value is
+// ready to use; GetScratch/PutScratch pool instances across call sites.
+type Scratch struct {
+	// Hot-path message singletons: DecodeInto returns pointers to these
+	// for the corresponding types, avoiding an interface-boxing allocation
+	// per decoded message.
+	p1a          P1a
+	p2a          P2a
+	p2b          P2b
+	p3           P3
+	aggP2b       AggP2b
+	heartbeat    Heartbeat
+	heartbeatAck HeartbeatAck
+	request      Request
+	reply        Reply
+
+	// Growable arenas for variable-length message contents.
+	cmds    []kvstore.Command
+	ids     []ids.ID
+	refs    []InstRef
+	entries []SlotEntry
+	p1bs    []P1b
+	buf     []byte
+}
+
+// Reset discards all decoded contents, keeping the grown storage for
+// reuse. Messages previously returned by DecodeInto on this Scratch become
+// invalid.
+func (s *Scratch) Reset() {
+	s.cmds = s.cmds[:0]
+	s.ids = s.ids[:0]
+	s.refs = s.refs[:0]
+	s.entries = s.entries[:0]
+	s.p1bs = s.p1bs[:0]
+	s.buf = s.buf[:0]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a pooled decode arena.
+func GetScratch() *Scratch {
+	return scratchPool.Get().(*Scratch)
+}
+
+// PutScratch resets s and returns it to the pool.
+func PutScratch(s *Scratch) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	scratchPool.Put(s)
+}
 
 // ---- low-level encode/decode helpers ----
 
@@ -121,7 +259,19 @@ func putBytes(b []byte, v []byte) []byte {
 	b = putU32(b, uint32(len(v)))
 	return append(b, v...)
 }
+
+// checkCount guards every uint16 entry count on the wire: overflowing
+// counts are a bug upstream, and truncating silently would corrupt the
+// frame (the decoder would misparse everything after the undercounted
+// list).
+func checkCount(n int, what string) {
+	if n > math.MaxUint16 {
+		panic(fmt.Sprintf("wire: %s of %d exceeds uint16 count", what, n))
+	}
+}
+
 func putIDs(b []byte, v []ids.ID) []byte {
+	checkCount(len(v), "ID list")
 	b = putU16(b, uint16(len(v)))
 	for _, id := range v {
 		b = putU32(b, uint32(id))
@@ -142,9 +292,10 @@ func szBytes(v []byte) int { return szU32 + len(v) }
 func szIDs(v []ids.ID) int { return szU16 + szID*len(v) }
 
 type reader struct {
-	b   []byte
-	off int
-	err error
+	b       []byte
+	off     int
+	err     error
+	scratch *Scratch // nil for one-shot Decode
 }
 
 func (r *reader) fail() {
@@ -202,9 +353,15 @@ func (r *reader) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
-	v := make([]byte, n)
-	copy(v, r.b[r.off:r.off+n])
+	src := r.b[r.off : r.off+n]
 	r.off += n
+	if s := r.scratch; s != nil {
+		start := len(s.buf)
+		s.buf = append(s.buf, src...)
+		return s.buf[start:len(s.buf):len(s.buf)]
+	}
+	v := make([]byte, n)
+	copy(v, src)
 	return v
 }
 
@@ -213,18 +370,84 @@ func (r *reader) ballot() ids.Ballot { return ids.Ballot(r.u64()) }
 
 func (r *reader) idSlice() []ids.ID {
 	n := int(r.u16())
-	if r.err != nil || r.off+4*n > len(r.b) {
+	if r.err != nil || r.off+szID*n > len(r.b) {
 		r.fail()
 		return nil
 	}
 	if n == 0 {
 		return nil
 	}
+	if s := r.scratch; s != nil {
+		start := len(s.ids)
+		for i := 0; i < n; i++ {
+			s.ids = append(s.ids, r.id())
+		}
+		return s.ids[start:len(s.ids):len(s.ids)]
+	}
 	v := make([]ids.ID, n)
 	for i := range v {
 		v[i] = r.id()
 	}
 	return v
+}
+
+// szSlotEntryMin is the smallest possible encoded slot entry (empty
+// batch), used to bound entry counts against the remaining buffer.
+const szSlotEntryMin = szU64 + szBallot + szBool + szU16
+
+// slotEntries decodes a count-prefixed slot-entry list (P1b, CatchupReply).
+func (r *reader) slotEntries() []SlotEntry {
+	n := int(r.u16())
+	if r.err != nil || r.off+szSlotEntryMin*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if s := r.scratch; s != nil {
+		start := len(s.entries)
+		for i := 0; i < n && r.err == nil; i++ {
+			s.entries = append(s.entries, r.slotEntry())
+		}
+		return s.entries[start:len(s.entries):len(s.entries)]
+	}
+	v := make([]SlotEntry, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		v = append(v, r.slotEntry())
+	}
+	return v
+}
+
+// szP1bMin is the smallest possible encoded P1b (no entries).
+const szP1bMin = szBallot + szID + szU16
+
+// p1bs decodes a count-prefixed P1b list (AggP1b).
+func (r *reader) p1bs() []P1b {
+	n := int(r.u16())
+	if r.err != nil || r.off+szP1bMin*n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if s := r.scratch; s != nil {
+		start := len(s.p1bs)
+		for i := 0; i < n && r.err == nil; i++ {
+			s.p1bs = append(s.p1bs, r.p1b())
+		}
+		return s.p1bs[start:len(s.p1bs):len(s.p1bs)]
+	}
+	v := make([]P1b, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		v = append(v, r.p1b())
+	}
+	return v
+}
+
+func (r *reader) p1b() P1b {
+	return P1b{Ballot: r.ballot(), From: r.id(), Entries: r.slotEntries()}
 }
 
 // ---- command encoding (shared by several messages) ----
@@ -249,9 +472,7 @@ const szCmdMin = 1 + szU64 + szU32 + szU64 + szU64
 // two-byte count. Batches beyond the uint16 count are a bug upstream
 // (paxos clamps MaxBatchSize); truncating silently would corrupt the frame.
 func putCmds(b []byte, v []kvstore.Command) []byte {
-	if len(v) > math.MaxUint16 {
-		panic(fmt.Sprintf("wire: command batch of %d exceeds uint16 count", len(v)))
-	}
+	checkCount(len(v), "command batch")
 	b = putU16(b, uint16(len(v)))
 	for _, c := range v {
 		b = putCmd(b, c)
@@ -275,6 +496,13 @@ func (r *reader) cmds() []kvstore.Command {
 	}
 	if n == 0 {
 		return nil
+	}
+	if s := r.scratch; s != nil {
+		start := len(s.cmds)
+		for i := 0; i < n; i++ {
+			s.cmds = append(s.cmds, r.cmd())
+		}
+		return s.cmds[start:len(s.cmds):len(s.cmds)]
 	}
 	v := make([]kvstore.Command, n)
 	for i := range v {

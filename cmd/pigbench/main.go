@@ -1,13 +1,17 @@
 // Command pigbench regenerates the paper's evaluation: every figure (7-13)
-// and both analytical tables (1-2), printed as aligned text tables.
+// and both analytical tables (1-2), printed as aligned text tables, plus the
+// chaos scenario suite (leader-crash, relay-crash, seeded explorer,
+// fault-intensity curve).
 //
 // Usage:
 //
-//	pigbench -all            # run the full suite (several minutes)
-//	pigbench -fig 8          # one figure
-//	pigbench -table 1        # one table
-//	pigbench -batch          # leader-batching sweep (batch size × protocol)
-//	pigbench -quick          # reduced sweeps, faster and less precise
+//	pigbench -all                 # run the full suite (several minutes)
+//	pigbench -fig 8               # one figure
+//	pigbench -table 1             # one table
+//	pigbench -batch               # leader-batching sweep (batch size × protocol)
+//	pigbench -scenario leader     # leader-crash scenario (also: relay, explore, faultcurve)
+//	pigbench -scenario explore -benchfmt   # benchmark-formatted lines for cmd/benchjson
+//	pigbench -quick               # reduced sweeps, faster and less precise
 //
 // All experiments run on the deterministic discrete-event simulator; equal
 // seeds print equal numbers.
@@ -19,18 +23,21 @@ import (
 	"os"
 	"time"
 
+	"pigpaxos/internal/chaos"
 	"pigpaxos/internal/harness"
 )
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure number to regenerate (7-13)")
-		table = flag.Int("table", 0, "table number to regenerate (1-2)")
-		util  = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
-		batch = flag.Bool("batch", false, "run the leader-batching sweep (batch size × protocol)")
-		all   = flag.Bool("all", false, "run every figure and table")
-		quick = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
-		seed  = flag.Int64("seed", 42, "simulation seed")
+		fig      = flag.Int("fig", 0, "figure number to regenerate (7-13)")
+		table    = flag.Int("table", 0, "table number to regenerate (1-2)")
+		util     = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
+		batch    = flag.Bool("batch", false, "run the leader-batching sweep (batch size × protocol)")
+		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve")
+		benchfmt = flag.Bool("benchfmt", false, "emit scenario results as go-bench lines (pipe into cmd/benchjson)")
+		all      = flag.Bool("all", false, "run every figure and table")
+		quick    = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
 	)
 	flag.Parse()
 
@@ -39,6 +46,14 @@ func main() {
 		suite = harness.QuickSuite()
 	}
 	suite.Seed = *seed
+
+	if *scenario != "" {
+		if err := runScenarios(*scenario, suite, *benchfmt); err != nil {
+			fmt.Fprintln(os.Stderr, "pigbench:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	runs := map[string]func() harness.Report{
 		"fig7":   suite.Fig7RelayGroups,
@@ -78,4 +93,102 @@ func main() {
 		fmt.Println(rep.String())
 		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// scenarioBase configures the shared chaos-scenario cluster: 9 nodes, 3
+// relay groups, a dozen recorded clients.
+func scenarioBase(p harness.Protocol, suite harness.Suite) harness.ScenarioOptions {
+	o := harness.ScenarioOptions{}
+	o.Protocol = p
+	o.N = 9
+	o.NumGroups = 3
+	o.Clients = 12
+	o.Warmup = suite.Warmup
+	o.Measure = suite.Measure
+	o.Seed = suite.Seed
+	return o
+}
+
+// printScenario renders one result as a table row or a benchmark line
+// (benchfmt is what CI pipes through cmd/benchjson into BENCH_chaos.json).
+func printScenario(name string, r harness.ScenarioResult, benchfmt bool) {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	if benchfmt {
+		fmt.Printf("BenchmarkScenario/%s/%s 1 %.3f avail-gap-ms %.3f recovery-ms %.0f req/s %.3f p99-ms %d acked %d linearizable %d recovered\n",
+			r.Protocol, name,
+			float64(r.AvailabilityGap.Microseconds())/1000,
+			float64(r.RecoveryLatency.Microseconds())/1000,
+			r.Throughput,
+			float64(r.Latency.P99.Microseconds())/1000,
+			r.Acked, b2i(r.Linearizable), b2i(r.AllComplete && r.Converged))
+		return
+	}
+	fmt.Printf("%-10s %-22s acked=%-5d gap=%-12v recovery=%-12v p99=%-10v lin=%v recovered=%v\n",
+		r.Protocol, name, r.Acked, r.AvailabilityGap, r.RecoveryLatency,
+		r.Latency.P99, r.Linearizable, r.AllComplete && r.Converged)
+	for _, a := range r.FaultLog {
+		fmt.Printf("    fault: %v\n", a)
+	}
+}
+
+// runScenarios executes the named chaos suite.
+func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
+	switch name {
+	case "leader":
+		// The paper's leader-failover story: kill the current leader
+		// mid-window, measure the gap until the new leader serves.
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
+			o := scenarioBase(p, suite)
+			at := o.Warmup + 300*time.Millisecond
+			printScenario("leader-crash", harness.RunScenario(o, chaos.LeaderCrash(at, 500*time.Millisecond)), benchfmt)
+		}
+	case "relay":
+		// Figure 5b: kill the relay currently carrying group 0; the leader
+		// re-fans-out with fresh relays after its timeout.
+		o := scenarioBase(harness.PigPaxos, suite)
+		at := o.Warmup + 300*time.Millisecond
+		printScenario("relay-crash", harness.RunScenario(o, chaos.RelayCrash(0, at, 400*time.Millisecond)), benchfmt)
+	case "explore":
+		// Seeded random schedules per protocol, palettes matched to what
+		// each implementation tolerates (see harness.ExploreScenarios).
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos, harness.EPaxos} {
+			o := scenarioBase(p, suite)
+			results := harness.ExploreScenarios(o, chaos.ExplorerOpts{Scenarios: 3})
+			for i, r := range results {
+				printScenario(fmt.Sprintf("explore/%d", i), r, benchfmt)
+			}
+		}
+	case "faultcurve":
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
+			o := scenarioBase(p, suite)
+			for _, pt := range harness.FaultCurve(o, 3) {
+				if benchfmt {
+					lin := 0
+					if pt.Linearizable {
+						lin = 1
+					}
+					rec := 0
+					if pt.Recovered {
+						rec = 1
+					}
+					fmt.Printf("BenchmarkScenario/%s/faultcurve/%d 1 %.3f avail-gap-ms %.0f req/s %.3f p99-ms %d linearizable %d recovered\n",
+						p, pt.Crashes,
+						float64(pt.AvailabilityGap.Microseconds())/1000,
+						pt.Throughput,
+						float64(pt.P99.Microseconds())/1000, lin, rec)
+					continue
+				}
+				fmt.Printf("%-10s crashes=%d tput=%-8.0f gap=%-12v p99=%-10v lin=%v recovered=%v\n",
+					p, pt.Crashes, pt.Throughput, pt.AvailabilityGap, pt.P99, pt.Linearizable, pt.Recovered)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown -scenario %q (want leader, relay, explore, or faultcurve)", name)
+	}
+	return nil
 }

@@ -1,0 +1,422 @@
+// Package chaos turns the simulator's raw fault primitives (netsim crashes,
+// partitions, per-link loss/duplication/reorder) into declarative,
+// deterministic fault schedules. A Schedule is a list of timed actions; Apply
+// arms them on the DES clock, resolving dynamic targets ("the current
+// leader", "the relay currently carrying group g") at fire time through a
+// Resolver. Everything — action times, probabilistic link faults, explorer
+// randomness — derives from seeded RNGs, so a scenario is a pure function of
+// (protocol, cluster, seed, schedule): equal inputs give bit-identical runs.
+//
+// The package exercises the paper's fault-tolerance machinery end-to-end:
+// relay rotation after relay failure, leader re-fan-out with fresh relays
+// (Figure 5b), leader failover, and partial-response thresholds under
+// sluggish nodes (§3.4) stop being one-off test setups and become scripted,
+// checked scenarios.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pigpaxos/internal/des"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/netsim"
+	"pigpaxos/internal/quorum"
+)
+
+// Kind enumerates fault action types.
+type Kind int
+
+// Action kinds.
+const (
+	// Crash takes Node down at At; Duration > 0 schedules its recovery.
+	Crash Kind = iota
+	// Recover brings Node back (pre-crash state retained, as in the paper's
+	// crash-recovery model).
+	Recover
+	// CrashLeader crashes whichever node the Resolver reports as leader at
+	// fire time; Duration > 0 schedules the victim's recovery.
+	CrashLeader
+	// CrashRelay crashes the node currently carrying relay group Group
+	// (Resolver-resolved); Duration > 0 schedules its recovery.
+	CrashRelay
+	// PartitionCut cuts SideA from SideB; Duration > 0 schedules a full
+	// heal (HealPartition removes all cuts).
+	PartitionCut
+	// Heal removes every partition cut.
+	Heal
+	// LinkFault installs Faults on the directed link From→To, or on every
+	// link when both are zero; Duration > 0 schedules ClearLinks.
+	LinkFault
+	// ClearLinks removes every per-link fault.
+	ClearLinks
+	// Sluggish multiplies Node's CPU costs by Factor (§3.4's slow node);
+	// Duration > 0 restores factor 1.
+	Sluggish
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Recover:
+		return "recover"
+	case CrashLeader:
+		return "crash-leader"
+	case CrashRelay:
+		return "crash-relay"
+	case PartitionCut:
+		return "partition"
+	case Heal:
+		return "heal"
+	case LinkFault:
+		return "link-fault"
+	case ClearLinks:
+		return "clear-links"
+	case Sluggish:
+		return "sluggish"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Action is one fault to inject. Only the fields relevant to Kind are used.
+type Action struct {
+	Kind Kind
+	// Node targets Crash/Recover/Sluggish.
+	Node ids.ID
+	// Group targets CrashRelay.
+	Group int
+	// SideA and SideB are the partition sides.
+	SideA, SideB []ids.ID
+	// From and To select the faulted link (both zero = all links).
+	From, To ids.ID
+	// Faults is the LinkFault configuration.
+	Faults netsim.LinkFaults
+	// Factor is the Sluggish CPU multiplier.
+	Factor float64
+	// Duration, when positive, makes the fault self-healing: crashes
+	// recover, partitions heal, link faults clear, sluggish nodes recover
+	// this long after the action fires.
+	Duration time.Duration
+}
+
+// Event is one scheduled action.
+type Event struct {
+	At     time.Duration
+	Action Action
+}
+
+// Schedule is a declarative fault script, ordered by time once Sort is
+// called (Apply sorts a copy; builders return sorted schedules).
+type Schedule []Event
+
+// Sort orders the schedule by time, stably, in place.
+func (s Schedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+}
+
+// FirstFaultAt returns the time of the earliest event (0 for an empty
+// schedule).
+func (s Schedule) FirstFaultAt() time.Duration {
+	var first time.Duration
+	for i, e := range s {
+		if i == 0 || e.At < first {
+			first = e.At
+		}
+	}
+	return first
+}
+
+// Merge concatenates schedules into one sorted schedule.
+func Merge(ss ...Schedule) Schedule {
+	var out Schedule
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	out.Sort()
+	return out
+}
+
+// Resolver resolves dynamic fault targets at fire time. The scenario harness
+// implements it by inspecting live protocol state.
+type Resolver interface {
+	// Leader returns the current leader (zero if unknown; the injector
+	// then skips the action).
+	Leader() ids.ID
+	// Relay returns the node currently carrying relay group g (zero if
+	// unknown or not applicable to the protocol under test).
+	Relay(g int) ids.ID
+}
+
+// StaticResolver is a Resolver with fixed answers (tests, leaderless
+// protocols).
+type StaticResolver struct {
+	LeaderID ids.ID
+	Relays   []ids.ID
+}
+
+// Leader implements Resolver.
+func (s StaticResolver) Leader() ids.ID { return s.LeaderID }
+
+// Relay implements Resolver.
+func (s StaticResolver) Relay(g int) ids.ID {
+	if g < 0 || g >= len(s.Relays) {
+		return 0
+	}
+	return s.Relays[g]
+}
+
+// Applied records one action the injector actually executed, with its
+// resolved target — the scenario's fault log.
+type Applied struct {
+	At     time.Duration
+	Kind   Kind
+	Target ids.ID // resolved victim (zero for partition/heal/clear)
+}
+
+// String implements fmt.Stringer.
+func (a Applied) String() string {
+	if a.Target.IsZero() {
+		return fmt.Sprintf("%v@%v", a.Kind, a.At)
+	}
+	return fmt.Sprintf("%v(%v)@%v", a.Kind, a.Target, a.At)
+}
+
+// Injector owns an armed schedule: it executes actions at their virtual
+// times and keeps the log of what actually happened (with dynamic targets
+// resolved).
+type Injector struct {
+	sim *des.Sim
+	net *netsim.Network
+	res Resolver
+	log []Applied
+}
+
+// Apply arms every event of sched on sim against net. Dynamic targets are
+// resolved when the event fires, via res (which may be nil when the schedule
+// contains only static targets). The returned Injector exposes the fault
+// log after the run.
+func Apply(sim *des.Sim, net *netsim.Network, sched Schedule, res Resolver) *Injector {
+	in := &Injector{sim: sim, net: net, res: res}
+	s := append(Schedule(nil), sched...)
+	s.Sort()
+	for _, ev := range s {
+		ev := ev
+		sim.Schedule(ev.At, func() { in.fire(ev) })
+	}
+	return in
+}
+
+// Log returns the actions executed so far, in execution order.
+func (in *Injector) Log() []Applied { return in.log }
+
+// note records an executed action.
+func (in *Injector) note(k Kind, target ids.ID) {
+	in.log = append(in.log, Applied{At: in.sim.Now(), Kind: k, Target: target})
+}
+
+// crashFor crashes victim now and, when d > 0, schedules its recovery.
+func (in *Injector) crashFor(k Kind, victim ids.ID, d time.Duration) {
+	if victim.IsZero() {
+		return // unresolvable target: skip, deterministically
+	}
+	in.net.Crash(victim)
+	in.note(k, victim)
+	if d > 0 {
+		in.sim.Schedule(d, func() {
+			in.net.Recover(victim)
+			in.note(Recover, victim)
+		})
+	}
+}
+
+func (in *Injector) fire(ev Event) {
+	a := ev.Action
+	switch a.Kind {
+	case Crash:
+		in.crashFor(Crash, a.Node, a.Duration)
+	case Recover:
+		in.net.Recover(a.Node)
+		in.note(Recover, a.Node)
+	case CrashLeader:
+		var victim ids.ID
+		if in.res != nil {
+			victim = in.res.Leader()
+		}
+		in.crashFor(CrashLeader, victim, a.Duration)
+	case CrashRelay:
+		var victim ids.ID
+		if in.res != nil {
+			victim = in.res.Relay(a.Group)
+		}
+		in.crashFor(CrashRelay, victim, a.Duration)
+	case PartitionCut:
+		in.net.Partition(a.SideA, a.SideB)
+		in.note(PartitionCut, 0)
+		if a.Duration > 0 {
+			in.sim.Schedule(a.Duration, func() {
+				in.net.HealPartition()
+				in.note(Heal, 0)
+			})
+		}
+	case Heal:
+		in.net.HealPartition()
+		in.note(Heal, 0)
+	case LinkFault:
+		if a.From.IsZero() && a.To.IsZero() {
+			in.net.SetAllLinkFaults(a.Faults)
+		} else {
+			in.net.SetLinkFaults(a.From, a.To, a.Faults)
+		}
+		in.note(LinkFault, a.From)
+		if a.Duration > 0 {
+			in.sim.Schedule(a.Duration, func() {
+				in.net.ClearLinkFaults()
+				in.note(ClearLinks, 0)
+			})
+		}
+	case ClearLinks:
+		in.net.ClearLinkFaults()
+		in.note(ClearLinks, 0)
+	case Sluggish:
+		in.net.SetSluggish(a.Node, a.Factor)
+		in.note(Sluggish, a.Node)
+		if a.Duration > 0 {
+			in.sim.Schedule(a.Duration, func() {
+				in.net.SetSluggish(a.Node, 1)
+				in.note(Recover, a.Node)
+			})
+		}
+	}
+}
+
+// ------------------------------------------------------------- builders --
+
+// LeaderCrash scripts the paper's leader-failover scenario: kill the current
+// leader at `at`, bring it back downFor later.
+func LeaderCrash(at, downFor time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: CrashLeader, Duration: downFor}}}
+}
+
+// RelayCrash scripts the Figure-5b relay-failure scenario: kill whatever
+// node currently relays group g at `at`, bring it back downFor later.
+func RelayCrash(group int, at, downFor time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: CrashRelay, Group: group, Duration: downFor}}}
+}
+
+// NodeCrash crashes a specific node for downFor.
+func NodeCrash(node ids.ID, at, downFor time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: Crash, Node: node, Duration: downFor}}}
+}
+
+// RollingRestart crashes each node in turn for downFor, spacing consecutive
+// crashes by gap (gap ≥ downFor keeps at most one node down at a time).
+func RollingRestart(nodes []ids.ID, start, downFor, gap time.Duration) Schedule {
+	s := make(Schedule, 0, len(nodes))
+	at := start
+	for _, n := range nodes {
+		s = append(s, Event{At: at, Action: Action{Kind: Crash, Node: n, Duration: downFor}})
+		at += gap
+	}
+	return s
+}
+
+// MinorityPartition cuts the given minority off the rest of the cluster at
+// `at`, healing after healAfter.
+func MinorityPartition(minority, rest []ids.ID, at, healAfter time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{
+		Kind: PartitionCut, SideA: minority, SideB: rest, Duration: healAfter,
+	}}}
+}
+
+// FlakyLinks degrades every link with f from `at`, clearing after
+// clearAfter.
+func FlakyLinks(f netsim.LinkFaults, at, clearAfter time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: LinkFault, Faults: f, Duration: clearAfter}}}
+}
+
+// ------------------------------------------------------------- validation --
+
+// MaxSafeCrashes is the classical f: how many of n nodes may be down
+// simultaneously while a majority of n stays formable from the survivors.
+func MaxSafeCrashes(n int) int { return n - quorum.MajoritySize(n) }
+
+// Validate checks a schedule against the safety bounds the explorer promises
+// and tests rely on: at no instant are more than MaxSafeCrashes(n) nodes
+// crashed simultaneously (a majority must stay formable from the survivors),
+// every crash recovers, and every fault heals by healBy. Dynamic-target
+// crashes must be self-healing (Duration > 0) since their victims cannot be
+// matched to later Recover events statically.
+func Validate(s Schedule, n int, healBy time.Duration) error {
+	maxDown := MaxSafeCrashes(n)
+	type window struct{ start, end time.Duration }
+	var crashes []window
+	recovers := map[ids.ID][]time.Duration{}
+	for _, ev := range s {
+		if ev.Action.Kind == Recover {
+			recovers[ev.Action.Node] = append(recovers[ev.Action.Node], ev.At)
+		}
+	}
+	for _, ev := range s {
+		a := ev.Action
+		switch a.Kind {
+		case Crash, CrashLeader, CrashRelay:
+			end := ev.At + a.Duration
+			if a.Duration <= 0 {
+				if a.Kind != Crash {
+					return fmt.Errorf("chaos: %v at %v has no Duration (dynamic targets must self-heal)", a.Kind, ev.At)
+				}
+				found := false
+				for _, rt := range recovers[a.Node] {
+					if rt > ev.At {
+						end = rt
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("chaos: crash of %v at %v never recovers", a.Node, ev.At)
+				}
+			}
+			if end > healBy {
+				return fmt.Errorf("chaos: crash at %v heals at %v, after the %v deadline", ev.At, end, healBy)
+			}
+			crashes = append(crashes, window{ev.At, end})
+		case PartitionCut, LinkFault, Sluggish:
+			if a.Duration <= 0 {
+				healed := false
+				for _, other := range s {
+					k := other.Action.Kind
+					if other.At > ev.At && other.At <= healBy &&
+						((a.Kind == PartitionCut && k == Heal) ||
+							(a.Kind == LinkFault && k == ClearLinks)) {
+						healed = true
+						break
+					}
+				}
+				if !healed {
+					return fmt.Errorf("chaos: %v at %v never heals", a.Kind, ev.At)
+				}
+			} else if ev.At+a.Duration > healBy {
+				return fmt.Errorf("chaos: %v at %v heals after the %v deadline", a.Kind, ev.At, healBy)
+			}
+		}
+	}
+	// Concurrency bound: count overlapping crash windows at every window
+	// start (overlap counts are maximal at interval starts).
+	for i, w := range crashes {
+		down := 1
+		for j, o := range crashes {
+			if j != i && o.start <= w.start && w.start < o.end {
+				down++
+			}
+		}
+		if down > maxDown {
+			return fmt.Errorf("chaos: %d nodes down at %v; a majority of %d cannot survive", down, w.start, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+// Explorer: seeded random generation of fault schedules within safety
+// bounds. The explorer only *generates* schedules — running them is the
+// scenario harness's job — so the same seed always yields the same scenario
+// set regardless of what is run under it.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/netsim"
+)
+
+// Palette selects which fault families the explorer may draw. Protocols
+// differ in what they tolerate by design: EPaxos (no retransmits, no
+// explicit-prepare recovery) gets reorder-only palettes, the Paxos family
+// takes everything.
+type Palette struct {
+	Crashes     bool // follower crash/recover windows
+	LeaderCrash bool // dynamic current-leader crashes
+	RelayCrash  bool // dynamic current-relay crashes (PigPaxos)
+	Partitions  bool // minority partitions
+	LinkLoss    bool // probabilistic per-link loss
+	LinkDup     bool // probabilistic duplication
+	LinkReorder bool // probabilistic reordering
+	Sluggish    bool // CPU slowdown windows
+}
+
+// FullPalette allows every fault family.
+func FullPalette() Palette {
+	return Palette{
+		Crashes: true, LeaderCrash: true, RelayCrash: true, Partitions: true,
+		LinkLoss: true, LinkDup: true, LinkReorder: true, Sluggish: true,
+	}
+}
+
+// GentlePalette allows only faults every protocol in the repository
+// tolerates without retransmission or recovery machinery: message
+// reordering and sluggish nodes.
+func GentlePalette() Palette {
+	return Palette{LinkReorder: true, Sluggish: true}
+}
+
+// ExplorerOpts bound the schedule generator.
+type ExplorerOpts struct {
+	// Seed drives all generation randomness; schedule i is a pure function
+	// of (Seed, i, bounds).
+	Seed int64
+	// Scenarios is how many schedules to generate (default 4).
+	Scenarios int
+	// Nodes is the cluster membership; Nodes[0] is the initial leader (it
+	// is spared from static follower crashes so leader faults stay the
+	// explicit LeaderCrash action's job).
+	Nodes []ids.ID
+	// Groups is the relay-group count RelayCrash actions may target
+	// (default 3; ignored unless the palette allows relay crashes).
+	Groups int
+	// Start is the earliest fault time — leave warmup untouched (default
+	// 200ms).
+	Start time.Duration
+	// Horizon is the deadline by which every fault must have healed
+	// (default Start + 2s).
+	Horizon time.Duration
+	// MaxActions caps faults per schedule (default 3).
+	MaxActions int
+	// MaxConcurrentCrashes caps simultaneously-crashed nodes; it is
+	// clamped to MaxSafeCrashes so a majority always remains formable
+	// from the survivors (default: that bound).
+	MaxConcurrentCrashes int
+	// Allow is the fault palette (zero value → FullPalette).
+	Allow Palette
+}
+
+func (o *ExplorerOpts) applyDefaults() {
+	if o.Scenarios == 0 {
+		o.Scenarios = 4
+	}
+	if o.Groups == 0 {
+		o.Groups = 3
+	}
+	if o.Start == 0 {
+		o.Start = 200 * time.Millisecond
+	}
+	if o.Horizon <= o.Start {
+		o.Horizon = o.Start + 2*time.Second
+	}
+	if o.MaxActions == 0 {
+		o.MaxActions = 3
+	}
+	maxSafe := MaxSafeCrashes(len(o.Nodes))
+	if o.MaxConcurrentCrashes == 0 || o.MaxConcurrentCrashes > maxSafe {
+		o.MaxConcurrentCrashes = maxSafe
+	}
+	if o.Allow == (Palette{}) {
+		o.Allow = FullPalette()
+	}
+}
+
+// Explore generates opts.Scenarios random schedules within the bounds.
+// Every returned schedule passes Validate(s, len(Nodes), Horizon).
+func Explore(opts ExplorerOpts) []Schedule {
+	opts.applyDefaults()
+	out := make([]Schedule, 0, opts.Scenarios)
+	for i := 0; i < opts.Scenarios; i++ {
+		out = append(out, explore1(opts, rand.New(rand.NewSource(opts.Seed<<16+int64(i)))))
+	}
+	return out
+}
+
+// explore1 draws one schedule. Crash concurrency is enforced by tracking
+// committed crash windows and rejecting draws that would exceed the bound.
+func explore1(opts ExplorerOpts, rng *rand.Rand) Schedule {
+	type window struct{ start, end time.Duration }
+	var crashes []window
+	span := opts.Horizon - opts.Start
+	// randWindow draws a fault window that heals before the horizon. Both
+	// bounds are clamped into the [Start, Horizon] budget so the draw
+	// stays well-formed (and the fault healable) on arbitrarily tight
+	// horizons.
+	randWindow := func(minDur, maxDur time.Duration) (at, dur time.Duration) {
+		if maxDur > span/2 {
+			maxDur = span / 2
+		}
+		if maxDur < minDur {
+			maxDur = minDur
+		}
+		if maxDur > span {
+			maxDur = span
+		}
+		if minDur > maxDur {
+			minDur = maxDur
+		}
+		dur = minDur + time.Duration(rng.Int63n(int64(maxDur-minDur)+1))
+		latest := opts.Horizon - dur // ≥ Start because dur ≤ span
+		at = opts.Start + time.Duration(rng.Int63n(int64(latest-opts.Start)+1))
+		return at, dur
+	}
+	crashOK := func(at, dur time.Duration) bool {
+		down := 1
+		for _, w := range crashes {
+			if w.start < at+dur && at < w.end {
+				down++
+			}
+		}
+		return down <= opts.MaxConcurrentCrashes
+	}
+
+	// Candidate action kinds under the palette, in a fixed order so the
+	// draw sequence is stable.
+	type gen func() (Event, bool)
+	var gens []gen
+	al := opts.Allow
+	followers := opts.Nodes
+	if len(followers) > 1 {
+		followers = followers[1:]
+	}
+	if al.Crashes && len(followers) > 0 {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(50*time.Millisecond, 500*time.Millisecond)
+			if !crashOK(at, dur) {
+				return Event{}, false
+			}
+			crashes = append(crashes, window{at, at + dur})
+			victim := followers[rng.Intn(len(followers))]
+			return Event{At: at, Action: Action{Kind: Crash, Node: victim, Duration: dur}}, true
+		})
+	}
+	if al.LeaderCrash {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(100*time.Millisecond, 600*time.Millisecond)
+			if !crashOK(at, dur) {
+				return Event{}, false
+			}
+			crashes = append(crashes, window{at, at + dur})
+			return Event{At: at, Action: Action{Kind: CrashLeader, Duration: dur}}, true
+		})
+	}
+	if al.RelayCrash && opts.Groups > 0 {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(50*time.Millisecond, 400*time.Millisecond)
+			if !crashOK(at, dur) {
+				return Event{}, false
+			}
+			crashes = append(crashes, window{at, at + dur})
+			return Event{At: at, Action: Action{
+				Kind: CrashRelay, Group: rng.Intn(opts.Groups), Duration: dur,
+			}}, true
+		})
+	}
+	if al.Partitions && len(opts.Nodes) >= 3 {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(50*time.Millisecond, 400*time.Millisecond)
+			k := 1 + rng.Intn((len(opts.Nodes)-1)/2) // strict minority
+			cut := append([]ids.ID(nil), opts.Nodes[len(opts.Nodes)-k:]...)
+			rest := append([]ids.ID(nil), opts.Nodes[:len(opts.Nodes)-k]...)
+			return Event{At: at, Action: Action{
+				Kind: PartitionCut, SideA: cut, SideB: rest, Duration: dur,
+			}}, true
+		})
+	}
+	if al.LinkLoss || al.LinkDup || al.LinkReorder {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(100*time.Millisecond, 800*time.Millisecond)
+			var f netsim.LinkFaults
+			if al.LinkLoss {
+				f.Loss = 0.01 + rng.Float64()*0.04
+			}
+			if al.LinkDup {
+				f.Duplicate = 0.01 + rng.Float64()*0.05
+			}
+			if al.LinkReorder {
+				f.Reorder = 0.05 + rng.Float64()*0.15
+				f.ReorderWindow = time.Duration(1+rng.Intn(3)) * time.Millisecond
+			}
+			return Event{At: at, Action: Action{Kind: LinkFault, Faults: f, Duration: dur}}, true
+		})
+	}
+	if al.Sluggish && len(followers) > 0 {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(100*time.Millisecond, 800*time.Millisecond)
+			return Event{At: at, Action: Action{
+				Kind:     Sluggish,
+				Node:     followers[rng.Intn(len(followers))],
+				Factor:   2 + 6*rng.Float64(),
+				Duration: dur,
+			}}, true
+		})
+	}
+	var s Schedule
+	if len(gens) == 0 {
+		return s
+	}
+	n := 1 + rng.Intn(opts.MaxActions)
+	// Draws rejected by the crash-concurrency bound are retried a bounded
+	// number of times; under tight bounds the schedule just comes out short.
+	for attempts := 0; len(s) < n && attempts < 4*opts.MaxActions; attempts++ {
+		if ev, ok := gens[rng.Intn(len(gens))](); ok {
+			s = append(s, ev)
+		}
+	}
+	s.Sort()
+	return s
+}

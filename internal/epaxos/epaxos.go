@@ -16,6 +16,7 @@
 package epaxos
 
 import (
+	"sort"
 	"time"
 
 	"pigpaxos/internal/config"
@@ -263,7 +264,10 @@ func (r *Replica) OnMessage(from ids.ID, m wire.Msg) {
 
 // attributes computes (seq, deps) for cmd as seen by this replica: deps are
 // the latest interfering instances per row, seq exceeds every interfering
-// sequence number.
+// sequence number. Deps are sorted by (replica, slot): the interference
+// indexes are Go maps, and leaking their iteration order into messages (and
+// from there into dependency-graph traversal order and per-dep CPU charges)
+// made equal seeds produce different numbers.
 func (r *Replica) attributes(cmd kvstore.Command, except wire.InstRef) (uint64, []wire.InstRef) {
 	var deps []wire.InstRef
 	source := r.lastWrite[cmd.Key]
@@ -276,10 +280,21 @@ func (r *Replica) attributes(cmd kvstore.Command, except wire.InstRef) (uint64, 
 		}
 		deps = append(deps, wire.InstRef{Replica: rep, Slot: slot})
 	}
+	sortRefs(deps)
 	if cmd.IsRead() {
 		return r.maxSeqWrite[cmd.Key] + 1, deps
 	}
 	return r.maxSeqAny[cmd.Key] + 1, deps
+}
+
+// sortRefs orders instance references by (replica, slot), in place.
+func sortRefs(refs []wire.InstRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Replica != refs[j].Replica {
+			return refs[i].Replica < refs[j].Replica
+		}
+		return refs[i].Slot < refs[j].Slot
+	})
 }
 
 // recordInterference registers (ref, cmd, seq) in the conflict indexes.
@@ -512,7 +527,18 @@ func (r *Replica) onCommit(m wire.Commit) {
 // Instances whose closure contains uncommitted dependencies stay pending and
 // are retried on the next commit or retry tick.
 func (r *Replica) tryExecuteAll() {
+	// Snapshot and sort the pending set: map iteration order would vary the
+	// execution attempt order (and with it ExecVisit CPU charges) between
+	// equal-seed runs.
+	refs := make([]wire.InstRef, 0, len(r.pendingExec))
 	for ref := range r.pendingExec {
+		refs = append(refs, ref)
+	}
+	sortRefs(refs)
+	for _, ref := range refs {
+		if !r.pendingExec[ref] {
+			continue // executed as part of an earlier closure this sweep
+		}
 		in := r.lookup(ref)
 		if in == nil || in.status != statusCommitted {
 			delete(r.pendingExec, ref)

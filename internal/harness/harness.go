@@ -334,8 +334,10 @@ func Run(opts Options) Result {
 	}
 
 	sim.Schedule(0, func() {
-		for _, r := range replicas {
-			r.Start()
+		// Start in membership order: replicas is a map, and iteration order
+		// would otherwise leak scheduling nondeterminism into the run.
+		for _, id := range cc.Nodes {
+			replicas[id].Start()
 		}
 	})
 	// Stagger client starts over a few milliseconds to avoid a thundering

@@ -1,0 +1,617 @@
+// Scenario harness: runs a protocol under a chaos fault schedule and checks
+// what the steady-state harness only assumes — that the cluster stays
+// available (bounded gap), recovers fully (every acknowledged command
+// committed and replicas converged), and never serves a non-linearizable
+// history. This is the paper's §4/§5 fault-tolerance story (relay rotation,
+// leader re-fan-out, failover) as a reproducible, measured experiment
+// instead of a comment.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pigpaxos/internal/chaos"
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/des"
+	"pigpaxos/internal/epaxos"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/linearizability"
+	"pigpaxos/internal/metrics"
+	"pigpaxos/internal/netsim"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/paxos"
+	"pigpaxos/internal/pigpaxos"
+	"pigpaxos/internal/wire"
+)
+
+// maxOpsPerKey bounds how many operations may land on one probe key: the
+// linearizability checker's per-key search is exponential in overlapping
+// ops and hard-capped at 24.
+const maxOpsPerKey = 12
+
+// ScenarioOptions parameterize one chaos scenario run. The embedded Options
+// configure the cluster exactly as Run does; scenario clients replace the
+// open-ended closed-loop clients with fixed-length recorded scripts so every
+// history can be checked.
+type ScenarioOptions struct {
+	Options
+
+	// OpsPerClient is each client's script length (default 30).
+	OpsPerClient int
+	// ThinkTime paces clients: each waits this long between an ack and its
+	// next operation, so scripts span the whole window and faults land on
+	// live traffic. Defaults to Measure/OpsPerClient (script ≈ window);
+	// negative disables pacing.
+	ThinkTime time.Duration
+	// ProbeKeys is the scenario keyspace size. Defaulted so no key sees
+	// more than maxOpsPerKey operations; explicit values are raised back
+	// to that floor.
+	ProbeKeys int
+	// ClientRetry is how long a client waits for a reply before re-sending
+	// its command to the next node (masking crashed leaders and lost
+	// messages; at-most-once session tables absorb the duplicates).
+	// Defaults to 120ms for Paxos and PigPaxos; EPaxos clients never retry
+	// (the implementation has no command dedup, so scenarios for it must
+	// avoid faults that eat messages — see chaos.GentlePalette).
+	ClientRetry time.Duration
+	// ElectionTimeout arms follower elections so leader crashes actually
+	// fail over (default 150ms; ignored by EPaxos).
+	ElectionTimeout time.Duration
+	// Drain is extra virtual time after the measurement window for scripts
+	// to finish and replicas to converge (default 5s).
+	Drain time.Duration
+}
+
+func (o *ScenarioOptions) applyDefaults() {
+	o.Options.applyDefaults()
+	if o.OpsPerClient == 0 {
+		o.OpsPerClient = 30
+	}
+	if o.ThinkTime == 0 {
+		o.ThinkTime = o.Measure / time.Duration(o.OpsPerClient)
+	} else if o.ThinkTime < 0 {
+		o.ThinkTime = 0
+	}
+	total := o.Clients * o.OpsPerClient
+	if floor := (total + maxOpsPerKey - 1) / maxOpsPerKey; o.ProbeKeys < floor {
+		o.ProbeKeys = floor
+	}
+	if o.ProbeKeys < 8 {
+		o.ProbeKeys = 8
+	}
+	if o.ClientRetry == 0 {
+		o.ClientRetry = 120 * time.Millisecond
+	}
+	if o.ElectionTimeout == 0 {
+		o.ElectionTimeout = 150 * time.Millisecond
+	}
+	if o.Drain == 0 {
+		o.Drain = 5 * time.Second
+	}
+}
+
+// ScenarioResult is one scenario's measurement and verdicts. It contains
+// only values derived from virtual time, so two runs at the same seed are
+// comparable field-by-field (and asserted bit-identical in tests).
+type ScenarioResult struct {
+	Protocol Protocol
+	N        int
+	Clients  int
+
+	// Acked counts operations acknowledged OK over the whole run.
+	Acked int
+	// Throughput is in-window acks per second (same window as Run).
+	Throughput float64
+	// Latency summarizes request latency over every acked operation.
+	Latency metrics.Summary
+	// AvailabilityGap is the longest interval between consecutive acks;
+	// GapStart is when it opened. A fault that interrupts service shows up
+	// here as a gap well above the per-op baseline.
+	AvailabilityGap time.Duration
+	GapStart        time.Duration
+	// FirstFaultAt is the scheduled time of the first fault (0 with an
+	// empty schedule); RecoveryLatency is the delay from that instant to
+	// the first subsequent ack — how long the fault kept service down.
+	FirstFaultAt    time.Duration
+	RecoveryLatency time.Duration
+
+	// Linearizable is the checker's verdict over every client's history;
+	// LinBadKey names the failing key when false, and LinChecked and
+	// LinExplored are the check's size and cost.
+	Linearizable bool
+	LinBadKey    uint64
+	LinChecked   int
+	LinExplored  int
+	// AllComplete reports that every client finished its script — with
+	// Converged, the "full recovery: all acked commands committed
+	// everywhere" criterion.
+	AllComplete bool
+	// Converged reports that every replica's state machine ended
+	// bit-identical (same checksum, same applied count).
+	Converged bool
+
+	Messages  uint64
+	Delivered uint64
+	Dropped   uint64
+
+	// FaultLog lists the executed fault actions with resolved targets.
+	FaultLog []chaos.Applied
+}
+
+// String implements fmt.Stringer.
+func (r ScenarioResult) String() string {
+	return fmt.Sprintf("%s N=%d: %d acked, gap %v, recovery %v, lin=%v complete=%v converged=%v",
+		r.Protocol, r.N, r.Acked, r.AvailabilityGap, r.RecoveryLatency,
+		r.Linearizable, r.AllComplete, r.Converged)
+}
+
+// scenClient is a scenario client: a closed-loop client with a fixed script
+// whose every completed operation is recorded into the shared history. On
+// silence it re-sends to the next node round-robin (same ClientID/Seq, so
+// session tables dedup), masking crashed leaders the way a real client
+// library would.
+type scenClient struct {
+	id      uint64
+	ep      *netsim.Endpoint
+	targets []ids.ID
+	rr      int
+	retry   time.Duration // 0 disables retransmits (EPaxos)
+
+	script  []kvstore.Command
+	pos     int
+	seq     uint64
+	started time.Duration
+	timer   node.Timer
+	think   time.Duration
+	// awaiting is true from issue until the op's ack is accepted; replies
+	// arriving outside that window (duplicates of an accepted ack) are
+	// dropped even though c.seq has not advanced yet.
+	awaiting bool
+	done     bool
+
+	hist      *linearizability.History
+	gaps      *metrics.GapTracker
+	lat       *metrics.Histogram
+	inWindow  *metrics.Counter
+	warmupEnd time.Duration
+	windowEnd time.Duration
+}
+
+func (c *scenClient) stopTimer() {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+}
+
+func (c *scenClient) armRetry() {
+	if c.retry <= 0 {
+		return
+	}
+	seq := c.seq
+	c.timer = c.ep.After(c.retry, func() {
+		if c.done || !c.awaiting || c.seq != seq {
+			return
+		}
+		c.resend()
+		c.armRetry()
+	})
+}
+
+// resend re-issues the current command to the next target round-robin.
+func (c *scenClient) resend() {
+	c.rr++
+	c.ep.Send(c.targets[c.rr%len(c.targets)], wire.Request{Cmd: c.script[c.pos]})
+}
+
+func (c *scenClient) next() {
+	c.stopTimer()
+	if c.pos >= len(c.script) {
+		c.done = true
+		return
+	}
+	cmd := c.script[c.pos]
+	c.seq++
+	cmd.ClientID = c.id
+	cmd.Seq = c.seq
+	c.script[c.pos] = cmd
+	c.started = c.ep.Now()
+	c.awaiting = true
+	c.ep.Send(c.targets[c.rr%len(c.targets)], wire.Request{Cmd: cmd})
+	c.armRetry()
+}
+
+// OnMessage handles replies: acks are recorded, redirects followed, silence
+// handled by the retry timer.
+func (c *scenClient) OnMessage(from ids.ID, m wire.Msg) {
+	rep, ok := m.(wire.Reply)
+	if !ok || !c.awaiting || rep.Seq != c.seq || c.done {
+		// Stale seq, or a duplicate of an already-accepted ack: faulty
+		// links duplicate replies, and between accepting an ack and the
+		// paced next() call c.seq has not advanced yet — the awaiting flag
+		// is what makes the second copy inert.
+		return
+	}
+	if !rep.OK {
+		if !rep.Leader.IsZero() {
+			// Redirected: aim subsequent sends at the hinted leader.
+			for i, t := range c.targets {
+				if t == rep.Leader {
+					c.rr = i
+					break
+				}
+			}
+			c.ep.Send(rep.Leader, wire.Request{Cmd: c.script[c.pos]})
+		}
+		// No hint: wait for the retry timer rather than hot-loop.
+		return
+	}
+	cmd := c.script[c.pos]
+	now := c.ep.Now()
+	c.awaiting = false
+	op := linearizability.Op{
+		Key:    cmd.Key,
+		Start:  c.started,
+		End:    now,
+		Client: c.id,
+	}
+	if cmd.Op == kvstore.Get {
+		op.Kind = linearizability.Read
+		if rep.Exists {
+			op.Output = string(rep.Value)
+		}
+	} else {
+		op.Kind = linearizability.Write
+		op.Input = string(cmd.Value)
+	}
+	c.hist.Add(op)
+	c.gaps.Record(now)
+	c.lat.Observe(now - c.started)
+	if now >= c.warmupEnd && now < c.windowEnd {
+		c.inWindow.Inc()
+	}
+	c.pos++
+	c.stopTimer()
+	if c.think > 0 {
+		c.ep.After(c.think, c.next)
+	} else {
+		c.next()
+	}
+}
+
+// scenScript builds client ci's fixed workload: keys assigned round-robin
+// over the probe keyspace by global op index, so each key receives exactly
+// ⌈total/keys⌉ operations (the checker's per-key bound holds by
+// construction) while clients still contend on shared keys. Every third
+// operation reads.
+func scenScript(ci, ops, keys int) []kvstore.Command {
+	out := make([]kvstore.Command, 0, ops)
+	for j := 0; j < ops; j++ {
+		key := uint64((ci*ops + j) % keys)
+		if j%3 == 2 {
+			out = append(out, kvstore.Command{Op: kvstore.Get, Key: key})
+		} else {
+			out = append(out, kvstore.Command{
+				Op: kvstore.Put, Key: key,
+				Value: []byte(fmt.Sprintf("c%d-%d", ci, j)),
+			})
+		}
+	}
+	return out
+}
+
+// liveResolver resolves dynamic chaos targets from live protocol state.
+type liveResolver struct {
+	cc       config.Cluster
+	replicas map[ids.ID]replica
+}
+
+// Leader implements chaos.Resolver: the first replica (membership order)
+// that believes it leads. EPaxos is leaderless — the zero ID makes the
+// injector skip leader-targeted actions.
+func (lr *liveResolver) Leader() ids.ID {
+	for _, id := range lr.cc.Nodes {
+		switch r := lr.replicas[id].(type) {
+		case *paxos.Replica:
+			if r.IsLeader() {
+				return id
+			}
+		case *pigpaxos.Replica:
+			if r.Core().IsLeader() {
+				return id
+			}
+		}
+	}
+	return 0
+}
+
+// Relay implements chaos.Resolver: the relay the current PigPaxos leader
+// last drew for group g, falling back to the group's first member before
+// any fan-out has happened.
+func (lr *liveResolver) Relay(g int) ids.ID {
+	leader := lr.Leader()
+	if leader.IsZero() {
+		return 0
+	}
+	pr, ok := lr.replicas[leader].(*pigpaxos.Replica)
+	if !ok {
+		return 0
+	}
+	if relay := pr.LastRelay(g); !relay.IsZero() {
+		return relay
+	}
+	layout := pr.Layout()
+	if g >= 0 && g < layout.NumGroups() && len(layout.Groups[g]) > 0 {
+		return layout.Groups[g][0]
+	}
+	return 0
+}
+
+// RunScenario executes one protocol run under the fault schedule and returns
+// measurements plus the correctness verdicts. Schedule times are absolute
+// virtual times (the measurement window starts at opts.Warmup).
+func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
+	opts.applyDefaults()
+	sim := des.New(opts.Seed)
+	var cc config.Cluster
+	if opts.WAN {
+		cc = config.NewWAN3(opts.N)
+	} else {
+		cc = config.NewLAN(opts.N)
+	}
+	net := netsim.New(sim, cc, opts.Net)
+
+	leader := cc.Nodes[0]
+	replicas := make(map[ids.ID]replica, opts.N)
+	stores := make(map[ids.ID]*kvstore.Store, opts.N)
+	for _, id := range cc.Nodes {
+		tr := &trampoline{}
+		ep := net.Register(id, tr, false)
+		var rep replica
+		switch opts.Protocol {
+		case Paxos:
+			cfg := paxos.Config{
+				Cluster: cc, ID: id, InitialLeader: leader,
+				ElectionTimeout: opts.ElectionTimeout,
+				RetryTimeout:    100 * time.Millisecond, // mask schedule-injected loss
+			}
+			opts.paxosBatching(&cfg)
+			if opts.MutPaxos != nil {
+				opts.MutPaxos(&cfg)
+			}
+			r := paxos.New(ep, cfg, nil)
+			stores[id] = r.Store()
+			rep = r
+		case PigPaxos:
+			cfg := pigpaxos.Config{
+				Paxos: paxos.Config{
+					Cluster: cc, ID: id, InitialLeader: leader,
+					ElectionTimeout: opts.ElectionTimeout,
+				},
+				NumGroups: opts.NumGroups,
+			}
+			opts.paxosBatching(&cfg.Paxos)
+			if opts.ZoneGroups {
+				cfg.Strategy = pigpaxos.GroupByZone
+			}
+			if opts.MutPig != nil {
+				opts.MutPig(&cfg)
+			}
+			r := pigpaxos.New(ep, cfg)
+			stores[id] = r.Core().Store()
+			rep = r
+		case EPaxos:
+			cfg := epaxos.Config{Cluster: cc, ID: id}
+			if opts.MutEPaxos != nil {
+				opts.MutEPaxos(&cfg)
+			}
+			r := epaxos.New(ep, cfg)
+			stores[id] = r.Store()
+			rep = r
+		}
+		tr.h = rep.OnMessage
+		replicas[id] = rep
+	}
+
+	hist := &linearizability.History{}
+	gaps := &metrics.GapTracker{}
+	lat := metrics.NewHistogram()
+	var inWindow metrics.Counter
+	warmupEnd := opts.Warmup
+	windowEnd := opts.Warmup + opts.Measure
+
+	clients := make([]*scenClient, opts.Clients)
+	for i := 0; i < opts.Clients; i++ {
+		cl := &scenClient{
+			id:        uint64(i + 1),
+			script:    scenScript(i, opts.OpsPerClient, opts.ProbeKeys),
+			hist:      hist,
+			gaps:      gaps,
+			lat:       lat,
+			inWindow:  &inWindow,
+			warmupEnd: warmupEnd,
+			windowEnd: windowEnd,
+			retry:     opts.ClientRetry,
+			think:     opts.ThinkTime,
+			targets:   cc.Nodes,
+		}
+		if opts.Protocol == EPaxos {
+			// No session table in EPaxos: retransmits would re-execute.
+			// Chaos palettes for it avoid message loss instead.
+			cl.retry = 0
+			cl.rr = i % len(cc.Nodes)
+		}
+		cl.ep = net.Register(ids.NewID(cc.ZoneOf(leader), 1000+i), cl, true)
+		clients[i] = cl
+	}
+
+	resolver := &liveResolver{cc: cc, replicas: replicas}
+	injector := chaos.Apply(sim, net, sched, resolver)
+
+	sim.Schedule(0, func() {
+		for _, id := range cc.Nodes {
+			replicas[id].Start()
+		}
+	})
+	for i, cl := range clients {
+		cl := cl
+		sim.Schedule(time.Duration(i)*50*time.Microsecond+time.Millisecond, cl.next)
+	}
+
+	sim.Run(windowEnd)
+	// Drain: give scripts and convergence (watermarks, catch-up) time to
+	// finish, in slices so a finished run stops early.
+	drainEnd := windowEnd + opts.Drain
+	for sim.Now() < drainEnd {
+		allDone := true
+		for _, cl := range clients {
+			if !cl.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		next := sim.Now() + 100*time.Millisecond
+		if next > drainEnd {
+			next = drainEnd
+		}
+		sim.Run(next)
+	}
+	// Converge tail: heartbeat watermarks and catch-up replies flush.
+	sim.Run(sim.Now() + 500*time.Millisecond)
+
+	res := ScenarioResult{
+		Protocol:   opts.Protocol,
+		N:          opts.N,
+		Clients:    opts.Clients,
+		Acked:      gaps.Count(),
+		Throughput: float64(inWindow.Value()) / opts.Measure.Seconds(),
+		Latency:    lat.Snapshot(),
+		Messages:   net.MessagesSent(),
+		Delivered:  net.MessagesDelivered(),
+		Dropped:    net.MessagesDropped(),
+		FaultLog:   injector.Log(),
+	}
+	res.GapStart, res.AvailabilityGap = gaps.MaxGap()
+	if len(sched) > 0 {
+		res.FirstFaultAt = sched.FirstFaultAt()
+		if at, ok := gaps.FirstAfter(res.FirstFaultAt); ok {
+			res.RecoveryLatency = at - res.FirstFaultAt
+		}
+	}
+	res.AllComplete = true
+	for _, cl := range clients {
+		if !cl.done {
+			res.AllComplete = false
+		}
+	}
+	res.Converged = true
+	first := stores[cc.Nodes[0]]
+	for _, id := range cc.Nodes[1:] {
+		st := stores[id]
+		if st.Checksum() != first.Checksum() || st.Applied() != first.Applied() {
+			res.Converged = false
+		}
+	}
+	lin := hist.Check()
+	res.Linearizable = lin.OK
+	res.LinBadKey = lin.BadKey
+	res.LinChecked = lin.Checked
+	res.LinExplored = lin.Explored
+	return res
+}
+
+// FaultPoint is one sample of a fault-intensity sweep.
+type FaultPoint struct {
+	Crashes         int
+	Throughput      float64
+	AvailabilityGap time.Duration
+	P99             time.Duration
+	Linearizable    bool
+	Recovered       bool // AllComplete && Converged
+}
+
+// FaultCurve sweeps simultaneous follower-crash counts from 0 to maxCrashes
+// (clamped to chaos.MaxSafeCrashes): k followers crash together a quarter
+// into the window and recover at the midpoint. The curve shows how
+// availability degrades with fault intensity while safety holds.
+func FaultCurve(opts ScenarioOptions, maxCrashes int) []FaultPoint {
+	opts.applyDefaults()
+	var cc config.Cluster
+	if opts.WAN {
+		cc = config.NewWAN3(opts.N)
+	} else {
+		cc = config.NewLAN(opts.N)
+	}
+	if limit := chaos.MaxSafeCrashes(opts.N); maxCrashes > limit {
+		maxCrashes = limit
+	}
+	out := make([]FaultPoint, 0, maxCrashes+1)
+	for k := 0; k <= maxCrashes; k++ {
+		crashAt := opts.Warmup + opts.Measure/4
+		downFor := opts.Measure / 4
+		var sched chaos.Schedule
+		for i := 0; i < k; i++ {
+			victim := cc.Nodes[len(cc.Nodes)-1-i] // followers, from the back
+			sched = chaos.Merge(sched, chaos.NodeCrash(victim, crashAt, downFor))
+		}
+		r := RunScenario(opts, sched)
+		out = append(out, FaultPoint{
+			Crashes:         k,
+			Throughput:      r.Throughput,
+			AvailabilityGap: r.AvailabilityGap,
+			P99:             r.Latency.P99,
+			Linearizable:    r.Linearizable,
+			Recovered:       r.AllComplete && r.Converged,
+		})
+	}
+	return out
+}
+
+// ExploreScenarios generates ex.Scenarios random schedules (see
+// chaos.Explore) and runs each under opts, returning one result per
+// schedule. ex.Nodes is filled from the cluster when nil; the palette
+// defaults to chaos.GentlePalette for EPaxos (no retransmit/recovery
+// machinery) and everything-but-relay-crashes for Paxos.
+func ExploreScenarios(opts ScenarioOptions, ex chaos.ExplorerOpts) []ScenarioResult {
+	opts.applyDefaults()
+	if ex.Nodes == nil {
+		var cc config.Cluster
+		if opts.WAN {
+			cc = config.NewWAN3(opts.N)
+		} else {
+			cc = config.NewLAN(opts.N)
+		}
+		ex.Nodes = cc.Nodes
+	}
+	if ex.Allow == (chaos.Palette{}) {
+		switch opts.Protocol {
+		case EPaxos:
+			ex.Allow = chaos.GentlePalette()
+		case Paxos:
+			ex.Allow = chaos.FullPalette()
+			ex.Allow.RelayCrash = false
+		default:
+			ex.Allow = chaos.FullPalette()
+		}
+	}
+	if ex.Groups == 0 {
+		ex.Groups = opts.NumGroups
+	}
+	if ex.Horizon == 0 {
+		ex.Horizon = opts.Warmup + opts.Measure
+	}
+	if ex.Seed == 0 {
+		ex.Seed = opts.Seed
+	}
+	scheds := chaos.Explore(ex)
+	out := make([]ScenarioResult, 0, len(scheds))
+	for _, s := range scheds {
+		out = append(out, RunScenario(opts, s))
+	}
+	return out
+}

@@ -234,6 +234,60 @@ func (ts *TimeSeries) Series() []Point {
 	return out
 }
 
+// GapTracker records the timestamps of successful events (request
+// completions) and answers availability questions about the run: the longest
+// interval with no completions at all (the availability gap a fault opens)
+// and the first completion after a given instant (recovery latency). The
+// chaos scenario harness keeps one per run; scenario op counts are bounded,
+// so timestamps are retained exactly.
+type GapTracker struct {
+	mu    sync.Mutex
+	times []time.Duration // ascending (events are recorded in virtual-time order)
+}
+
+// Record notes one successful event at time t. Timestamps must be
+// non-decreasing (virtual time only moves forward).
+func (g *GapTracker) Record(t time.Duration) {
+	g.mu.Lock()
+	g.times = append(g.times, t)
+	g.mu.Unlock()
+}
+
+// Count returns the number of recorded events.
+func (g *GapTracker) Count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.times)
+}
+
+// MaxGap returns the longest interval between consecutive recorded events
+// and the instant that interval began. With fewer than two events both are
+// zero: a gap needs service on both sides to be an *availability* gap rather
+// than a ramp-up or shutdown artifact.
+func (g *GapTracker) MaxGap() (start, gap time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 1; i < len(g.times); i++ {
+		if d := g.times[i] - g.times[i-1]; d > gap {
+			gap = d
+			start = g.times[i-1]
+		}
+	}
+	return start, gap
+}
+
+// FirstAfter returns the earliest recorded event at or after t. ok is false
+// when no event follows t.
+func (g *GapTracker) FirstAfter(t time.Duration) (at time.Duration, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	i := sort.Search(len(g.times), func(i int) bool { return g.times[i] >= t })
+	if i == len(g.times) {
+		return 0, false
+	}
+	return g.times[i], true
+}
+
 // Table renders rows of labeled values with aligned columns; the benchmark
 // harness uses it to print paper-style tables.
 func Table(header []string, rows [][]string) string {

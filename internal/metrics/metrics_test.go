@@ -172,3 +172,46 @@ func TestTable(t *testing.T) {
 		t.Errorf("misaligned table:\n%s", out)
 	}
 }
+
+func TestGapTrackerEmptyAndSingle(t *testing.T) {
+	var g GapTracker
+	if s, gap := g.MaxGap(); s != 0 || gap != 0 {
+		t.Errorf("empty tracker gap = (%v,%v)", s, gap)
+	}
+	if _, ok := g.FirstAfter(0); ok {
+		t.Error("empty tracker has an event")
+	}
+	g.Record(5 * time.Millisecond)
+	if s, gap := g.MaxGap(); s != 0 || gap != 0 {
+		t.Errorf("single event gap = (%v,%v), want zero (needs service on both sides)", s, gap)
+	}
+	if g.Count() != 1 {
+		t.Errorf("count = %d", g.Count())
+	}
+}
+
+func TestGapTrackerMaxGapAndRecovery(t *testing.T) {
+	var g GapTracker
+	for _, at := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		// fault window: no service 3ms..50ms
+		50 * time.Millisecond, 51 * time.Millisecond,
+	} {
+		g.Record(at)
+	}
+	start, gap := g.MaxGap()
+	if start != 3*time.Millisecond || gap != 47*time.Millisecond {
+		t.Errorf("gap = (%v,%v), want (3ms,47ms)", start, gap)
+	}
+	at, ok := g.FirstAfter(10 * time.Millisecond)
+	if !ok || at != 50*time.Millisecond {
+		t.Errorf("FirstAfter(10ms) = (%v,%v), want 50ms", at, ok)
+	}
+	at, ok = g.FirstAfter(51 * time.Millisecond)
+	if !ok || at != 51*time.Millisecond {
+		t.Errorf("FirstAfter(51ms) = (%v,%v), want exactly 51ms", at, ok)
+	}
+	if _, ok := g.FirstAfter(52 * time.Millisecond); ok {
+		t.Error("FirstAfter past the last event should report none")
+	}
+}

@@ -163,10 +163,15 @@ func (n *Network) SetSluggish(id ids.ID, factor float64) {
 }
 
 // Partition cuts connectivity between every pair (a ∈ sideA, b ∈ sideB) in
-// both directions until HealPartition.
+// both directions until HealPartition. A node appearing on both sides is
+// never cut from itself: loopback survives every partition (a node can
+// always talk to itself), so self-partitions are no-ops.
 func (n *Network) Partition(sideA, sideB []ids.ID) {
 	for _, a := range sideA {
 		for _, b := range sideB {
+			if a == b {
+				continue
+			}
 			if ea := n.endpoints[a]; ea != nil {
 				if ea.cut == nil {
 					ea.cut = make(map[ids.ID]bool)
@@ -188,6 +193,78 @@ func (n *Network) HealPartition() {
 	for _, e := range n.endpoints {
 		e.cut = nil
 	}
+}
+
+// LinkFaults are probabilistic per-link disturbances, applied on the sender
+// side of a directed link. All probabilities are in [0,1]; draws come from
+// the simulation RNG, so equal seeds give bit-identical fault patterns.
+type LinkFaults struct {
+	// Loss drops each message with this probability (counted in
+	// MessagesDropped).
+	Loss float64
+	// Duplicate delivers each message twice with this probability (the
+	// second copy shares the send's CPU charge: duplication happens in the
+	// network, not at the sender). Deliveries can therefore exceed sends.
+	Duplicate float64
+	// Reorder adds uniform random [0, ReorderWindow) extra latency to a
+	// message with this probability, letting later sends overtake it.
+	Reorder float64
+	// ReorderWindow bounds the extra reorder delay (default 1ms).
+	ReorderWindow time.Duration
+}
+
+// active reports whether any fault is configured.
+func (f LinkFaults) active() bool {
+	return f.Loss > 0 || f.Duplicate > 0 || f.Reorder > 0
+}
+
+// SetLinkFaults installs f on the directed link from → to, replacing any
+// previous setting. A zero LinkFaults clears the link.
+func (n *Network) SetLinkFaults(from, to ids.ID, f LinkFaults) {
+	e := n.endpoints[from]
+	if e == nil {
+		return
+	}
+	if !f.active() {
+		delete(e.links, to)
+		return
+	}
+	if f.Reorder > 0 && f.ReorderWindow <= 0 {
+		f.ReorderWindow = time.Millisecond
+	}
+	if e.links == nil {
+		e.links = make(map[ids.ID]LinkFaults)
+	}
+	e.links[to] = f
+}
+
+// SetAllLinkFaults installs f on every registered directed link (loopbacks
+// excluded — a node never loses messages to itself).
+func (n *Network) SetAllLinkFaults(f LinkFaults) {
+	for from := range n.endpoints {
+		for to := range n.endpoints {
+			if from == to {
+				continue
+			}
+			n.SetLinkFaults(from, to, f)
+		}
+	}
+}
+
+// ClearLinkFaults removes every per-link fault configuration.
+func (n *Network) ClearLinkFaults() {
+	for _, e := range n.endpoints {
+		e.links = nil
+	}
+}
+
+// LinkFaultsBetween returns the faults configured on from → to.
+func (n *Network) LinkFaultsBetween(from, to ids.ID) (LinkFaults, bool) {
+	if e := n.endpoints[from]; e != nil {
+		f, ok := e.links[to]
+		return f, ok
+	}
+	return LinkFaults{}, false
 }
 
 // byteCost scales the per-KiB rate to an arbitrary byte count.
@@ -271,6 +348,7 @@ type Endpoint struct {
 	crashed   bool
 	slow      float64
 	cut       map[ids.ID]bool
+	links     map[ids.ID]LinkFaults // per-destination probabilistic faults
 
 	sent     uint64
 	received uint64
@@ -350,6 +428,14 @@ func (e *Endpoint) Send(to ids.ID, m wire.Msg) {
 		n.dropped.Inc()
 		return
 	}
+	// Per-link probabilistic faults (chaos schedules). RNG draws happen only
+	// when faults are configured, so fault-free runs are bit-identical to
+	// runs before this feature existed.
+	lf, chaotic := e.links[to]
+	if chaotic && lf.Loss > 0 && n.sim.Rand().Float64() < lf.Loss {
+		n.dropped.Inc()
+		return
+	}
 	size := m.Size()
 	sendDone := e.cpu(n.sim.Now(), n.opts.SendCost+byteCost(n.opts.ByteCostPerKB, size))
 	var lat time.Duration
@@ -362,8 +448,17 @@ func (e *Endpoint) Send(to ids.ID, m wire.Msg) {
 			lat += time.Duration(int64(size) * int64(time.Second) / n.opts.BandwidthBps)
 		}
 	}
-	arrive := sendDone + lat
-	n.sim.ScheduleRunner(arrive-n.sim.Now(), n.newDelivery(dst, e.id, m, size))
+	copies := 1
+	if chaotic && lf.Duplicate > 0 && n.sim.Rand().Float64() < lf.Duplicate {
+		copies = 2
+	}
+	for c := 0; c < copies; c++ {
+		d := lat
+		if chaotic && lf.Reorder > 0 && n.sim.Rand().Float64() < lf.Reorder {
+			d += time.Duration(n.sim.Rand().Int63n(int64(lf.ReorderWindow)))
+		}
+		n.sim.ScheduleRunner(sendDone+d-n.sim.Now(), n.newDelivery(dst, e.id, m, size))
+	}
 }
 
 // Broadcast sends m to every node in to, charging the sender the full

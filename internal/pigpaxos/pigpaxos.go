@@ -137,6 +137,11 @@ type Replica struct {
 
 	layout     config.GroupLayout
 	thresholds []int
+	// lastRelays[g] is the relay most recently drawn for group g by any
+	// fan-out (zero before the first round). Chaos schedules use it to aim
+	// "kill the current relay of group g" faults at the node actually
+	// carrying the round.
+	lastRelays []ids.ID
 
 	aggs    map[aggKey]*agg
 	retries map[uint64]node.Timer
@@ -324,10 +329,28 @@ func (r *Replica) pickRelay(group []ids.ID) int {
 	return r.ctx.Rand().Intn(len(group))
 }
 
+// noteRelay records the relay drawn for group gi (see LastRelay).
+func (r *Replica) noteRelay(gi int, relay ids.ID) {
+	if len(r.lastRelays) != r.layout.NumGroups() {
+		r.lastRelays = make([]ids.ID, r.layout.NumGroups())
+	}
+	r.lastRelays[gi] = relay
+}
+
+// LastRelay returns the relay most recently drawn for group g, or the zero
+// ID before any fan-out touched the group (or for an out-of-range g).
+func (r *Replica) LastRelay(g int) ids.ID {
+	if g < 0 || g >= len(r.lastRelays) {
+		return 0
+	}
+	return r.lastRelays[g]
+}
+
 func (r *Replica) fanOutP2a(m wire.P2a, attempt int) {
 	for gi, group := range r.layout.Groups {
 		ri := r.pickRelay(group)
 		relay := group[ri]
+		r.noteRelay(gi, relay)
 		peers := make([]ids.ID, 0, len(group)-1)
 		peers = append(peers, group[:ri]...)
 		peers = append(peers, group[ri+1:]...)
@@ -377,9 +400,10 @@ func (r *Replica) onCommit(slot uint64) {
 }
 
 func (r *Replica) fanOutP1a(m wire.P1a) {
-	for _, group := range r.layout.Groups {
+	for gi, group := range r.layout.Groups {
 		ri := r.pickRelay(group)
 		relay := group[ri]
+		r.noteRelay(gi, relay)
 		peers := make([]ids.ID, 0, len(group)-1)
 		peers = append(peers, group[:ri]...)
 		peers = append(peers, group[ri+1:]...)
@@ -388,9 +412,10 @@ func (r *Replica) fanOutP1a(m wire.P1a) {
 }
 
 func (r *Replica) fanOutP3(m wire.P3) {
-	for _, group := range r.layout.Groups {
+	for gi, group := range r.layout.Groups {
 		ri := r.pickRelay(group)
 		relay := group[ri]
+		r.noteRelay(gi, relay)
 		peers := make([]ids.ID, 0, len(group)-1)
 		peers = append(peers, group[:ri]...)
 		peers = append(peers, group[ri+1:]...)

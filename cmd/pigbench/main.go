@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pigpaxos/internal/chaos"
+	"pigpaxos/internal/config"
 	"pigpaxos/internal/harness"
 )
 
@@ -33,7 +34,7 @@ func main() {
 		table    = flag.Int("table", 0, "table number to regenerate (1-2)")
 		util     = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
 		batch    = flag.Bool("batch", false, "run the leader-batching sweep (batch size × protocol)")
-		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve")
+		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve | wan | regionpartition | placement | wanexplore")
 		benchfmt = flag.Bool("benchfmt", false, "emit scenario results as go-bench lines (pipe into cmd/benchjson)")
 		all      = flag.Bool("all", false, "run every figure and table")
 		quick    = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
@@ -95,6 +96,14 @@ func main() {
 	}
 }
 
+// b2i encodes a verdict flag for the benchfmt lines both printers emit.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // scenarioBase configures the shared chaos-scenario cluster: 9 nodes, 3
 // relay groups, a dozen recorded clients.
 func scenarioBase(p harness.Protocol, suite harness.Suite) harness.ScenarioOptions {
@@ -112,12 +121,6 @@ func scenarioBase(p harness.Protocol, suite harness.Suite) harness.ScenarioOptio
 // printScenario renders one result as a table row or a benchmark line
 // (benchfmt is what CI pipes through cmd/benchjson into BENCH_chaos.json).
 func printScenario(name string, r harness.ScenarioResult, benchfmt bool) {
-	b2i := func(b bool) int {
-		if b {
-			return 1
-		}
-		return 0
-	}
 	if benchfmt {
 		fmt.Printf("BenchmarkScenario/%s/%s 1 %.3f avail-gap-ms %.3f recovery-ms %.0f req/s %.3f p99-ms %d acked %d linearizable %d recovered\n",
 			r.Protocol, name,
@@ -136,9 +139,93 @@ func printScenario(name string, r harness.ScenarioResult, benchfmt bool) {
 	}
 }
 
+// wanBase configures the shared WAN (Figure 9) scenario cluster: 9 nodes
+// over three regions, zone-aligned relay groups, closed-loop clients homed
+// in every region. Quick mode keeps the same offered-load shape with a
+// shorter script.
+func wanBase(p harness.Protocol, suite harness.Suite) harness.ScenarioOptions {
+	ops := 20
+	if suite.Measure < 2*time.Second {
+		ops = 12
+	}
+	return harness.WANScenario(p, 9, 80, ops, suite.Seed)
+}
+
+// printRegions renders one WAN scenario result with its per-region
+// breakdown, as a table block or as benchmark lines (one per region plus a
+// cluster-wide summary line) for cmd/benchjson.
+func printRegions(name string, r harness.ScenarioResult, benchfmt bool) {
+	if benchfmt {
+		fmt.Printf("BenchmarkWAN/%s/%s/cluster 1 %.3f mean-ms %.3f p99-ms %.3f avail-gap-ms %.0f req/s %d acked %d linearizable %d recovered\n",
+			r.Protocol, name,
+			float64(r.Latency.Mean.Microseconds())/1000,
+			float64(r.Latency.P99.Microseconds())/1000,
+			float64(r.AvailabilityGap.Microseconds())/1000,
+			r.Throughput, r.Acked, b2i(r.Linearizable), b2i(r.AllComplete && r.Converged))
+		for _, reg := range r.Regions {
+			fmt.Printf("BenchmarkWAN/%s/%s/zone%d 1 %.3f mean-ms %.3f p99-ms %.3f avail-gap-ms %d acked %d stalls\n",
+				r.Protocol, name, reg.Zone,
+				float64(reg.Latency.Mean.Microseconds())/1000,
+				float64(reg.Latency.P99.Microseconds())/1000,
+				float64(reg.AvailabilityGap.Microseconds())/1000,
+				reg.Acked, reg.Stalls)
+		}
+		return
+	}
+	fmt.Printf("%-10s %-18s acked=%-5d gap=%-12v p99=%-10v lin=%v recovered=%v\n",
+		r.Protocol, name, r.Acked, r.AvailabilityGap, r.Latency.P99,
+		r.Linearizable, r.AllComplete && r.Converged)
+	for _, reg := range r.Regions {
+		fmt.Printf("    %v\n", reg)
+	}
+	for _, a := range r.FaultLog {
+		fmt.Printf("    fault: %v\n", a)
+	}
+}
+
 // runScenarios executes the named chaos suite.
 func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 	switch name {
+	case "wan":
+		// Figure 9: Paxos vs PigPaxos per-region client latency on the
+		// three-region deployment, fault-free, under closed-loop load. The
+		// leader-bottleneck separation shows up in every region's mean.
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
+			printRegions("wan", harness.RunScenario(wanBase(p, suite), nil), benchfmt)
+		}
+	case "regionpartition":
+		// Whole-region outages: first a minority region (Oregon) loses its
+		// WAN uplinks — the majority side must sail on while the marooned
+		// region stalls — then the leader's own region (Virginia) is cut,
+		// forcing a cross-region failover. Both heal before the deadline.
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
+			o := wanBase(p, suite)
+			at := o.Warmup + 300*time.Millisecond
+			cut := chaos.RegionCut(config.ZoneOregon, at, 600*time.Millisecond)
+			printRegions("cut-minority", harness.RunScenario(o, cut), benchfmt)
+			cut = chaos.RegionCut(config.ZoneVirginia, at, 600*time.Millisecond)
+			printRegions("cut-leader", harness.RunScenario(o, cut), benchfmt)
+		}
+	case "placement":
+		// Leader placement flip: force a campaign from California
+		// mid-window and measure what the move costs (one ballot
+		// handover's availability gap) and how the per-region latency
+		// profile shifts toward the new leader's neighbors.
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
+			o := wanBase(p, suite)
+			flip := chaos.PlacementFlip(config.ZoneCalifornia, o.Warmup+o.Measure/2)
+			printRegions("placement-flip", harness.RunScenario(o, flip), benchfmt)
+		}
+	case "wanexplore":
+		// Seeded random region-fault schedules (WANPalette): partitions,
+		// WAN-path degradation, region crashes, placement flips.
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
+			o := wanBase(p, suite)
+			results := harness.ExploreScenarios(o, chaos.ExplorerOpts{Scenarios: 3})
+			for i, r := range results {
+				printRegions(fmt.Sprintf("explore/%d", i), r, benchfmt)
+			}
+		}
 	case "leader":
 		// The paper's leader-failover story: kill the current leader
 		// mid-window, measure the gap until the new leader serves.
@@ -188,7 +275,7 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 			}
 		}
 	default:
-		return fmt.Errorf("unknown -scenario %q (want leader, relay, explore, or faultcurve)", name)
+		return fmt.Errorf("unknown -scenario %q (want leader, relay, explore, faultcurve, wan, regionpartition, placement, or wanexplore)", name)
 	}
 	return nil
 }

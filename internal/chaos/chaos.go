@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"pigpaxos/internal/config"
 	"pigpaxos/internal/des"
 	"pigpaxos/internal/ids"
 	"pigpaxos/internal/netsim"
@@ -54,6 +55,22 @@ const (
 	// Sluggish multiplies Node's CPU costs by Factor (§3.4's slow node);
 	// Duration > 0 restores factor 1.
 	Sluggish
+	// RegionPartition cuts zone Zone — every endpoint homed there, clients
+	// included — off the rest of the world (netsim.PartitionZone); Duration
+	// > 0 schedules a full heal.
+	RegionPartition
+	// WANDegrade installs Faults on every link between zones Zone and
+	// ZoneB, both directions (loss/duplication/reorder on one WAN path);
+	// Duration > 0 clears that pair — and only that pair — afterwards.
+	WANDegrade
+	// CrashRegion crashes every cluster member in zone Zone; Duration > 0
+	// schedules all their recoveries.
+	CrashRegion
+	// LeaderPlacementFlip forces a live node in zone Zone to campaign for
+	// leadership (Resolver-resolved via the Placer extension), moving the
+	// leader into a target region the way operators re-place leaders for
+	// locality. Not a fault: nothing needs healing.
+	LeaderPlacementFlip
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +94,14 @@ func (k Kind) String() string {
 		return "clear-links"
 	case Sluggish:
 		return "sluggish"
+	case RegionPartition:
+		return "region-partition"
+	case WANDegrade:
+		return "wan-degrade"
+	case CrashRegion:
+		return "crash-region"
+	case LeaderPlacementFlip:
+		return "placement-flip"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -93,10 +118,13 @@ type Action struct {
 	SideA, SideB []ids.ID
 	// From and To select the faulted link (both zero = all links).
 	From, To ids.ID
-	// Faults is the LinkFault configuration.
+	// Faults is the LinkFault configuration (LinkFault and WANDegrade).
 	Faults netsim.LinkFaults
 	// Factor is the Sluggish CPU multiplier.
 	Factor float64
+	// Zone targets RegionPartition/CrashRegion/LeaderPlacementFlip; with
+	// ZoneB it names WANDegrade's zone pair.
+	Zone, ZoneB int
 	// Duration, when positive, makes the fault self-healing: crashes
 	// recover, partitions heal, link faults clear, sluggish nodes recover
 	// this long after the action fires.
@@ -151,6 +179,14 @@ type Resolver interface {
 	Relay(g int) ids.ID
 }
 
+// Placer is an optional Resolver extension for placement actions: it forces
+// a live node in the given zone to bid for leadership and reports who
+// campaigned (zero when the zone holds no live, campaign-capable replica —
+// the injector then skips the action, deterministically).
+type Placer interface {
+	CampaignFrom(zone int) ids.ID
+}
+
 // StaticResolver is a Resolver with fixed answers (tests, leaderless
 // protocols).
 type StaticResolver struct {
@@ -175,14 +211,21 @@ type Applied struct {
 	At     time.Duration
 	Kind   Kind
 	Target ids.ID // resolved victim (zero for partition/heal/clear)
+	Zone   int    // targeted region, for region-level actions (0 otherwise)
 }
 
 // String implements fmt.Stringer.
 func (a Applied) String() string {
-	if a.Target.IsZero() {
+	switch {
+	case a.Zone != 0 && !a.Target.IsZero():
+		return fmt.Sprintf("%v(zone %d → %v)@%v", a.Kind, a.Zone, a.Target, a.At)
+	case a.Zone != 0:
+		return fmt.Sprintf("%v(zone %d)@%v", a.Kind, a.Zone, a.At)
+	case a.Target.IsZero():
 		return fmt.Sprintf("%v@%v", a.Kind, a.At)
+	default:
+		return fmt.Sprintf("%v(%v)@%v", a.Kind, a.Target, a.At)
 	}
-	return fmt.Sprintf("%v(%v)@%v", a.Kind, a.Target, a.At)
 }
 
 // Injector owns an armed schedule: it executes actions at their virtual
@@ -216,6 +259,11 @@ func (in *Injector) Log() []Applied { return in.log }
 // note records an executed action.
 func (in *Injector) note(k Kind, target ids.ID) {
 	in.log = append(in.log, Applied{At: in.sim.Now(), Kind: k, Target: target})
+}
+
+// noteZone records an executed region-level action.
+func (in *Injector) noteZone(k Kind, zone int, target ids.ID) {
+	in.log = append(in.log, Applied{At: in.sim.Now(), Kind: k, Target: target, Zone: zone})
 }
 
 // crashFor crashes victim now and, when d > 0, schedules its recovery.
@@ -290,6 +338,54 @@ func (in *Injector) fire(ev Event) {
 				in.note(Recover, a.Node)
 			})
 		}
+	case RegionPartition:
+		in.net.PartitionZone(a.Zone)
+		in.noteZone(RegionPartition, a.Zone, 0)
+		if a.Duration > 0 {
+			in.sim.Schedule(a.Duration, func() {
+				in.net.HealPartition()
+				in.noteZone(Heal, a.Zone, 0)
+			})
+		}
+	case WANDegrade:
+		in.net.SetZoneLinkFaults(a.Zone, a.ZoneB, a.Faults)
+		in.noteZone(WANDegrade, a.Zone, 0)
+		if a.Duration > 0 {
+			// Heal only this pair (zero faults clear the links), so
+			// overlapping degrades on other WAN paths run their full
+			// scripted windows.
+			zone, zoneB := a.Zone, a.ZoneB
+			in.sim.Schedule(a.Duration, func() {
+				in.net.SetZoneLinkFaults(zone, zoneB, netsim.LinkFaults{})
+				in.noteZone(ClearLinks, zone, 0)
+			})
+		}
+	case CrashRegion:
+		// Crash only members that are still up, and recover exactly those:
+		// a node felled earlier by an overlapping crash fault keeps its own
+		// scripted recovery time instead of being revived with the region.
+		var victims []ids.ID
+		for _, v := range in.net.Cluster().ZoneNodes(a.Zone) {
+			if !in.net.Crashed(v) {
+				victims = append(victims, v)
+				in.net.Crash(v)
+			}
+		}
+		in.noteZone(CrashRegion, a.Zone, 0)
+		if a.Duration > 0 && len(victims) > 0 {
+			in.sim.Schedule(a.Duration, func() {
+				for _, v := range victims {
+					in.net.Recover(v)
+				}
+				in.noteZone(Recover, a.Zone, 0)
+			})
+		}
+	case LeaderPlacementFlip:
+		if p, ok := in.res.(Placer); ok {
+			if id := p.CampaignFrom(a.Zone); !id.IsZero() {
+				in.noteZone(LeaderPlacementFlip, a.Zone, id)
+			}
+		}
 	}
 }
 
@@ -336,6 +432,33 @@ func MinorityPartition(minority, rest []ids.ID, at, healAfter time.Duration) Sch
 // clearAfter.
 func FlakyLinks(f netsim.LinkFaults, at, clearAfter time.Duration) Schedule {
 	return Schedule{{At: at, Action: Action{Kind: LinkFault, Faults: f, Duration: clearAfter}}}
+}
+
+// RegionCut scripts the paper's whole-region outage: zone loses its WAN
+// uplinks at `at` (clients in the region marooned with it), healing after
+// healAfter.
+func RegionCut(zone int, at, healAfter time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: RegionPartition, Zone: zone, Duration: healAfter}}}
+}
+
+// DegradeWANPair degrades the zoneA↔zoneB WAN path with f from `at`,
+// clearing after clearAfter.
+func DegradeWANPair(zoneA, zoneB int, f netsim.LinkFaults, at, clearAfter time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{
+		Kind: WANDegrade, Zone: zoneA, ZoneB: zoneB, Faults: f, Duration: clearAfter,
+	}}}
+}
+
+// RegionCrash crashes every member of zone at `at`, recovering all of them
+// downFor later.
+func RegionCrash(zone int, at, downFor time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: CrashRegion, Zone: zone, Duration: downFor}}}
+}
+
+// PlacementFlip forces a campaign from zone at `at` — the leader moves into
+// the target region (Figure 9's leader-placement dimension).
+func PlacementFlip(zone int, at time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: LeaderPlacementFlip, Zone: zone}}}
 }
 
 // ------------------------------------------------------------- validation --
@@ -416,6 +539,105 @@ func Validate(s Schedule, n int, healBy time.Duration) error {
 		}
 		if down > maxDown {
 			return fmt.Errorf("chaos: %d nodes down at %v; a majority of %d cannot survive", down, w.start, n)
+		}
+	}
+	return nil
+}
+
+// ValidateRegions checks a schedule that may contain region-level faults
+// against cluster cc. Region actions are lowered to their node-level
+// equivalents — CrashRegion to one Crash per member (so a crashed region
+// counts every node against the crash-concurrency bound), RegionPartition to
+// the (zone, rest) PartitionCut, WANDegrade to a LinkFault — and the result
+// must pass Validate: in particular, a partition that cuts away a majority
+// of regions (or any region at all) without healing by healBy is rejected.
+// On top, region-quorum checks apply: region actions must name a populated
+// zone, and a LeaderPlacementFlip may not target a region whose every member
+// is statically crashed at fire time (there would be nobody to campaign).
+func ValidateRegions(s Schedule, cc config.Cluster, healBy time.Duration) error {
+	type window struct{ start, end time.Duration }
+	nodeDown := map[ids.ID][]window{}
+	recoverAfter := func(node ids.ID, t time.Duration) (time.Duration, bool) {
+		for _, ev := range s {
+			if ev.Action.Kind == Recover && ev.Action.Node == node && ev.At > t {
+				return ev.At, true
+			}
+		}
+		return 0, false
+	}
+	crashWindow := func(node ids.ID, at, dur time.Duration) {
+		end := at + dur
+		if dur <= 0 {
+			// Never-healing or Recover-matched; base Validate rejects the
+			// former, so an unmatched recover can conservatively mean
+			// "down forever" for the flip check.
+			if rt, ok := recoverAfter(node, at); ok {
+				end = rt
+			} else {
+				end = healBy + 1
+			}
+		}
+		nodeDown[node] = append(nodeDown[node], window{at, end})
+	}
+	expanded := make(Schedule, 0, len(s))
+	var flips []Event
+	for _, ev := range s {
+		a := ev.Action
+		switch a.Kind {
+		case RegionPartition, CrashRegion, LeaderPlacementFlip:
+			members := cc.ZoneNodes(a.Zone)
+			if len(members) == 0 {
+				return fmt.Errorf("chaos: %v at %v targets empty zone %d", a.Kind, ev.At, a.Zone)
+			}
+			switch a.Kind {
+			case RegionPartition:
+				in, out := cc.RegionSides(a.Zone)
+				expanded = append(expanded, Event{At: ev.At, Action: Action{
+					Kind: PartitionCut, SideA: in, SideB: out, Duration: a.Duration,
+				}})
+			case CrashRegion:
+				for _, v := range members {
+					expanded = append(expanded, Event{At: ev.At, Action: Action{
+						Kind: Crash, Node: v, Duration: a.Duration,
+					}})
+					crashWindow(v, ev.At, a.Duration)
+				}
+			case LeaderPlacementFlip:
+				flips = append(flips, ev)
+			}
+		case WANDegrade:
+			if len(cc.ZoneNodes(a.Zone)) == 0 || len(cc.ZoneNodes(a.ZoneB)) == 0 {
+				return fmt.Errorf("chaos: wan-degrade at %v targets empty zone pair (%d, %d)", ev.At, a.Zone, a.ZoneB)
+			}
+			expanded = append(expanded, Event{At: ev.At, Action: Action{
+				Kind: LinkFault, Faults: a.Faults, Duration: a.Duration,
+			}})
+		default:
+			if a.Kind == Crash {
+				crashWindow(a.Node, ev.At, a.Duration)
+			}
+			expanded = append(expanded, ev)
+		}
+	}
+	if err := Validate(expanded, cc.N(), healBy); err != nil {
+		return err
+	}
+	for _, ev := range flips {
+		alive := 0
+		for _, v := range cc.ZoneNodes(ev.Action.Zone) {
+			down := false
+			for _, w := range nodeDown[v] {
+				if w.start <= ev.At && ev.At < w.end {
+					down = true
+					break
+				}
+			}
+			if !down {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return fmt.Errorf("chaos: placement-flip at %v targets zone %d while its every member is crashed", ev.At, ev.Action.Zone)
 		}
 	}
 	return nil

@@ -8,8 +8,10 @@ import (
 	"math/rand"
 	"time"
 
+	"pigpaxos/internal/config"
 	"pigpaxos/internal/ids"
 	"pigpaxos/internal/netsim"
+	"pigpaxos/internal/quorum"
 )
 
 // Palette selects which fault families the explorer may draw. Protocols
@@ -25,13 +27,32 @@ type Palette struct {
 	LinkDup     bool // probabilistic duplication
 	LinkReorder bool // probabilistic reordering
 	Sluggish    bool // CPU slowdown windows
+
+	// Region families (require ExplorerOpts.Cluster with ≥ 2 zones).
+	RegionPartition bool // minority-region WAN cut-offs
+	WANDegrade      bool // loss/dup/reorder on one zone-pair path
+	CrashRegion     bool // whole minority regions crash and recover
+	PlacementFlip   bool // forced campaigns from a target region
 }
 
-// FullPalette allows every fault family.
+// FullPalette allows every LAN fault family (region families need a WAN
+// cluster and stay opt-in via WANPalette).
 func FullPalette() Palette {
 	return Palette{
 		Crashes: true, LeaderCrash: true, RelayCrash: true, Partitions: true,
 		LinkLoss: true, LinkDup: true, LinkReorder: true, Sluggish: true,
+	}
+}
+
+// WANPalette allows the region fault families of the multi-region
+// deployments (Figure 9) plus the link faults WAN paths exhibit anyway. The
+// generators respect region quorum math: only regions whose loss keeps a
+// node majority connected are cut or crashed.
+func WANPalette() Palette {
+	return Palette{
+		RegionPartition: true, WANDegrade: true, CrashRegion: true,
+		PlacementFlip: true, LeaderCrash: true,
+		LinkLoss: true, LinkReorder: true, Sluggish: true,
 	}
 }
 
@@ -70,6 +91,9 @@ type ExplorerOpts struct {
 	MaxConcurrentCrashes int
 	// Allow is the fault palette (zero value → FullPalette).
 	Allow Palette
+	// Cluster supplies the zone topology the region fault families draw
+	// from. Region generators are skipped when it is empty or single-zone.
+	Cluster config.Cluster
 }
 
 func (o *ExplorerOpts) applyDefaults() {
@@ -226,6 +250,113 @@ func explore1(opts ExplorerOpts, rng *rand.Rand) Schedule {
 				Duration: dur,
 			}}, true
 		})
+	}
+	// Region families: need a multi-zone cluster. Only regions whose loss
+	// keeps a node majority connected may be cut or crashed (region quorum
+	// math: the survivors must still form a majority of N).
+	zones := opts.Cluster.ZoneList()
+	if len(zones) >= 2 {
+		n := opts.Cluster.N()
+		var minority []int
+		for _, z := range zones {
+			if n-len(opts.Cluster.ZoneNodes(z)) >= quorum.MajoritySize(n) {
+				minority = append(minority, z)
+			}
+		}
+		var regionDown []struct {
+			zone       int
+			start, end time.Duration
+		}
+		var flips []struct {
+			zone int
+			at   time.Duration
+		}
+		// unavailable counts a window's nodes against the shared crash
+		// budget: a partitioned-away region is as gone as a crashed one for
+		// quorum purposes, so region cuts and region/node crashes must
+		// never jointly exceed MaxConcurrentCrashes — the survivors stay a
+		// connected majority.
+		unavailable := func(at, dur time.Duration, k int) bool {
+			down := k
+			for _, w := range crashes {
+				if w.start < at+dur && at < w.end {
+					down++
+				}
+			}
+			return down > opts.MaxConcurrentCrashes
+		}
+		if al.RegionPartition && len(minority) > 0 {
+			gens = append(gens, func() (Event, bool) {
+				at, dur := randWindow(100*time.Millisecond, 600*time.Millisecond)
+				z := minority[rng.Intn(len(minority))]
+				k := len(opts.Cluster.ZoneNodes(z))
+				if unavailable(at, dur, k) {
+					return Event{}, false
+				}
+				for i := 0; i < k; i++ {
+					crashes = append(crashes, window{at, at + dur})
+				}
+				return Event{At: at, Action: Action{
+					Kind: RegionPartition, Zone: z, Duration: dur,
+				}}, true
+			})
+		}
+		if al.WANDegrade {
+			gens = append(gens, func() (Event, bool) {
+				at, dur := randWindow(100*time.Millisecond, 800*time.Millisecond)
+				i := rng.Intn(len(zones))
+				j := rng.Intn(len(zones) - 1)
+				if j >= i {
+					j++
+				}
+				var f netsim.LinkFaults
+				f.Loss = 0.01 + rng.Float64()*0.04
+				f.Reorder = 0.05 + rng.Float64()*0.15
+				f.ReorderWindow = time.Duration(1+rng.Intn(4)) * time.Millisecond
+				return Event{At: at, Action: Action{
+					Kind: WANDegrade, Zone: zones[i], ZoneB: zones[j], Faults: f, Duration: dur,
+				}}, true
+			})
+		}
+		if al.CrashRegion && len(minority) > 0 {
+			gens = append(gens, func() (Event, bool) {
+				at, dur := randWindow(100*time.Millisecond, 500*time.Millisecond)
+				z := minority[rng.Intn(len(minority))]
+				k := len(opts.Cluster.ZoneNodes(z))
+				if unavailable(at, dur, k) {
+					return Event{}, false
+				}
+				for _, fl := range flips {
+					if fl.zone == z && at <= fl.at && fl.at < at+dur {
+						return Event{}, false // would strand an already-drawn flip
+					}
+				}
+				for i := 0; i < k; i++ {
+					crashes = append(crashes, window{at, at + dur})
+				}
+				regionDown = append(regionDown, struct {
+					zone       int
+					start, end time.Duration
+				}{z, at, at + dur})
+				return Event{At: at, Action: Action{Kind: CrashRegion, Zone: z, Duration: dur}}, true
+			})
+		}
+		if al.PlacementFlip {
+			gens = append(gens, func() (Event, bool) {
+				at := opts.Start + time.Duration(rng.Int63n(int64(span)+1))
+				z := zones[rng.Intn(len(zones))]
+				for _, w := range regionDown {
+					if w.zone == z && w.start <= at && at < w.end {
+						return Event{}, false // nobody there to campaign
+					}
+				}
+				flips = append(flips, struct {
+					zone int
+					at   time.Duration
+				}{z, at})
+				return Event{At: at, Action: Action{Kind: LeaderPlacementFlip, Zone: z}}, true
+			})
+		}
 	}
 	var s Schedule
 	if len(gens) == 0 {

@@ -6,6 +6,7 @@ package config
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"pigpaxos/internal/ids"
@@ -29,6 +30,26 @@ type LatencyModel interface {
 	OneWay(fromZone, toZone int) time.Duration
 }
 
+// LinkProfile describes one zone pair's link beyond propagation delay: the
+// jitter and loss real WAN paths carry. The zero value is a perfect link.
+type LinkProfile struct {
+	// OneWay, when positive, overrides the latency model's propagation
+	// delay for the pair.
+	OneWay time.Duration
+	// Jitter adds uniform random [0, Jitter) to each message's delay,
+	// drawn from the simulation RNG.
+	Jitter time.Duration
+	// Loss drops each message with this probability (0..1).
+	Loss float64
+}
+
+// ProfileModel is an optional LatencyModel extension carrying per-zone-pair
+// link profiles. The network simulator consults it so WAN jitter and loss
+// are properties of the topology, not global knobs.
+type ProfileModel interface {
+	Profile(fromZone, toZone int) LinkProfile
+}
+
 // UniformLatency is a LAN-style model: a single one-way delay between any
 // two distinct nodes and a near-zero loopback.
 type UniformLatency struct {
@@ -46,6 +67,12 @@ type ZoneMatrixLatency struct {
 	// are 1-based, missing entries fall back to Default.
 	InterZone map[int]map[int]time.Duration
 	Default   time.Duration
+	// Profiles[a][b] optionally attaches jitter/loss to the a→b pair, with
+	// the same symmetric fallback as InterZone. Intra carries the
+	// intra-zone profile. Absent entries mean perfect links, so a matrix
+	// without profiles behaves exactly as before they existed.
+	Profiles map[int]map[int]LinkProfile
+	Intra    LinkProfile
 }
 
 // OneWay implements LatencyModel.
@@ -64,6 +91,25 @@ func (z ZoneMatrixLatency) OneWay(a, b int) time.Duration {
 		}
 	}
 	return z.Default
+}
+
+// Profile implements ProfileModel with the same asymmetric-entry lookup and
+// symmetric fallback as OneWay.
+func (z ZoneMatrixLatency) Profile(a, b int) LinkProfile {
+	if a == b {
+		return z.Intra
+	}
+	if m, ok := z.Profiles[a]; ok {
+		if p, ok := m[b]; ok {
+			return p
+		}
+	}
+	if m, ok := z.Profiles[b]; ok { // symmetric fallback
+		if p, ok := m[a]; ok {
+			return p
+		}
+	}
+	return LinkProfile{}
 }
 
 // NewLAN builds an n-node single-zone cluster with the paper's LAN profile
@@ -116,6 +162,28 @@ func NewWAN3(n int) Cluster {
 	}
 }
 
+// NewWAN3Lossy is NewWAN3 with imperfect links: every inter-region pair
+// carries representative jitter and loss (long-haul paths wobble by a couple
+// of milliseconds and drop a fraction of a percent of packets), intra-zone
+// paths a much smaller dose. Protocol retransmits and client retries must
+// mask the losses, so only fault-tolerant scenarios should use it.
+func NewWAN3Lossy(n int) Cluster {
+	c := NewWAN3(n)
+	m := c.Latency.(ZoneMatrixLatency)
+	m.Profiles = map[int]map[int]LinkProfile{
+		ZoneVirginia: {
+			ZoneCalifornia: {Jitter: 2 * time.Millisecond, Loss: 0.003},
+			ZoneOregon:     {Jitter: 2500 * time.Microsecond, Loss: 0.004},
+		},
+		ZoneCalifornia: {
+			ZoneOregon: {Jitter: time.Millisecond, Loss: 0.002},
+		},
+	}
+	m.Intra = LinkProfile{Jitter: 50 * time.Microsecond, Loss: 0.0005}
+	c.Latency = m
+	return c
+}
+
 // N returns the cluster size.
 func (c Cluster) N() int { return len(c.Nodes) }
 
@@ -135,6 +203,53 @@ func (c Cluster) OneWay(from, to ids.ID) time.Duration {
 		return 0
 	}
 	return c.Latency.OneWay(c.ZoneOf(from), c.ZoneOf(to))
+}
+
+// LinkProfileBetween returns the link profile between two nodes' zones, or
+// the zero profile when the latency model carries none.
+func (c Cluster) LinkProfileBetween(from, to ids.ID) LinkProfile {
+	if pm, ok := c.Latency.(ProfileModel); ok {
+		return pm.Profile(c.ZoneOf(from), c.ZoneOf(to))
+	}
+	return LinkProfile{}
+}
+
+// ZoneList returns the distinct zones of the membership in ascending order.
+func (c Cluster) ZoneList() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, n := range c.Nodes {
+		if z := c.ZoneOf(n); !seen[z] {
+			seen[z] = true
+			out = append(out, z)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ZoneNodes returns the members of zone z in membership order.
+func (c Cluster) ZoneNodes(z int) []ids.ID {
+	var out []ids.ID
+	for _, n := range c.Nodes {
+		if c.ZoneOf(n) == z {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RegionSides splits the membership into (zone z, everyone else) — the two
+// sides of a region partition.
+func (c Cluster) RegionSides(z int) (in, out []ids.ID) {
+	for _, n := range c.Nodes {
+		if c.ZoneOf(n) == z {
+			in = append(in, n)
+		} else {
+			out = append(out, n)
+		}
+	}
+	return in, out
 }
 
 // Peers returns every node except self.
@@ -259,6 +374,15 @@ func EvenGroups(followers []ids.ID, r int) (GroupLayout, error) {
 // geo-distributed setups a natural grouping assigns all nodes of a region to
 // one relay group, so only one message crosses the WAN per region).
 func ZoneGroups(c Cluster, followers []ids.ID) GroupLayout {
+	g, _ := ZoneGroupsWithZones(c, followers)
+	return g
+}
+
+// ZoneGroupsWithZones is ZoneGroups plus the group↔region correspondence:
+// groups come out ordered by ascending zone number and zones[i] names the
+// region group i covers, so region-aware callers (chaos schedules targeting
+// "the relay of region z") can map zones to group indices 1:1.
+func ZoneGroupsWithZones(c Cluster, followers []ids.ID) (GroupLayout, []int) {
 	byZone := make(map[int][]ids.ID)
 	var order []int
 	for _, f := range followers {
@@ -268,9 +392,10 @@ func ZoneGroups(c Cluster, followers []ids.ID) GroupLayout {
 		}
 		byZone[z] = append(byZone[z], f)
 	}
+	sort.Ints(order)
 	groups := make([][]ids.ID, 0, len(order))
 	for _, z := range order {
 		groups = append(groups, byZone[z])
 	}
-	return GroupLayout{Groups: groups}
+	return GroupLayout{Groups: groups}, order
 }

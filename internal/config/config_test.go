@@ -235,3 +235,135 @@ func TestEvenGroupsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Table-driven coverage of ZoneMatrixLatency's lookup rules: direct entries,
+// the symmetric fallback for asymmetric matrices, the missing-pair default,
+// and the intra-zone path.
+func TestZoneMatrixLatencyLookupTable(t *testing.T) {
+	m := ZoneMatrixLatency{
+		IntraZone: 100 * time.Microsecond,
+		InterZone: map[int]map[int]time.Duration{
+			1: {2: 30 * time.Millisecond, 3: 35 * time.Millisecond},
+			2: {3: 10 * time.Millisecond},
+			4: {1: 70 * time.Millisecond}, // asymmetric: only 4→1 present
+		},
+		Default: 40 * time.Millisecond,
+	}
+	cases := []struct {
+		name string
+		a, b int
+		want time.Duration
+	}{
+		{"direct entry", 1, 2, 30 * time.Millisecond},
+		{"symmetric fallback", 2, 1, 30 * time.Millisecond},
+		{"direct second row", 2, 3, 10 * time.Millisecond},
+		{"symmetric fallback second row", 3, 2, 10 * time.Millisecond},
+		{"asymmetric entry forward", 4, 1, 70 * time.Millisecond},
+		{"asymmetric entry reversed", 1, 4, 70 * time.Millisecond},
+		{"missing pair default", 3, 9, 40 * time.Millisecond},
+		{"both zones unknown", 8, 9, 40 * time.Millisecond},
+		{"intra-zone known", 1, 1, 100 * time.Microsecond},
+		{"intra-zone unknown zone", 9, 9, 100 * time.Microsecond},
+	}
+	for _, tc := range cases {
+		if got := m.OneWay(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: OneWay(%d,%d) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Profile lookups follow the same rules as latencies: direct, symmetric
+// fallback, zero-profile default, intra-zone.
+func TestZoneMatrixProfileLookup(t *testing.T) {
+	p12 := LinkProfile{Jitter: 2 * time.Millisecond, Loss: 0.01}
+	m := ZoneMatrixLatency{
+		Profiles: map[int]map[int]LinkProfile{1: {2: p12}},
+		Intra:    LinkProfile{Jitter: 50 * time.Microsecond},
+	}
+	if got := m.Profile(1, 2); got != p12 {
+		t.Errorf("direct profile = %+v", got)
+	}
+	if got := m.Profile(2, 1); got != p12 {
+		t.Errorf("symmetric profile fallback = %+v", got)
+	}
+	if got := m.Profile(2, 3); got != (LinkProfile{}) {
+		t.Errorf("missing pair should be the zero profile, got %+v", got)
+	}
+	if got := m.Profile(5, 5); got != m.Intra {
+		t.Errorf("intra profile = %+v", got)
+	}
+}
+
+func TestNewWAN3LossyProfiles(t *testing.T) {
+	c := NewWAN3Lossy(9)
+	va := ids.NewID(ZoneVirginia, 1)
+	va2 := ids.NewID(ZoneVirginia, 2)
+	or := ids.NewID(ZoneOregon, 1)
+	p := c.LinkProfileBetween(va, or)
+	if p.Loss <= 0 || p.Jitter <= 0 {
+		t.Errorf("VA↔OR profile should be imperfect, got %+v", p)
+	}
+	if q := c.LinkProfileBetween(or, va); q != p {
+		t.Errorf("profile must be symmetric: %+v vs %+v", p, q)
+	}
+	intra := c.LinkProfileBetween(va, va2)
+	if intra.Loss >= p.Loss || intra.Jitter >= p.Jitter {
+		t.Errorf("intra-zone profile %+v should be milder than WAN %+v", intra, p)
+	}
+	// Latencies are untouched relative to the clean topology.
+	if d := c.OneWay(va, or); d != 35*time.Millisecond {
+		t.Errorf("lossy VA→OR latency = %v", d)
+	}
+	// The clean builder must carry no profiles at all: its runs draw
+	// nothing from the RNG and stay bit-identical to pre-profile code.
+	if p := NewWAN3(9).LinkProfileBetween(va, or); p != (LinkProfile{}) {
+		t.Errorf("NewWAN3 should have zero profiles, got %+v", p)
+	}
+}
+
+func TestZoneListAndRegionSides(t *testing.T) {
+	c := NewWAN3(8) // zones 1,2,3 hold 3,3,2 nodes
+	if got := c.ZoneList(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("ZoneList = %v", got)
+	}
+	if got := c.ZoneNodes(ZoneOregon); len(got) != 2 {
+		t.Errorf("Oregon nodes = %v", got)
+	}
+	in, out := c.RegionSides(ZoneVirginia)
+	if len(in) != 3 || len(out) != 5 {
+		t.Fatalf("RegionSides = %d in, %d out", len(in), len(out))
+	}
+	for _, n := range in {
+		if c.ZoneOf(n) != ZoneVirginia {
+			t.Errorf("node %v on the wrong side", n)
+		}
+	}
+	if got := c.ZoneNodes(99); got != nil {
+		t.Errorf("empty zone should be nil, got %v", got)
+	}
+}
+
+// Zone groups come out ordered by ascending zone with the 1:1 group↔region
+// correspondence exposed.
+func TestZoneGroupsWithZonesSorted(t *testing.T) {
+	c := NewWAN3(9)
+	leader := c.Nodes[0] // zone 1
+	g, zones := ZoneGroupsWithZones(c, c.Peers(leader))
+	if len(zones) != 3 || zones[0] != 1 || zones[1] != 2 || zones[2] != 3 {
+		t.Fatalf("group zones = %v, want [1 2 3]", zones)
+	}
+	if err := g.Validate(c.Peers(leader)); err != nil {
+		t.Fatal(err)
+	}
+	for i, grp := range g.Groups {
+		for _, m := range grp {
+			if c.ZoneOf(m) != zones[i] {
+				t.Errorf("group %d (zone %d) contains %v from zone %d", i, zones[i], m, c.ZoneOf(m))
+			}
+		}
+	}
+	// The leader's own zone still forms a group (its co-residents).
+	if len(g.Groups[0]) != 2 {
+		t.Errorf("leader-zone group has %d members, want 2", len(g.Groups[0]))
+	}
+}

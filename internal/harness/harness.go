@@ -54,6 +54,10 @@ type Options struct {
 	N int
 	// WAN spreads nodes over three regions (Figure 9); otherwise LAN.
 	WAN bool
+	// WANLossy additionally gives every WAN path its representative jitter
+	// and loss (config.NewWAN3Lossy). Implies WAN. Only protocols with
+	// retransmission machinery should run on it.
+	WANLossy bool
 	// Clients is the number of closed-loop clients.
 	Clients int
 	// Workload configures keys/read-ratio/payload (defaults: paper §5.2).
@@ -128,6 +132,18 @@ func (o *Options) applyDefaults() {
 	}
 	if o.BatchSize > 1 && o.MaxInFlight == 0 {
 		o.MaxInFlight = 4
+	}
+}
+
+// cluster builds the topology the options select.
+func (o *Options) cluster() config.Cluster {
+	switch {
+	case o.WANLossy:
+		return config.NewWAN3Lossy(o.N)
+	case o.WAN:
+		return config.NewWAN3(o.N)
+	default:
+		return config.NewLAN(o.N)
 	}
 }
 
@@ -250,12 +266,7 @@ func (c *client) OnMessage(from ids.ID, m wire.Msg) {
 func Run(opts Options) Result {
 	opts.applyDefaults()
 	sim := des.New(opts.Seed)
-	var cc config.Cluster
-	if opts.WAN {
-		cc = config.NewWAN3(opts.N)
-	} else {
-		cc = config.NewLAN(opts.N)
-	}
+	cc := opts.cluster()
 	net := netsim.New(sim, cc, opts.Net)
 
 	leader := cc.Nodes[0]

@@ -62,6 +62,13 @@ type ScenarioOptions struct {
 	// Drain is extra virtual time after the measurement window for scripts
 	// to finish and replicas to converge (default 5s).
 	Drain time.Duration
+	// RegionClients homes clients round-robin across the cluster's zones
+	// instead of packing them into the leader's (the paper's WAN runs place
+	// client VMs in every region). Each region's latency and availability
+	// are then reported separately in ScenarioResult.Regions — and a
+	// RegionPartition maroons the cut region's clients along with its
+	// replicas.
+	RegionClients bool
 }
 
 func (o *ScenarioOptions) applyDefaults() {
@@ -136,9 +143,42 @@ type ScenarioResult struct {
 	Delivered uint64
 	Dropped   uint64
 
+	// Regions breaks the measurement down by client region (ascending
+	// zone), populated when RegionClients is set on a multi-zone cluster.
+	Regions []RegionResult
+
 	// FaultLog lists the executed fault actions with resolved targets.
 	FaultLog []chaos.Applied
 }
+
+// RegionResult is one region's slice of a WAN scenario: what service looked
+// like to the clients homed there.
+type RegionResult struct {
+	Zone    int
+	Clients int
+	// Acked counts operations acknowledged to this region's clients.
+	Acked int
+	// Latency summarizes this region's request latency.
+	Latency metrics.Summary
+	// AvailabilityGap is the longest ack silence this region saw, GapStart
+	// its opening instant, and Stalls how many distinct gaps of at least
+	// 250ms the region suffered — a region cut off its WAN uplinks shows
+	// one long stall here while the others stay smooth.
+	AvailabilityGap time.Duration
+	GapStart        time.Duration
+	Stalls          int
+}
+
+// String implements fmt.Stringer.
+func (r RegionResult) String() string {
+	return fmt.Sprintf("zone %d: %d clients, %d acked, mean %v p99 %v, gap %v, stalls %d",
+		r.Zone, r.Clients, r.Acked, r.Latency.Mean, r.Latency.P99, r.AvailabilityGap, r.Stalls)
+}
+
+// regionStallThreshold is the gap length counted as a service stall in
+// RegionResult.Stalls: comfortably above a WAN round trip, well below any
+// fault window a schedule would script.
+const regionStallThreshold = 250 * time.Millisecond
 
 // String implements fmt.Stringer.
 func (r ScenarioResult) String() string {
@@ -177,6 +217,11 @@ type scenClient struct {
 	inWindow  *metrics.Counter
 	warmupEnd time.Duration
 	windowEnd time.Duration
+
+	// rgaps/rlat additionally route this client's acks to its home
+	// region's trackers (nil outside RegionClients runs).
+	rgaps *metrics.GapTracker
+	rlat  *metrics.Histogram
 }
 
 func (c *scenClient) stopTimer() {
@@ -269,6 +314,10 @@ func (c *scenClient) OnMessage(from ids.ID, m wire.Msg) {
 	c.hist.Add(op)
 	c.gaps.Record(now)
 	c.lat.Observe(now - c.started)
+	if c.rgaps != nil {
+		c.rgaps.Record(now)
+		c.rlat.Observe(now - c.started)
+	}
 	if now >= c.warmupEnd && now < c.windowEnd {
 		c.inWindow.Inc()
 	}
@@ -305,6 +354,7 @@ func scenScript(ci, ops, keys int) []kvstore.Command {
 // liveResolver resolves dynamic chaos targets from live protocol state.
 type liveResolver struct {
 	cc       config.Cluster
+	net      *netsim.Network
 	replicas map[ids.ID]replica
 }
 
@@ -349,18 +399,33 @@ func (lr *liveResolver) Relay(g int) ids.ID {
 	return 0
 }
 
+// CampaignFrom implements chaos.Placer: the first live replica in the zone
+// (membership order) bids for leadership. EPaxos is leaderless, so placement
+// flips resolve to nobody and are skipped.
+func (lr *liveResolver) CampaignFrom(zone int) ids.ID {
+	for _, id := range lr.cc.Nodes {
+		if lr.cc.ZoneOf(id) != zone || lr.net.Crashed(id) {
+			continue
+		}
+		switch r := lr.replicas[id].(type) {
+		case *paxos.Replica:
+			r.Campaign()
+			return id
+		case *pigpaxos.Replica:
+			r.Core().Campaign()
+			return id
+		}
+	}
+	return 0
+}
+
 // RunScenario executes one protocol run under the fault schedule and returns
 // measurements plus the correctness verdicts. Schedule times are absolute
 // virtual times (the measurement window starts at opts.Warmup).
 func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 	opts.applyDefaults()
 	sim := des.New(opts.Seed)
-	var cc config.Cluster
-	if opts.WAN {
-		cc = config.NewWAN3(opts.N)
-	} else {
-		cc = config.NewLAN(opts.N)
-	}
+	cc := opts.cluster()
 	net := netsim.New(sim, cc, opts.Net)
 
 	leader := cc.Nodes[0]
@@ -422,6 +487,23 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 	warmupEnd := opts.Warmup
 	windowEnd := opts.Warmup + opts.Measure
 
+	// Per-region trackers, when clients spread over zones: zones in
+	// ascending order, clients assigned round-robin so every region gets
+	// an equal share (±1).
+	var zones []int
+	regionGaps := map[int]*metrics.GapTracker{}
+	regionLat := map[int]*metrics.Histogram{}
+	regionClients := map[int]int{}
+	if opts.RegionClients {
+		if zs := cc.ZoneList(); len(zs) > 1 {
+			zones = zs
+			for _, z := range zones {
+				regionGaps[z] = &metrics.GapTracker{}
+				regionLat[z] = metrics.NewHistogram()
+			}
+		}
+	}
+
 	clients := make([]*scenClient, opts.Clients)
 	for i := 0; i < opts.Clients; i++ {
 		cl := &scenClient{
@@ -443,11 +525,18 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 			cl.retry = 0
 			cl.rr = i % len(cc.Nodes)
 		}
-		cl.ep = net.Register(ids.NewID(cc.ZoneOf(leader), 1000+i), cl, true)
+		home := cc.ZoneOf(leader)
+		if zones != nil {
+			home = zones[i%len(zones)]
+			cl.rgaps = regionGaps[home]
+			cl.rlat = regionLat[home]
+			regionClients[home]++
+		}
+		cl.ep = net.Register(ids.NewID(home, 1000+i), cl, true)
 		clients[i] = cl
 	}
 
-	resolver := &liveResolver{cc: cc, replicas: replicas}
+	resolver := &liveResolver{cc: cc, net: net, replicas: replicas}
 	injector := chaos.Apply(sim, net, sched, resolver)
 
 	sim.Schedule(0, func() {
@@ -497,6 +586,17 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 		FaultLog:   injector.Log(),
 	}
 	res.GapStart, res.AvailabilityGap = gaps.MaxGap()
+	for _, z := range zones {
+		rr := RegionResult{
+			Zone:    z,
+			Clients: regionClients[z],
+			Acked:   regionGaps[z].Count(),
+			Latency: regionLat[z].Snapshot(),
+			Stalls:  regionGaps[z].GapsOver(regionStallThreshold),
+		}
+		rr.GapStart, rr.AvailabilityGap = regionGaps[z].MaxGap()
+		res.Regions = append(res.Regions, rr)
+	}
 	if len(sched) > 0 {
 		res.FirstFaultAt = sched.FirstFaultAt()
 		if at, ok := gaps.FirstAfter(res.FirstFaultAt); ok {
@@ -541,12 +641,7 @@ type FaultPoint struct {
 // availability degrades with fault intensity while safety holds.
 func FaultCurve(opts ScenarioOptions, maxCrashes int) []FaultPoint {
 	opts.applyDefaults()
-	var cc config.Cluster
-	if opts.WAN {
-		cc = config.NewWAN3(opts.N)
-	} else {
-		cc = config.NewLAN(opts.N)
-	}
+	cc := opts.cluster()
 	if limit := chaos.MaxSafeCrashes(opts.N); maxCrashes > limit {
 		maxCrashes = limit
 	}
@@ -579,20 +674,25 @@ func FaultCurve(opts ScenarioOptions, maxCrashes int) []FaultPoint {
 // machinery) and everything-but-relay-crashes for Paxos.
 func ExploreScenarios(opts ScenarioOptions, ex chaos.ExplorerOpts) []ScenarioResult {
 	opts.applyDefaults()
+	wan := opts.WAN || opts.WANLossy
 	if ex.Nodes == nil {
-		var cc config.Cluster
-		if opts.WAN {
-			cc = config.NewWAN3(opts.N)
-		} else {
-			cc = config.NewLAN(opts.N)
-		}
+		cc := opts.cluster()
 		ex.Nodes = cc.Nodes
+		if wan && ex.Cluster.N() == 0 {
+			// Hand the explorer the zone topology so region fault
+			// families can draw from it.
+			ex.Cluster = cc
+		}
 	}
 	if ex.Allow == (chaos.Palette{}) {
-		switch opts.Protocol {
-		case EPaxos:
+		switch {
+		case opts.Protocol == EPaxos:
 			ex.Allow = chaos.GentlePalette()
-		case Paxos:
+		case wan:
+			// Region faults for the Paxos family; EPaxos (above) never
+			// tolerates them.
+			ex.Allow = chaos.WANPalette()
+		case opts.Protocol == Paxos:
 			ex.Allow = chaos.FullPalette()
 			ex.Allow.RelayCrash = false
 		default:

@@ -276,6 +276,22 @@ func (g *GapTracker) MaxGap() (start, gap time.Duration) {
 	return start, gap
 }
 
+// GapsOver counts the intervals between consecutive recorded events that
+// meet or exceed threshold — how many distinct service interruptions a run
+// suffered, as opposed to MaxGap's single worst one. Zero threshold counts
+// every interval and is almost never what a caller wants.
+func (g *GapTracker) GapsOver(threshold time.Duration) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for i := 1; i < len(g.times); i++ {
+		if g.times[i]-g.times[i-1] >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
 // FirstAfter returns the earliest recorded event at or after t. ok is false
 // when no event follows t.
 func (g *GapTracker) FirstAfter(t time.Duration) (at time.Duration, ok bool) {

@@ -215,3 +215,24 @@ func TestGapTrackerMaxGapAndRecovery(t *testing.T) {
 		t.Error("FirstAfter past the last event should report none")
 	}
 }
+
+func TestGapTrackerGapsOver(t *testing.T) {
+	g := &GapTracker{}
+	for _, at := range []time.Duration{
+		0, 10 * time.Millisecond, 20 * time.Millisecond,
+		500 * time.Millisecond, // 480ms stall
+		510 * time.Millisecond,
+		900 * time.Millisecond, // 390ms stall
+	} {
+		g.Record(at)
+	}
+	if n := g.GapsOver(250 * time.Millisecond); n != 2 {
+		t.Errorf("GapsOver(250ms) = %d, want 2", n)
+	}
+	if n := g.GapsOver(time.Second); n != 0 {
+		t.Errorf("GapsOver(1s) = %d, want 0", n)
+	}
+	if n := (&GapTracker{}).GapsOver(time.Millisecond); n != 0 {
+		t.Errorf("empty tracker GapsOver = %d", n)
+	}
+}

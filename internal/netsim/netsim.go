@@ -78,6 +78,11 @@ type Network struct {
 	sim  *des.Sim
 	cfg  config.Cluster
 	opts Options
+	// prof is the cluster's per-zone-pair link profile source, when its
+	// latency model carries one. Zero profiles draw nothing from the RNG,
+	// so profile-free topologies run bit-identical to before profiles
+	// existed.
+	prof config.ProfileModel
 
 	endpoints map[ids.ID]*Endpoint
 
@@ -93,16 +98,24 @@ type Network struct {
 
 // New creates a network over sim for cluster cfg.
 func New(sim *des.Sim, cfg config.Cluster, opts Options) *Network {
-	return &Network{
+	n := &Network{
 		sim:       sim,
 		cfg:       cfg,
 		opts:      opts,
 		endpoints: make(map[ids.ID]*Endpoint),
 	}
+	if pm, ok := cfg.Latency.(config.ProfileModel); ok {
+		n.prof = pm
+	}
+	return n
 }
 
 // Sim returns the underlying simulator.
 func (n *Network) Sim() *des.Sim { return n.sim }
+
+// Cluster returns the cluster configuration the network was built over.
+// Region-level fault injection uses it to resolve zones to node sets.
+func (n *Network) Cluster() config.Cluster { return n.cfg }
 
 // Register attaches handler h as node id and returns its endpoint. Clients
 // register like nodes; pass free=true to give the endpoint an unmetered CPU
@@ -188,6 +201,31 @@ func (n *Network) Partition(sideA, sideB []ids.ID) {
 	}
 }
 
+// PartitionZone cuts every endpoint whose zone is z — replicas and clients
+// alike — from every endpoint outside z, until HealPartition. It models a
+// region losing its WAN uplinks: intra-region connectivity survives, and
+// clients homed in the region are marooned with it.
+func (n *Network) PartitionZone(z int) {
+	for ida, ea := range n.endpoints {
+		if n.cfg.ZoneOf(ida) != z {
+			continue
+		}
+		for idb, eb := range n.endpoints {
+			if idb == ida || n.cfg.ZoneOf(idb) == z {
+				continue
+			}
+			if ea.cut == nil {
+				ea.cut = make(map[ids.ID]bool)
+			}
+			ea.cut[idb] = true
+			if eb.cut == nil {
+				eb.cut = make(map[ids.ID]bool)
+			}
+			eb.cut[ida] = true
+		}
+	}
+}
+
 // HealPartition removes all partition cuts.
 func (n *Network) HealPartition() {
 	for _, e := range n.endpoints {
@@ -247,6 +285,26 @@ func (n *Network) SetAllLinkFaults(f LinkFaults) {
 				continue
 			}
 			n.SetLinkFaults(from, to, f)
+		}
+	}
+}
+
+// SetZoneLinkFaults installs f on every directed link joining zone a to
+// zone b, in both directions (a == b selects the zone's internal links).
+// Chaos schedules use it to degrade one WAN path — say Virginia↔Oregon —
+// while the rest of the mesh stays clean. Only cluster members are touched;
+// client endpoints keep clean links (the paper degrades replica WAN paths,
+// not client access networks).
+func (n *Network) SetZoneLinkFaults(zoneA, zoneB int, f LinkFaults) {
+	for _, from := range n.cfg.Nodes {
+		for _, to := range n.cfg.Nodes {
+			if from == to {
+				continue
+			}
+			za, zb := n.cfg.ZoneOf(from), n.cfg.ZoneOf(to)
+			if (za == zoneA && zb == zoneB) || (za == zoneB && zb == zoneA) {
+				n.SetLinkFaults(from, to, f)
+			}
 		}
 	}
 }
@@ -436,11 +494,27 @@ func (e *Endpoint) Send(to ids.ID, m wire.Msg) {
 		n.dropped.Inc()
 		return
 	}
+	// Topology-level link profile (WAN jitter/loss per zone pair). Same
+	// determinism contract as chaos faults: zero profiles draw nothing.
+	var lp config.LinkProfile
+	if n.prof != nil && to != e.id {
+		lp = n.prof.Profile(n.cfg.ZoneOf(e.id), n.cfg.ZoneOf(to))
+		if lp.Loss > 0 && n.sim.Rand().Float64() < lp.Loss {
+			n.dropped.Inc()
+			return
+		}
+	}
 	size := m.Size()
 	sendDone := e.cpu(n.sim.Now(), n.opts.SendCost+byteCost(n.opts.ByteCostPerKB, size))
 	var lat time.Duration
 	if to != e.id {
 		lat = n.cfg.OneWay(e.id, to)
+		if lp.OneWay > 0 {
+			lat = lp.OneWay
+		}
+		if lp.Jitter > 0 {
+			lat += time.Duration(n.sim.Rand().Int63n(int64(lp.Jitter)))
+		}
 		if n.opts.Jitter > 0 {
 			lat += time.Duration(n.sim.Rand().Int63n(int64(n.opts.Jitter)))
 		}

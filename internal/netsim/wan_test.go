@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/des"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/wire"
+)
+
+// setupWAN builds a simulated WAN cluster (round-robin over three zones)
+// plus one free client endpoint homed in each zone (node number 100+zone).
+func setupWAN(n int, cc config.Cluster, opts Options) (*des.Sim, *Network, map[ids.ID]*recorder) {
+	sim := des.New(1)
+	net := New(sim, cc, opts)
+	recs := make(map[ids.ID]*recorder, n+3)
+	for _, id := range cc.Nodes {
+		r := &recorder{}
+		r.e = net.Register(id, r, false)
+		recs[id] = r
+	}
+	for z := 1; z <= 3; z++ {
+		id := ids.NewID(z, 100+z)
+		r := &recorder{}
+		r.e = net.Register(id, r, true)
+		recs[id] = r
+	}
+	return sim, net, recs
+}
+
+// SetZoneLinkFaults degrades exactly the named pair's links, both
+// directions, and leaves every other path clean.
+func TestZoneLinkFaultsScopedToPair(t *testing.T) {
+	cc := config.NewWAN3(6)
+	sim, net, _ := setupWAN(6, cc, Options{})
+	_ = sim
+	net.SetZoneLinkFaults(config.ZoneVirginia, config.ZoneOregon, LinkFaults{Loss: 1})
+	va1, va2 := ids.NewID(1, 1), ids.NewID(1, 2)
+	ca1 := ids.NewID(2, 1)
+	or1 := ids.NewID(3, 1)
+	if f, ok := net.LinkFaultsBetween(va1, or1); !ok || f.Loss != 1 {
+		t.Errorf("VA→OR faults = %+v ok=%v, want loss 1", f, ok)
+	}
+	if f, ok := net.LinkFaultsBetween(or1, va2); !ok || f.Loss != 1 {
+		t.Errorf("OR→VA faults = %+v ok=%v, want loss 1", f, ok)
+	}
+	if _, ok := net.LinkFaultsBetween(va1, ca1); ok {
+		t.Error("VA→CA should stay clean")
+	}
+	if _, ok := net.LinkFaultsBetween(va1, va2); ok {
+		t.Error("intra-zone links should stay clean")
+	}
+	net.ClearLinkFaults()
+	if _, ok := net.LinkFaultsBetween(va1, or1); ok {
+		t.Error("clear should remove zone faults")
+	}
+}
+
+// PartitionZone maroons a region: its replicas AND its clients lose every
+// cross-zone link while intra-zone traffic keeps flowing, and HealPartition
+// restores the world.
+func TestPartitionZoneMaroonsRegionWithClients(t *testing.T) {
+	cc := config.NewWAN3(6)
+	sim, net, recs := setupWAN(6, cc, Options{})
+	or1, or2 := ids.NewID(3, 1), ids.NewID(3, 2)
+	orClient := ids.NewID(3, 103)
+	va1 := ids.NewID(1, 1)
+	vaClient := ids.NewID(1, 101)
+
+	net.PartitionZone(config.ZoneOregon)
+	sim.Schedule(0, func() {
+		recs[or1].e.Send(or2, wire.P1a{Ballot: 1})      // intra-zone: delivered
+		recs[or1].e.Send(va1, wire.P1a{Ballot: 2})      // cut
+		recs[va1].e.Send(or1, wire.P1a{Ballot: 3})      // cut
+		recs[orClient].e.Send(va1, wire.P1a{Ballot: 4}) // marooned client: cut
+		recs[vaClient].e.Send(va1, wire.P1a{Ballot: 5}) // outside world: fine
+	})
+	sim.RunUntilIdle()
+	if len(recs[or2].got) != 1 {
+		t.Errorf("intra-zone Oregon delivery = %d, want 1", len(recs[or2].got))
+	}
+	if len(recs[or1].got) != 0 {
+		t.Errorf("cross-zone deliveries into Oregon = %d, want 0", len(recs[or1].got))
+	}
+	if len(recs[va1].got) != 1 {
+		t.Errorf("Virginia deliveries = %d, want only the local client's", len(recs[va1].got))
+	}
+	if got := net.MessagesDropped(); got != 3 {
+		t.Errorf("MessagesDropped = %d, want 3", got)
+	}
+
+	net.HealPartition()
+	sim.Schedule(sim.Now(), func() {
+		recs[orClient].e.Send(va1, wire.P1a{Ballot: 6})
+	})
+	sim.RunUntilIdle()
+	if len(recs[va1].got) != 2 {
+		t.Errorf("post-heal Virginia deliveries = %d, want 2", len(recs[va1].got))
+	}
+}
+
+// Link profiles: a loss-1 profile drops every message on the pair, and a
+// profiled run is deterministic at equal seeds.
+func TestProfileLossApplied(t *testing.T) {
+	cc := config.NewWAN3(6)
+	m := cc.Latency.(config.ZoneMatrixLatency)
+	m.Profiles = map[int]map[int]config.LinkProfile{
+		config.ZoneVirginia: {config.ZoneOregon: {Loss: 1}},
+	}
+	cc.Latency = m
+	sim, net, recs := setupWAN(6, cc, Options{})
+	va1 := ids.NewID(1, 1)
+	ca1 := ids.NewID(2, 1)
+	or1 := ids.NewID(3, 1)
+	sim.Schedule(0, func() {
+		recs[va1].e.Send(or1, wire.P1a{Ballot: 1}) // profiled away
+		recs[or1].e.Send(va1, wire.P1a{Ballot: 2}) // symmetric fallback: also lost
+		recs[va1].e.Send(ca1, wire.P1a{Ballot: 3}) // clean pair: delivered
+	})
+	sim.RunUntilIdle()
+	if len(recs[or1].got) != 0 || len(recs[va1].got) != 0 {
+		t.Error("profiled pair should lose every message")
+	}
+	if len(recs[ca1].got) != 1 {
+		t.Errorf("clean pair delivered %d, want 1", len(recs[ca1].got))
+	}
+	if got := net.MessagesDropped(); got != 2 {
+		t.Errorf("MessagesDropped = %d, want 2", got)
+	}
+}
+
+// Profile jitter stretches a pair's delay within [base, base+Jitter) and
+// perturbs nothing else; profile-free pairs keep the exact matrix latency.
+func TestProfileJitterBoundsDelay(t *testing.T) {
+	cc := config.NewWAN3Lossy(6)
+	m := cc.Latency.(config.ZoneMatrixLatency)
+	// Make the jitter large and the loss zero so the bound is observable.
+	m.Profiles = map[int]map[int]config.LinkProfile{
+		config.ZoneVirginia: {config.ZoneOregon: {Jitter: 5 * time.Millisecond}},
+	}
+	m.Intra = config.LinkProfile{}
+	cc.Latency = m
+	sim, _, recs := setupWAN(6, cc, Options{})
+	va1 := ids.NewID(1, 1)
+	or1 := ids.NewID(3, 1)
+	for i := 0; i < 32; i++ {
+		sim.Schedule(time.Duration(i)*100*time.Millisecond, func() {
+			recs[va1].e.Send(or1, wire.P1a{Ballot: 1})
+		})
+	}
+	sim.RunUntilIdle()
+	if len(recs[or1].got) != 32 {
+		t.Fatalf("delivered %d, want 32", len(recs[or1].got))
+	}
+	base := 35 * time.Millisecond
+	sawJitter := false
+	for i, g := range recs[or1].got {
+		d := g.at - time.Duration(i)*100*time.Millisecond
+		if d < base || d >= base+5*time.Millisecond {
+			t.Fatalf("delivery %d delay %v outside [35ms, 40ms)", i, d)
+		}
+		if d > base {
+			sawJitter = true
+		}
+	}
+	if !sawJitter {
+		t.Error("no jitter observed over 32 sends")
+	}
+}
+
+// Two profiled runs at equal seeds are bit-identical, message for message.
+func TestProfiledRunsDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		cc := config.NewWAN3Lossy(6)
+		sim := des.New(99)
+		net := New(sim, cc, Options{})
+		var out []time.Duration
+		rec := HandlerFunc(func(from ids.ID, m wire.Msg) { out = append(out, sim.Now()) })
+		for _, id := range cc.Nodes {
+			net.Register(id, rec, false)
+		}
+		src := net.Endpoint(cc.Nodes[0])
+		for i := 0; i < 200; i++ {
+			sim.Schedule(time.Duration(i)*time.Millisecond, func() {
+				src.Broadcast(cc.Peers(cc.Nodes[0]), wire.P1a{Ballot: 1})
+			})
+		}
+		sim.RunUntilIdle()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d messages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -19,6 +19,7 @@ package paxos
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"pigpaxos/internal/config"
@@ -392,6 +393,18 @@ func (r *Replica) abortProposals() {
 		delete(r.retries, slot)
 	}
 	clear(r.p2qs)
+}
+
+// Campaign makes the replica bid for leadership now, regardless of its
+// failure detector's opinion of the current leader. Operators (and the chaos
+// injector's LeaderPlacementFlip) use it to move the leader into a chosen
+// region; the bid carries a higher ballot, so the incumbent steps down on
+// first contact. A no-op on a node that already leads.
+func (r *Replica) Campaign() {
+	if r.active {
+		return
+	}
+	r.campaign()
 }
 
 func (r *Replica) campaign() {
@@ -1110,9 +1123,16 @@ func (r *Replica) redirectPending() {
 	}
 	r.abortProposals()
 	leader := r.ballot.ID()
-	for slot, rts := range r.routes {
-		delete(r.routes, slot)
-		for _, rt := range rts {
+	// Redirect in ascending slot order: map iteration order would otherwise
+	// leak into the send sequence (and so into every client's reply timing),
+	// breaking run-to-run determinism.
+	slots := make([]uint64, 0, len(r.routes))
+	for slot := range r.routes {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, slot := range slots {
+		for _, rt := range r.routes[slot] {
 			if rt.client.IsZero() {
 				continue // placeholder in a re-attached route list
 			}
@@ -1120,6 +1140,7 @@ func (r *Replica) redirectPending() {
 				ClientID: rt.clientID, Seq: rt.seq, OK: false, Leader: leader,
 			})
 		}
+		delete(r.routes, slot)
 	}
 	for _, p := range r.pending {
 		r.ctx.Send(p.from, wire.Reply{

@@ -479,3 +479,54 @@ func TestOverlapAddsRedundantPaths(t *testing.T) {
 		t.Errorf("overlap should add messages: %d vs %d", redundant, plain)
 	}
 }
+
+// Zone-aligned layout: under GroupByZone the groups map 1:1 onto regions in
+// ascending zone order, GroupZones/GroupForZone expose the correspondence,
+// and a reshuffle (random regrouping) drops the zone alignment.
+func TestZoneAlignedLayoutAccessors(t *testing.T) {
+	tc := newCluster(t, 9, true, func(c *Config) {
+		c.Strategy = GroupByZone
+	})
+	lead := tc.leader() // node 1.1, zone 1
+	zones := lead.GroupZones()
+	if len(zones) != 3 || zones[0] != 1 || zones[1] != 2 || zones[2] != 3 {
+		t.Fatalf("GroupZones = %v, want [1 2 3]", zones)
+	}
+	layout := lead.Layout()
+	for z := 1; z <= 3; z++ {
+		g := lead.GroupForZone(z)
+		if g < 0 {
+			t.Fatalf("GroupForZone(%d) = %d", z, g)
+		}
+		for _, m := range layout.Groups[g] {
+			if m.Zone() != z {
+				t.Errorf("group %d for zone %d contains %v", g, z, m)
+			}
+		}
+	}
+	if g := lead.GroupForZone(9); g != -1 {
+		t.Errorf("GroupForZone(9) = %d, want -1", g)
+	}
+	// The leader's own zone group holds only its two co-residents.
+	if own := layout.Groups[lead.GroupForZone(1)]; len(own) != 2 {
+		t.Errorf("leader-zone group = %v, want 2 members", own)
+	}
+	lead.Reshuffle()
+	if zs := lead.GroupZones(); zs != nil {
+		t.Errorf("reshuffled layout still claims zone alignment: %v", zs)
+	}
+	if g := lead.GroupForZone(1); g != -1 {
+		t.Errorf("reshuffled GroupForZone = %d, want -1", g)
+	}
+}
+
+// An even-grouped (non-zone) replica never claims zone alignment.
+func TestEvenLayoutHasNoZoneAlignment(t *testing.T) {
+	tc := newCluster(t, 9, true, nil) // GroupEven
+	if zs := tc.leader().GroupZones(); zs != nil {
+		t.Errorf("GroupZones = %v, want nil", zs)
+	}
+	if g := tc.leader().GroupForZone(1); g != -1 {
+		t.Errorf("GroupForZone = %d, want -1", g)
+	}
+}

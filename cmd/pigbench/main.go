@@ -21,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"time"
 
 	"pigpaxos/internal/chaos"
 	"pigpaxos/internal/config"
 	"pigpaxos/internal/harness"
+	"pigpaxos/internal/netsim"
 )
 
 func main() {
@@ -34,7 +36,7 @@ func main() {
 		table    = flag.Int("table", 0, "table number to regenerate (1-2)")
 		util     = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
 		batch    = flag.Bool("batch", false, "run the leader-batching sweep (batch size × protocol)")
-		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve | wan | regionpartition | placement | wanexplore")
+		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve | epaxoschaos | wan | regionpartition | placement | wanexplore | epaxoswan")
 		benchfmt = flag.Bool("benchfmt", false, "emit scenario results as go-bench lines (pipe into cmd/benchjson)")
 		all      = flag.Bool("all", false, "run every figure and table")
 		quick    = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
@@ -134,6 +136,29 @@ func printScenario(name string, r harness.ScenarioResult, benchfmt bool) {
 	fmt.Printf("%-10s %-22s acked=%-5d gap=%-12v recovery=%-12v p99=%-10v lin=%v recovered=%v\n",
 		r.Protocol, name, r.Acked, r.AvailabilityGap, r.RecoveryLatency,
 		r.Latency.P99, r.Linearizable, r.AllComplete && r.Converged)
+	for _, a := range r.FaultLog {
+		fmt.Printf("    fault: %v\n", a)
+	}
+}
+
+// printEPaxosChaos renders one EPaxos chaos result with the two verdicts
+// specific to its hardening: unrecovered instances and bit-identical
+// reruns.
+func printEPaxosChaos(name string, r harness.ScenarioResult, deterministic, benchfmt bool) {
+	if benchfmt {
+		fmt.Printf("BenchmarkScenario/%s/%s 1 %.3f avail-gap-ms %.3f recovery-ms %.0f req/s %.3f p99-ms %d acked %d linearizable %d recovered %d unrecovered %d deterministic\n",
+			r.Protocol, name,
+			float64(r.AvailabilityGap.Microseconds())/1000,
+			float64(r.RecoveryLatency.Microseconds())/1000,
+			r.Throughput,
+			float64(r.Latency.P99.Microseconds())/1000,
+			r.Acked, b2i(r.Linearizable), b2i(r.AllComplete && r.Converged),
+			r.Unrecovered, b2i(deterministic))
+		return
+	}
+	fmt.Printf("%-10s %-22s acked=%-5d gap=%-12v recovery=%-12v lin=%v recovered=%v unrecovered=%d deterministic=%v\n",
+		r.Protocol, name, r.Acked, r.AvailabilityGap, r.RecoveryLatency,
+		r.Linearizable, r.AllComplete && r.Converged, r.Unrecovered, deterministic)
 	for _, a := range r.FaultLog {
 		fmt.Printf("    fault: %v\n", a)
 	}
@@ -250,6 +275,58 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 				printScenario(fmt.Sprintf("explore/%d", i), r, benchfmt)
 			}
 		}
+	case "epaxoschaos":
+		// EPaxos under the full fault hose: a command leader crashes
+		// mid-window while probabilistic loss and duplication chew on the
+		// links — Explicit Prepare recovery, the retransmit sweep and the
+		// session tables must deliver a clean bill (linearizable,
+		// converged, zero unrecovered instances), bit-identically at equal
+		// seeds. The explorer then runs the full EPaxos palette.
+		o := scenarioBase(harness.EPaxos, suite)
+		at := o.Warmup + 300*time.Millisecond
+		sched := chaos.Merge(
+			chaos.LeaderCrash(at, 500*time.Millisecond),
+			chaos.FlakyLinks(netsim.LinkFaults{Loss: 0.05, Duplicate: 0.02},
+				at+100*time.Millisecond, 600*time.Millisecond),
+		)
+		r := harness.RunScenario(o, sched)
+		again := harness.RunScenario(o, sched)
+		printEPaxosChaos("crash+loss", r, reflect.DeepEqual(r, again), benchfmt)
+		if r.Unrecovered != 0 || !r.Linearizable || !(r.AllComplete && r.Converged) {
+			return fmt.Errorf("epaxoschaos: unrecovered=%d lin=%v recovered=%v",
+				r.Unrecovered, r.Linearizable, r.AllComplete && r.Converged)
+		}
+		if !reflect.DeepEqual(r, again) {
+			return fmt.Errorf("epaxoschaos: two runs at seed %d are not bit-identical", o.Seed)
+		}
+		ex := chaos.ExplorerOpts{Scenarios: 3, Allow: chaos.EPaxosPalette()}
+		results := harness.ExploreScenarios(o, ex)
+		rerun := harness.ExploreScenarios(o, ex)
+		for i, er := range results {
+			det := reflect.DeepEqual(er, rerun[i])
+			printEPaxosChaos(fmt.Sprintf("explore/%d", i), er, det, benchfmt)
+			if er.Unrecovered != 0 || !er.Linearizable || !(er.AllComplete && er.Converged) || !det {
+				return fmt.Errorf("epaxoschaos explore/%d: unrecovered=%d lin=%v recovered=%v deterministic=%v",
+					i, er.Unrecovered, er.Linearizable, er.AllComplete && er.Converged, det)
+			}
+		}
+	case "epaxoswan":
+		// EPaxos on the Figure-9 deployment under region faults: a
+		// minority region loses its WAN uplinks (its clients marooned with
+		// it), then one WAN path degrades with loss and reordering. The
+		// commit-floor gossip must converge the marooned replicas after
+		// the heal. The offered load is a third of the Paxos-family WAN
+		// suite's: every EPaxos commit pays a seven-member quorum across
+		// the WAN, so the Figure-9 closed-loop client fleet would swamp it
+		// and the scripts could never drain.
+		o := harness.WANScenario(harness.EPaxos, 9, 24, 10, suite.Seed)
+		at := o.Warmup + 300*time.Millisecond
+		cut := chaos.RegionCut(config.ZoneOregon, at, 600*time.Millisecond)
+		printRegions("cut-minority", harness.RunScenario(o, cut), benchfmt)
+		deg := chaos.DegradeWANPair(config.ZoneVirginia, config.ZoneCalifornia,
+			netsim.LinkFaults{Loss: 0.05, Reorder: 0.1, ReorderWindow: 2 * time.Millisecond},
+			at, 800*time.Millisecond)
+		printRegions("wan-degrade", harness.RunScenario(o, deg), benchfmt)
 	case "faultcurve":
 		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
 			o := scenarioBase(p, suite)
@@ -275,7 +352,7 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 			}
 		}
 	default:
-		return fmt.Errorf("unknown -scenario %q (want leader, relay, explore, faultcurve, wan, regionpartition, placement, or wanexplore)", name)
+		return fmt.Errorf("unknown -scenario %q (want leader, relay, explore, faultcurve, epaxoschaos, wan, regionpartition, placement, wanexplore, or epaxoswan)", name)
 	}
 	return nil
 }

@@ -14,10 +14,13 @@ import (
 	"pigpaxos/internal/quorum"
 )
 
-// Palette selects which fault families the explorer may draw. Protocols
-// differ in what they tolerate by design: EPaxos (no retransmits, no
-// explicit-prepare recovery) gets reorder-only palettes, the Paxos family
-// takes everything.
+// Palette selects which fault families the explorer may draw. Every
+// protocol in the repository now carries full recovery machinery (the Paxos
+// family's retransmits and elections, EPaxos' Explicit Prepare recovery,
+// retransmit sweep, and at-most-once sessions), so all of them take
+// crashes, partitions, loss and duplication; palettes still differ where a
+// fault family has no meaning for a protocol (relay crashes exist only in
+// PigPaxos, placement flips only where there is a leader to move).
 type Palette struct {
 	Crashes     bool // follower crash/recover windows
 	LeaderCrash bool // dynamic current-leader crashes
@@ -56,9 +59,18 @@ func WANPalette() Palette {
 	}
 }
 
-// GentlePalette allows only faults every protocol in the repository
-// tolerates without retransmission or recovery machinery: message
-// reordering and sluggish nodes.
+// EPaxosPalette is the full LAN palette minus relay crashes (EPaxos has no
+// relays): command-leader crashes land on Explicit Prepare recovery, link
+// loss on the retransmit sweep, duplication on the session table.
+func EPaxosPalette() Palette {
+	p := FullPalette()
+	p.RelayCrash = false
+	return p
+}
+
+// GentlePalette allows only faults a protocol with no retransmission or
+// recovery machinery would tolerate: message reordering and sluggish nodes.
+// Kept for ablations (e.g. running EPaxos with its sweep disabled).
 func GentlePalette() Palette {
 	return Palette{LinkReorder: true, Sluggish: true}
 }

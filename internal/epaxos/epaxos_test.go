@@ -56,6 +56,13 @@ func newCluster(t *testing.T, n int, mut func(*Config)) *cluster {
 	cl := &testClient{}
 	cl.ep = net.Register(ids.NewID(999, 1), cl, true)
 	tc.client = cl
+	// Start replicas in membership order, as the harness does: Start arms
+	// the retransmit/recovery sweep.
+	sim.Schedule(0, func() {
+		for _, id := range cc.Nodes {
+			tc.replicas[id].Start()
+		}
+	})
 	return tc
 }
 

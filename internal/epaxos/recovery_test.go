@@ -1,0 +1,308 @@
+package epaxos
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/netsim"
+	"pigpaxos/internal/wire"
+)
+
+// assertLiveConverged asserts that every live (non-crashed) replica ended
+// with the same store contents and no unexecuted instances.
+func assertLiveConverged(t *testing.T, tc *cluster, skip map[ids.ID]bool) {
+	t.Helper()
+	var want uint64
+	var wantApplied uint64
+	first := true
+	for _, id := range tc.cfg.Nodes {
+		if skip[id] {
+			continue
+		}
+		r := tc.replicas[id]
+		if first {
+			want, wantApplied, first = r.Store().Checksum(), r.Store().Applied(), false
+			continue
+		}
+		if r.Store().Checksum() != want || r.Store().Applied() != wantApplied {
+			t.Errorf("%v diverged: applied %d (want %d)", id, r.Store().Applied(), wantApplied)
+		}
+	}
+	for _, id := range tc.cfg.Nodes {
+		if skip[id] {
+			continue
+		}
+		if n := tc.replicas[id].Unexecuted(); n != 0 {
+			t.Errorf("%v left %d unexecuted instances", id, n)
+		}
+	}
+}
+
+// Command-leader crash mid-pre-accept: the leader fans out PreAccepts and
+// dies before processing a single reply. The client retries at another
+// replica; the orphaned instance is finished by Explicit Prepare (the
+// retry's dependency blocks on it), and the session table keeps the retried
+// command at-most-once.
+func TestRecoveryLeaderCrashMidPreAccept(t *testing.T) {
+	tc := newCluster(t, 5, nil)
+	leader := tc.cfg.Nodes[0]
+	// The request reaches the leader at ~0 and PreAccepts fan out
+	// immediately; replies need a full round trip, so a crash at 400µs
+	// lands between the fan-out and the first reply.
+	cmd := kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("orig"), ClientID: 1, Seq: 1}
+	tc.send(0, leader, cmd)
+	tc.sim.Schedule(400*time.Microsecond, func() { tc.net.Crash(leader) })
+	// Client retry to the next replica after silence.
+	tc.send(100*time.Millisecond, tc.cfg.Nodes[1], cmd)
+	tc.sim.Run(2 * time.Second)
+
+	if len(tc.client.replies) == 0 {
+		t.Fatal("retried command was never acknowledged")
+	}
+	for _, rep := range tc.client.replies {
+		if !rep.OK || rep.Seq != 1 {
+			t.Errorf("bad reply: %+v", rep)
+		}
+	}
+	skip := map[ids.ID]bool{leader: true}
+	assertLiveConverged(t, tc, skip)
+	// The write must have been applied exactly once on the survivors.
+	for _, id := range tc.cfg.Nodes[1:] {
+		if v, ok := tc.replicas[id].Store().Get(1); !ok || string(v) != "orig" {
+			t.Errorf("%v: key 1 = %q, want \"orig\"", id, v)
+		}
+		if a := tc.replicas[id].Store().Applied(); a != 1 {
+			t.Errorf("%v applied %d commands, want exactly 1 (at-most-once)", id, a)
+		}
+	}
+	rec := uint64(0)
+	for _, id := range tc.cfg.Nodes[1:] {
+		rec += tc.replicas[id].Stats().Recoveries
+	}
+	if rec == 0 {
+		t.Error("no Explicit Prepare recovery ran")
+	}
+}
+
+// Command-leader crash mid-accept (slow path): replicas hold an accepted
+// value when the leader dies. Recovery must finish the instance with
+// exactly that value — the classic highest-accept-ballot rule.
+func TestRecoveryLeaderCrashMidAccept(t *testing.T) {
+	tc := newCluster(t, 5, nil)
+	dead := tc.cfg.Nodes[4]
+	ref := wire.InstRef{Replica: dead, Slot: 1}
+	cmd := kvstore.Command{Op: kvstore.Put, Key: 9, Value: []byte("accepted"), ClientID: 7, Seq: 1}
+	// The (about to die) command leader got far enough to place Accepts at
+	// two replicas, then crashed before committing.
+	tc.sim.Schedule(0, func() {
+		acc := wire.Accept{Ballot: ids.NewBallot(0, dead), Inst: ref, Cmd: cmd, Seq: 3}
+		tc.replicas[tc.cfg.Nodes[0]].OnMessage(dead, acc)
+		tc.replicas[tc.cfg.Nodes[1]].OnMessage(dead, acc)
+		tc.net.Crash(dead)
+	})
+	// An interfering command commits and blocks on the accepted instance,
+	// driving recovery.
+	tc.send(5*time.Millisecond, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 9, Value: []byte("later"), ClientID: 7, Seq: 2})
+	tc.sim.Run(2 * time.Second)
+
+	skip := map[ids.ID]bool{dead: true}
+	assertLiveConverged(t, tc, skip)
+	r0 := tc.replicas[tc.cfg.Nodes[0]]
+	if a := r0.Store().Applied(); a != 2 {
+		t.Fatalf("applied %d, want 2 (accepted value recovered + dependent)", a)
+	}
+	// The accepted write (seq 3) must order before the dependent (higher
+	// seq), leaving "later" as the final value — and the accepted value
+	// must have been applied, not replaced by a no-op.
+	if v, _ := r0.Store().Get(9); string(v) != "later" {
+		t.Errorf("final value %q, want \"later\"", v)
+	}
+	noops := uint64(0)
+	for _, id := range tc.cfg.Nodes[:4] {
+		noops += tc.replicas[id].Stats().Noops
+	}
+	if noops != 0 {
+		t.Errorf("recovery replaced an accepted value with %d no-ops", noops)
+	}
+}
+
+// A command leader that crashes before any PreAccept escapes leaves an
+// instance nobody else knows. Recovery must anchor it as a no-op so
+// dependents execute, not wait forever.
+func TestRecoveryNoopWhenNobodyKnows(t *testing.T) {
+	tc := newCluster(t, 3, nil)
+	r := tc.replicas[tc.cfg.Nodes[0]]
+	ghost := wire.InstRef{Replica: tc.cfg.Nodes[2], Slot: 1}
+	tc.sim.Schedule(0, func() {
+		// A committed instance depending on a ghost instance that exists
+		// nowhere (its would-be owner never sent a thing and stays dead).
+		tc.net.Crash(tc.cfg.Nodes[2])
+		r.OnMessage(tc.cfg.Nodes[1], wire.Commit{
+			Inst: wire.InstRef{Replica: tc.cfg.Nodes[1], Slot: 1},
+			Cmd:  kvstore.Command{Op: kvstore.Put, Key: 3, Value: []byte("x"), ClientID: 1, Seq: 1},
+			Seq:  2,
+			Deps: []wire.InstRef{ghost},
+		})
+	})
+	tc.sim.Run(2 * time.Second)
+	if r.Store().Applied() != 1 {
+		t.Fatalf("dependent never executed (applied=%d): no-op recovery failed", r.Store().Applied())
+	}
+	if r.Stats().Noops == 0 {
+		t.Error("ghost instance was not anchored as a no-op")
+	}
+	if n := r.Unexecuted(); n != 0 {
+		t.Errorf("%d instances left unexecuted", n)
+	}
+}
+
+// A replica cut off while a commit goes out misses it; the committed-floor
+// gossip plus Explicit Prepare teach it back after the link heals.
+func TestRecoveryLostCommitTeachBack(t *testing.T) {
+	tc := newCluster(t, 5, nil)
+	straggler := tc.cfg.Nodes[4]
+	// Total loss toward the straggler while the command commits.
+	tc.sim.Schedule(0, func() {
+		for _, id := range tc.cfg.Nodes[:4] {
+			tc.net.SetLinkFaults(id, straggler, netsim.LinkFaults{Loss: 1})
+		}
+	})
+	tc.send(time.Millisecond, tc.cfg.Nodes[0], kvstore.Command{Op: kvstore.Put, Key: 5, Value: []byte("v"), ClientID: 1, Seq: 1})
+	tc.sim.Schedule(100*time.Millisecond, func() { tc.net.ClearLinkFaults() })
+	tc.sim.Run(2 * time.Second)
+
+	if len(tc.client.replies) != 1 || !tc.client.replies[0].OK {
+		t.Fatalf("replies: %+v", tc.client.replies)
+	}
+	assertLiveConverged(t, tc, nil)
+	if v, ok := tc.replicas[straggler].Store().Get(5); !ok || string(v) != "v" {
+		t.Errorf("straggler never learned the committed write (got %q)", v)
+	}
+}
+
+// A duplicated client retry through a second command leader commits a
+// second instance; the replicated session table suppresses the second
+// execution on every replica and re-serves the cached reply.
+func TestSessionDuplicateRetrySecondLeader(t *testing.T) {
+	tc := newCluster(t, 5, nil)
+	cmd := kvstore.Command{Op: kvstore.Put, Key: 2, Value: []byte("once"), ClientID: 9, Seq: 1}
+	tc.send(0, tc.cfg.Nodes[0], cmd)
+	tc.send(0, tc.cfg.Nodes[1], cmd) // concurrent retry at another leader
+	tc.sim.Run(time.Second)
+
+	if len(tc.client.replies) == 0 {
+		t.Fatal("no reply")
+	}
+	for _, rep := range tc.client.replies {
+		if !rep.OK || rep.Seq != 1 {
+			t.Errorf("bad reply: %+v", rep)
+		}
+	}
+	dups := uint64(0)
+	for _, id := range tc.cfg.Nodes {
+		r := tc.replicas[id]
+		if a := r.Store().Applied(); a != 1 {
+			t.Errorf("%v applied %d, want exactly 1", id, a)
+		}
+		dups += r.Stats().Duplicates
+	}
+	if dups == 0 {
+		t.Error("session table never deduplicated")
+	}
+	assertLiveConverged(t, tc, nil)
+}
+
+// A duplicated retry to the same command leader must refresh the route, not
+// open a second instance.
+func TestSessionDuplicateRetrySameLeader(t *testing.T) {
+	tc := newCluster(t, 5, nil)
+	cmd := kvstore.Command{Op: kvstore.Put, Key: 2, Value: []byte("once"), ClientID: 9, Seq: 1}
+	tc.send(0, tc.cfg.Nodes[0], cmd)
+	tc.send(100*time.Microsecond, tc.cfg.Nodes[0], cmd)
+	tc.sim.Run(time.Second)
+	r := tc.replicas[tc.cfg.Nodes[0]]
+	if r.Stats().Requests != 1 {
+		t.Errorf("retry to the same leader admitted %d instances, want 1", r.Stats().Requests)
+	}
+	if r.Stats().Duplicates == 0 {
+		t.Error("duplicate admission not counted")
+	}
+	if a := r.Store().Applied(); a != 1 {
+		t.Errorf("applied %d, want 1", a)
+	}
+}
+
+// An executed duplicate answered from the session cache: the retry arrives
+// after the original executed.
+func TestSessionCachedReplyAfterExecution(t *testing.T) {
+	tc := newCluster(t, 5, nil)
+	cmd := kvstore.Command{Op: kvstore.Put, Key: 2, Value: []byte("once"), ClientID: 9, Seq: 1}
+	tc.send(0, tc.cfg.Nodes[0], cmd)
+	tc.send(200*time.Millisecond, tc.cfg.Nodes[0], cmd) // long after execution
+	tc.sim.Run(time.Second)
+	if len(tc.client.replies) != 2 {
+		t.Fatalf("replies = %d, want 2 (original + cached)", len(tc.client.replies))
+	}
+	if a := tc.replicas[tc.cfg.Nodes[0]].Store().Applied(); a != 1 {
+		t.Errorf("applied %d, want 1", a)
+	}
+}
+
+// Probabilistic loss on every link: retransmits (not client retries — there
+// is no client retry here) must carry every instance to commit.
+func TestRetransmitsMaskLinkLoss(t *testing.T) {
+	tc := newCluster(t, 5, nil)
+	tc.sim.Schedule(0, func() {
+		// Replica-to-replica loss only: a lost client Request is the
+		// client retry's job, not the protocol's.
+		for _, a := range tc.cfg.Nodes {
+			for _, b := range tc.cfg.Nodes {
+				if a != b {
+					tc.net.SetLinkFaults(a, b, netsim.LinkFaults{Loss: 0.25})
+				}
+			}
+		}
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		tc.send(time.Duration(i)*10*time.Millisecond, tc.cfg.Nodes[i%5],
+			kvstore.Command{Op: kvstore.Put, Key: uint64(i), Value: []byte{byte(i)}, ClientID: 1, Seq: uint64(i + 1)})
+	}
+	tc.sim.Schedule(300*time.Millisecond, func() { tc.net.ClearLinkFaults() })
+	tc.sim.Run(3 * time.Second)
+	assertLiveConverged(t, tc, nil)
+	for _, id := range tc.cfg.Nodes {
+		if a := tc.replicas[id].Store().Applied(); a != n {
+			t.Errorf("%v applied %d, want %d", id, a, n)
+		}
+	}
+	retr := uint64(0)
+	for _, id := range tc.cfg.Nodes {
+		retr += tc.replicas[id].Stats().Retransmits
+	}
+	if retr == 0 {
+		t.Error("25%% loss produced zero retransmits — the sweep is not working")
+	}
+}
+
+// A recovered (restarted) command leader resumes its own stuck instances:
+// the sweep chain dies while crashed and must resurrect on first contact.
+func TestCrashedLeaderResumesAfterRecovery(t *testing.T) {
+	tc := newCluster(t, 5, nil)
+	leader := tc.cfg.Nodes[0]
+	cmd := kvstore.Command{Op: kvstore.Put, Key: 4, Value: []byte("w"), ClientID: 3, Seq: 1}
+	tc.send(0, leader, cmd)
+	// Crash after the PreAccept fan-out but before replies process; bring
+	// the leader back later with its state intact.
+	tc.sim.Schedule(400*time.Microsecond, func() { tc.net.Crash(leader) })
+	tc.sim.Schedule(500*time.Millisecond, func() { tc.net.Recover(leader) })
+	tc.sim.Run(3 * time.Second)
+	assertLiveConverged(t, tc, nil)
+	for _, id := range tc.cfg.Nodes {
+		if v, ok := tc.replicas[id].Store().Get(4); !ok || string(v) != "w" {
+			t.Errorf("%v: key 4 = %q, want \"w\"", id, v)
+		}
+	}
+}

@@ -50,11 +50,10 @@ type ScenarioOptions struct {
 	// to that floor.
 	ProbeKeys int
 	// ClientRetry is how long a client waits for a reply before re-sending
-	// its command to the next node (masking crashed leaders and lost
-	// messages; at-most-once session tables absorb the duplicates).
-	// Defaults to 120ms for Paxos and PigPaxos; EPaxos clients never retry
-	// (the implementation has no command dedup, so scenarios for it must
-	// avoid faults that eat messages — see chaos.GentlePalette).
+	// its command to the next live node in sorted ID order (masking
+	// crashed leaders — or crashed EPaxos command leaders — and lost
+	// messages; every protocol's replicated at-most-once session table
+	// absorbs the duplicates). Defaults to 120ms.
 	ClientRetry time.Duration
 	// ElectionTimeout arms follower elections so leader crashes actually
 	// fail over (default 150ms; ignored by EPaxos).
@@ -138,6 +137,11 @@ type ScenarioResult struct {
 	// Converged reports that every replica's state machine ended
 	// bit-identical (same checksum, same applied count).
 	Converged bool
+	// Unrecovered counts EPaxos instances left unexecuted across all
+	// replicas after the drain — zero when Explicit Prepare recovery
+	// finished every instance a fault orphaned (always zero for the
+	// Paxos family).
+	Unrecovered int
 
 	Messages  uint64
 	Delivered uint64
@@ -197,7 +201,7 @@ type scenClient struct {
 	ep      *netsim.Endpoint
 	targets []ids.ID
 	rr      int
-	retry   time.Duration // 0 disables retransmits (EPaxos)
+	retry   time.Duration // silence timeout before re-sending (0 disables)
 
 	script  []kvstore.Command
 	pos     int
@@ -359,8 +363,11 @@ type liveResolver struct {
 }
 
 // Leader implements chaos.Resolver: the first replica (membership order)
-// that believes it leads. EPaxos is leaderless — the zero ID makes the
-// injector skip leader-targeted actions.
+// that believes it leads. EPaxos is leaderless — every replica is command
+// leader for its own clients — so a leader-targeted fault resolves to the
+// first live replica in membership order: a deterministic "crash a command
+// leader mid-flight", which is exactly what Explicit Prepare recovery must
+// absorb.
 func (lr *liveResolver) Leader() ids.ID {
 	for _, id := range lr.cc.Nodes {
 		switch r := lr.replicas[id].(type) {
@@ -370,6 +377,10 @@ func (lr *liveResolver) Leader() ids.ID {
 			}
 		case *pigpaxos.Replica:
 			if r.Core().IsLeader() {
+				return id
+			}
+		case *epaxos.Replica:
+			if !lr.net.Crashed(id) {
 				return id
 			}
 		}
@@ -504,6 +515,17 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 		}
 	}
 
+	// EPaxos clients home round-robin over the membership in sorted ID
+	// order, so a dead home replica's pending requests move to the next
+	// live replica deterministically — sorted ID order, never map order.
+	// Leader-based protocols keep membership order, which starts at the
+	// initial leader.
+	targets := cc.Nodes
+	if opts.Protocol == EPaxos {
+		targets = append([]ids.ID(nil), cc.Nodes...)
+		ids.Sort(targets)
+	}
+
 	clients := make([]*scenClient, opts.Clients)
 	for i := 0; i < opts.Clients; i++ {
 		cl := &scenClient{
@@ -517,13 +539,14 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 			windowEnd: windowEnd,
 			retry:     opts.ClientRetry,
 			think:     opts.ThinkTime,
-			targets:   cc.Nodes,
+			targets:   targets,
 		}
 		if opts.Protocol == EPaxos {
-			// No session table in EPaxos: retransmits would re-execute.
-			// Chaos palettes for it avoid message loss instead.
-			cl.retry = 0
-			cl.rr = i % len(cc.Nodes)
+			// Every replica serves in EPaxos: home clients round-robin
+			// over the whole membership (§5.4's client model). Crashed
+			// homes are masked by the retry timer, duplicate admissions by
+			// the replicated session tables.
+			cl.rr = i % len(targets)
 		}
 		home := cc.ZoneOf(leader)
 		if zones != nil {
@@ -570,8 +593,31 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 		}
 		sim.Run(next)
 	}
-	// Converge tail: heartbeat watermarks and catch-up replies flush.
+	// Converge tail: heartbeat watermarks, catch-up replies and EPaxos
+	// commit-floor anti-entropy flush. Runs that are already converged
+	// after the fixed 500ms stop there (identical to the historical
+	// behavior); stragglers get extra slices while the recovery machinery
+	// — whose WAN-scale periods exceed half a second — finishes teaching
+	// them, bounded by an additional budget.
+	converged := func() bool {
+		first := stores[cc.Nodes[0]]
+		for _, id := range cc.Nodes[1:] {
+			st := stores[id]
+			if st.Checksum() != first.Checksum() || st.Applied() != first.Applied() {
+				return false
+			}
+		}
+		for _, id := range cc.Nodes {
+			if er, ok := replicas[id].(*epaxos.Replica); ok && er.Unexecuted() > 0 {
+				return false
+			}
+		}
+		return true
+	}
 	sim.Run(sim.Now() + 500*time.Millisecond)
+	for end := sim.Now() + 4*time.Second; sim.Now() < end && !converged(); {
+		sim.Run(sim.Now() + 250*time.Millisecond)
+	}
 
 	res := ScenarioResult{
 		Protocol:   opts.Protocol,
@@ -615,6 +661,11 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 		st := stores[id]
 		if st.Checksum() != first.Checksum() || st.Applied() != first.Applied() {
 			res.Converged = false
+		}
+	}
+	for _, id := range cc.Nodes {
+		if er, ok := replicas[id].(*epaxos.Replica); ok {
+			res.Unrecovered += er.Unexecuted()
 		}
 	}
 	lin := hist.Check()
@@ -670,8 +721,9 @@ func FaultCurve(opts ScenarioOptions, maxCrashes int) []FaultPoint {
 // ExploreScenarios generates ex.Scenarios random schedules (see
 // chaos.Explore) and runs each under opts, returning one result per
 // schedule. ex.Nodes is filled from the cluster when nil; the palette
-// defaults to chaos.GentlePalette for EPaxos (no retransmit/recovery
-// machinery) and everything-but-relay-crashes for Paxos.
+// defaults per protocol — the WAN region families on WAN clusters,
+// chaos.EPaxosPalette (everything but relay crashes) for EPaxos, and
+// everything-but-relay-crashes for Paxos.
 func ExploreScenarios(opts ScenarioOptions, ex chaos.ExplorerOpts) []ScenarioResult {
 	opts.applyDefaults()
 	wan := opts.WAN || opts.WANLossy
@@ -686,12 +738,18 @@ func ExploreScenarios(opts ScenarioOptions, ex chaos.ExplorerOpts) []ScenarioRes
 	}
 	if ex.Allow == (chaos.Palette{}) {
 		switch {
-		case opts.Protocol == EPaxos:
-			ex.Allow = chaos.GentlePalette()
 		case wan:
-			// Region faults for the Paxos family; EPaxos (above) never
-			// tolerates them.
+			// Region faults for every protocol; EPaxos is leaderless, so
+			// placement flips have nobody to move.
 			ex.Allow = chaos.WANPalette()
+			if opts.Protocol == EPaxos {
+				ex.Allow.PlacementFlip = false
+			}
+		case opts.Protocol == EPaxos:
+			// Full LAN palette minus relay crashes: Explicit Prepare
+			// recovery, the retransmit sweep and the session tables take
+			// crashes, partitions, loss and duplication.
+			ex.Allow = chaos.EPaxosPalette()
 		case opts.Protocol == Paxos:
 			ex.Allow = chaos.FullPalette()
 			ex.Allow.RelayCrash = false

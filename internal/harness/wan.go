@@ -8,6 +8,7 @@ package harness
 import (
 	"time"
 
+	"pigpaxos/internal/epaxos"
 	"pigpaxos/internal/netsim"
 	"pigpaxos/internal/paxos"
 	"pigpaxos/internal/pigpaxos"
@@ -56,6 +57,14 @@ func WANScenario(p Protocol, n, clientsPerRegion, opsPerClient int, seed int64) 
 		// the leader's re-fan-out deadline spans two WAN hops.
 		c.RelayTimeout = 50 * time.Millisecond
 		c.LeaderTimeout = 400 * time.Millisecond
+	}
+	o.MutEPaxos = func(c *epaxos.Config) {
+		// Retransmits and Explicit Prepare takeovers must sit above a
+		// loaded WAN commit round trip, or they fire on healthy slow
+		// paths and churn ballots.
+		c.RetryTimeout = 400 * time.Millisecond
+		c.RecoverTimeout = 800 * time.Millisecond
+		c.SweepInterval = 100 * time.Millisecond
 	}
 	return o
 }

@@ -45,6 +45,10 @@ func sampleMsgs() []Msg {
 		Accept{Ballot: b, Inst: InstRef{Replica: id1, Slot: 3}, Cmd: sampleCmd(), Seq: 4},
 		AcceptReply{Inst: InstRef{Replica: id1, Slot: 3}, From: id2, OK: false, Ballot: b},
 		Commit{Inst: InstRef{Replica: id1, Slot: 3}, Cmd: sampleCmd(), Seq: 4, Deps: []InstRef{{Replica: id2, Slot: 9}}},
+		Prepare{Ballot: b, Inst: InstRef{Replica: id1, Slot: 3}},
+		PrepareReply{Inst: InstRef{Replica: id1, Slot: 3}, From: id2, OK: true, Ballot: b,
+			Status: InstAccepted, VBallot: b, Cmd: sampleCmd(), Seq: 4, Deps: []InstRef{{Replica: id2, Slot: 9}}},
+		PrepareReply{Inst: InstRef{Replica: id1, Slot: 4}, From: id2, OK: false, Ballot: b},
 		QReadReq{Key: 8, RID: 99},
 		QReadReply{Key: 8, RID: 99, From: id1, Version: 3, Exists: true, Value: []byte("x")},
 		Heartbeat{Ballot: b, From: id1, Commit: 42},
@@ -130,6 +134,10 @@ func TestHotPathZeroAllocs(t *testing.T) {
 		P2b{Ballot: b, From: ids.NewID(1, 3), Slot: 123},
 		P3{Ballot: b, Slot: 123, Cmds: sampleBatch(16)},
 		AggP2b{Ballot: b, Relay: ids.NewID(1, 2), Slot: 123, Acks: []ids.ID{ids.NewID(1, 2), ids.NewID(1, 3), ids.NewID(1, 4)}, Partial: false},
+		Prepare{Ballot: b, Inst: InstRef{Replica: ids.NewID(1, 2), Slot: 77}},
+		PrepareReply{Inst: InstRef{Replica: ids.NewID(1, 2), Slot: 77}, From: ids.NewID(1, 3),
+			OK: true, Ballot: b, Status: InstPreAccepted, VBallot: b, Cmd: sampleCmd(), Seq: 9,
+			Deps: []InstRef{{Replica: ids.NewID(1, 4), Slot: 5}, {Replica: ids.NewID(1, 5), Slot: 2}}},
 	}
 	s := GetScratch()
 	defer PutScratch(s)

@@ -491,6 +491,74 @@ func (m Commit) append(b []byte) []byte {
 	return putInstRefs(b, m.Deps)
 }
 
+// Instance status values carried in PrepareReply: how far the replying
+// replica's copy of the instance has progressed. The epaxos package maps
+// them to its internal state machine; executed instances report committed
+// (execution is local bookkeeping, not protocol state).
+const (
+	InstNone uint8 = iota
+	InstPreAccepted
+	InstAccepted
+	InstCommitted
+)
+
+// Prepare opens Explicit Prepare recovery for an EPaxos instance whose
+// command leader is suspected dead: the sender bids to finish the instance
+// at Ballot, which must exceed every ballot the instance has seen.
+type Prepare struct {
+	Ballot ids.Ballot
+	Inst   InstRef
+}
+
+// Type implements Msg.
+func (Prepare) Type() Type { return TPrepare }
+
+// Size implements Msg.
+func (Prepare) Size() int { return szBallot + szInstRef }
+
+func (m Prepare) append(b []byte) []byte {
+	b = putU64(b, uint64(m.Ballot))
+	return putInstRef(b, m.Inst)
+}
+
+// PrepareReply reports a replica's knowledge of an instance to a recovery
+// leader. With OK true, Ballot echoes the Prepare ballot and Status/VBallot/
+// Cmd/Seq/Deps describe the replica's copy (VBallot is the ballot the copy
+// was pre-accepted or accepted at). With OK false, Ballot carries the higher
+// ballot that blocked the bid.
+type PrepareReply struct {
+	Inst    InstRef
+	From    ids.ID
+	OK      bool
+	Ballot  ids.Ballot
+	Status  uint8
+	VBallot ids.Ballot
+	Cmd     kvstore.Command
+	Seq     uint64
+	Deps    []InstRef
+}
+
+// Type implements Msg.
+func (PrepareReply) Type() Type { return TPrepareReply }
+
+// Size implements Msg.
+func (m PrepareReply) Size() int {
+	return szInstRef + szID + szBool + szBallot + 1 + szBallot +
+		szCmd(m.Cmd) + szU64 + szInstRefs(m.Deps)
+}
+
+func (m PrepareReply) append(b []byte) []byte {
+	b = putInstRef(b, m.Inst)
+	b = putU32(b, uint32(m.From))
+	b = putBool(b, m.OK)
+	b = putU64(b, uint64(m.Ballot))
+	b = append(b, m.Status)
+	b = putU64(b, uint64(m.VBallot))
+	b = putCmd(b, m.Cmd)
+	b = putU64(b, m.Seq)
+	return putInstRefs(b, m.Deps)
+}
+
 // ------------------------------------------------------------------- pqr --
 
 // QReadReq asks a replica for its local version of a key (Paxos Quorum
@@ -671,6 +739,26 @@ func init() {
 	}
 	decoders[TCommit] = func(r *reader) Msg {
 		return Commit{Inst: r.instRef(), Cmd: r.cmd(), Seq: r.u64(), Deps: r.instRefs()}
+	}
+	decoders[TPrepare] = func(r *reader) Msg {
+		m := Prepare{Ballot: r.ballot(), Inst: r.instRef()}
+		if s := r.scratch; s != nil {
+			s.prepare = m
+			return &s.prepare
+		}
+		return m
+	}
+	decoders[TPrepareReply] = func(r *reader) Msg {
+		m := PrepareReply{
+			Inst: r.instRef(), From: r.id(), OK: r.boolean(), Ballot: r.ballot(),
+			Status: r.u8(), VBallot: r.ballot(), Cmd: r.cmd(), Seq: r.u64(),
+			Deps: r.instRefs(),
+		}
+		if s := r.scratch; s != nil {
+			s.prepareReply = m
+			return &s.prepareReply
+		}
+		return m
 	}
 	decoders[TQReadReq] = func(r *reader) Msg {
 		return QReadReq{Key: r.u64(), RID: r.u64()}

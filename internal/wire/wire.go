@@ -54,6 +54,8 @@ const (
 	TCatchupReq
 	TCatchupReply
 	THeartbeatAck
+	TPrepare
+	TPrepareReply
 	maxType
 )
 
@@ -70,6 +72,7 @@ var typeNames = [maxType]string{
 	THeartbeat:  "Heartbeat",
 	TCatchupReq: "CatchupReq", TCatchupReply: "CatchupReply",
 	THeartbeatAck: "HeartbeatAck",
+	TPrepare:      "Prepare", TPrepareReply: "PrepareReply",
 }
 
 // String implements fmt.Stringer.
@@ -141,9 +144,9 @@ func Decode(data []byte) (Msg, int, error) {
 // DecodeInto is Decode with a reusable Scratch arena: command batches, ID
 // lists, slot entries and byte strings in the returned message are carved
 // out of s instead of allocated, and the hottest message kinds (P1a, P2a,
-// P2b, P3, AggP2b, Heartbeat, HeartbeatAck, Request, Reply) are returned as
-// pointers into s rather than freshly boxed values. Steady state it
-// performs zero allocations.
+// P2b, P3, AggP2b, Heartbeat, HeartbeatAck, Request, Reply, Prepare,
+// PrepareReply) are returned as pointers into s rather than freshly boxed
+// values. Steady state it performs zero allocations.
 //
 // Everything reachable from the returned Msg is owned by s: it remains
 // valid only until the next DecodeInto on the same Scratch that reuses the
@@ -206,6 +209,8 @@ type Scratch struct {
 	heartbeatAck HeartbeatAck
 	request      Request
 	reply        Reply
+	prepare      Prepare
+	prepareReply PrepareReply
 
 	// Growable arenas for variable-length message contents.
 	cmds    []kvstore.Command
@@ -331,6 +336,16 @@ func (r *reader) u64() uint64 {
 	}
 	v := binary.LittleEndian.Uint64(r.b[r.off:])
 	r.off += 8
+	return v
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
 	return v
 }
 

@@ -28,6 +28,8 @@ import (
 	"pigpaxos/internal/config"
 	"pigpaxos/internal/harness"
 	"pigpaxos/internal/netsim"
+	"pigpaxos/internal/shard"
+	"pigpaxos/internal/workload"
 )
 
 func main() {
@@ -36,7 +38,7 @@ func main() {
 		table    = flag.Int("table", 0, "table number to regenerate (1-2)")
 		util     = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
 		batch    = flag.Bool("batch", false, "run the leader-batching sweep (batch size × protocol)")
-		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve | epaxoschaos | wan | regionpartition | placement | wanexplore | epaxoswan")
+		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve | epaxoschaos | wan | regionpartition | placement | wanexplore | epaxoswan | shard")
 		benchfmt = flag.Bool("benchfmt", false, "emit scenario results as go-bench lines (pipe into cmd/benchjson)")
 		all      = flag.Bool("all", false, "run every figure and table")
 		quick    = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
@@ -208,6 +210,62 @@ func printRegions(name string, r harness.ScenarioResult, benchfmt bool) {
 	}
 }
 
+// shardBase configures the shared sharded cluster: 12 nodes (so four
+// 3-member groups tile the membership disjointly) under 48 closed-loop
+// clients — the aggregate client count every shard-count point shares.
+func shardBase(p harness.Protocol, suite harness.Suite) harness.ShardedOptions {
+	o := harness.ShardedOptions{}
+	o.Protocol = p
+	o.N = 12
+	o.Clients = 48
+	o.Warmup = suite.Warmup
+	o.Measure = suite.Measure
+	o.Seed = suite.Seed
+	return o
+}
+
+// printShardSweep renders one scaling curve: aggregate throughput, speedup
+// over S=1, latency, and the busiest shard's ack share (the hot-shard
+// signal under a zipfian workload).
+func printShardSweep(p harness.Protocol, dist workload.Distribution, pts []harness.ShardPoint, benchfmt bool) {
+	for _, pt := range pts {
+		if benchfmt {
+			fmt.Printf("BenchmarkShardSweep/%s/%s/S%d 1 %.0f req/s %.3f speedup %.3f mean-ms %.3f p99-ms %.3f hot-share\n",
+				p, dist, pt.Shards, pt.Throughput, pt.Speedup, pt.MeanLatMs, pt.P99Ms, pt.HotShardShare)
+			continue
+		}
+		fmt.Printf("%-10s %-8s S=%d tput=%-8.0f speedup=%-6.2f mean=%-8.3fms p99=%-8.3fms hot-share=%.2f\n",
+			p, dist, pt.Shards, pt.Throughput, pt.Speedup, pt.MeanLatMs, pt.P99Ms, pt.HotShardShare)
+	}
+}
+
+// printShardScenario renders one sharded chaos result with its per-shard
+// availability slices and the blast-radius verdict.
+func printShardScenario(name string, r harness.ShardedScenarioResult, untouchedStalls int, deterministic, benchfmt bool) {
+	if benchfmt {
+		fmt.Printf("BenchmarkShardScenario/%s/%s 1 %.0f req/s %.3f p99-ms %d acked %d linearizable %d recovered %d untouched-stalls %d deterministic\n",
+			r.Protocol, name, r.Throughput,
+			float64(r.Latency.P99.Microseconds())/1000,
+			r.Acked, b2i(r.Linearizable), b2i(r.AllComplete && r.Converged),
+			untouchedStalls, b2i(deterministic))
+		for _, sl := range r.PerShard {
+			fmt.Printf("BenchmarkShardScenario/%s/%s/shard%d 1 %d acked %.3f avail-gap-ms %d stalls\n",
+				r.Protocol, name, sl.Shard, sl.Acked,
+				float64(sl.AvailabilityGap.Microseconds())/1000, sl.Stalls)
+		}
+		return
+	}
+	fmt.Printf("%-10s %-18s acked=%-5d lin=%v recovered=%v untouched-stalls=%d deterministic=%v\n",
+		r.Protocol, name, r.Acked, r.Linearizable, r.AllComplete && r.Converged,
+		untouchedStalls, deterministic)
+	for _, sl := range r.PerShard {
+		fmt.Printf("    shard %d: acked=%-5d gap=%-12v stalls=%d\n", sl.Shard, sl.Acked, sl.AvailabilityGap, sl.Stalls)
+	}
+	for _, a := range r.FaultLog {
+		fmt.Printf("    fault: %v\n", a)
+	}
+}
+
 // runScenarios executes the named chaos suite.
 func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 	switch name {
@@ -327,6 +385,67 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 			netsim.LinkFaults{Loss: 0.05, Reorder: 0.1, ReorderWindow: 2 * time.Millisecond},
 			at, 800*time.Millisecond)
 		printRegions("wan-degrade", harness.RunScenario(o, deg), benchfmt)
+	case "shard":
+		// Horizontal scaling: the key space partitioned across S independent
+		// consensus groups at equal aggregate client count, S ∈ {1,2,4,8},
+		// uniform and zipfian keys, for both leader-based protocols. Gated
+		// on the sharding layer's acceptance bar: ≥3× aggregate throughput
+		// at S=4 under uniform keys.
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
+			for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipfian} {
+				o := shardBase(p, suite)
+				o.Workload = workload.Config{Dist: dist}
+				pts := harness.ShardSweep(o, harness.DefaultShardSweep)
+				printShardSweep(p, dist, pts, benchfmt)
+				if dist != workload.Uniform {
+					continue
+				}
+				for _, pt := range pts {
+					if pt.Shards == 4 && pt.Speedup < 3 {
+						return fmt.Errorf("shard: %s S=4 speedup %.2f× under uniform keys, want ≥3×", p, pt.Speedup)
+					}
+				}
+			}
+		}
+		// Blast radius under chaos: crash shard 0's leader mid-window; the
+		// cross-shard history must stay linearizable, every script must
+		// drain, shards the victim does not replicate must record zero
+		// stalls, and two runs at one seed must be bit-identical.
+		o := shardBase(harness.PigPaxos, suite)
+		o.Shards = 4
+		o.Clients = 16
+		o.OpsPerClient = 24
+		if suite.Measure < 2*time.Second {
+			o.Measure = 2 * time.Second
+		}
+		sched := chaos.ShardLeaderCrash(0, o.Warmup+o.Measure/4, o.Measure/2)
+		r := harness.RunShardedScenario(o, sched)
+		again := harness.RunShardedScenario(o, sched)
+		det := reflect.DeepEqual(r, again)
+		if len(r.FaultLog) == 0 || r.FaultLog[0].Kind != chaos.CrashShardLeader {
+			return fmt.Errorf("shard: no shard-leader crash in the fault log: %v", r.FaultLog)
+		}
+		touched := map[int]bool{}
+		plan := shard.Plan(config.NewLAN(o.N), o.Shards, 0)
+		for _, k := range plan.ShardsOn(r.FaultLog[0].Target) {
+			touched[k] = true
+		}
+		untouchedStalls := 0
+		for _, sl := range r.PerShard {
+			if !touched[sl.Shard] {
+				untouchedStalls += sl.Stalls
+			}
+		}
+		printShardScenario("leader-crash", r, untouchedStalls, det, benchfmt)
+		if !r.Linearizable || !(r.AllComplete && r.Converged) {
+			return fmt.Errorf("shard: lin=%v recovered=%v", r.Linearizable, r.AllComplete && r.Converged)
+		}
+		if untouchedStalls != 0 {
+			return fmt.Errorf("shard: %d stalls on shards the victim does not replicate — blast radius escaped", untouchedStalls)
+		}
+		if !det {
+			return fmt.Errorf("shard: two runs at seed %d are not bit-identical", o.Seed)
+		}
 	case "faultcurve":
 		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
 			o := scenarioBase(p, suite)
@@ -352,7 +471,7 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 			}
 		}
 	default:
-		return fmt.Errorf("unknown -scenario %q (want leader, relay, explore, faultcurve, epaxoschaos, wan, regionpartition, placement, wanexplore, or epaxoswan)", name)
+		return fmt.Errorf("unknown -scenario %q (want leader, relay, explore, faultcurve, epaxoschaos, wan, regionpartition, placement, wanexplore, epaxoswan, or shard)", name)
 	}
 	return nil
 }

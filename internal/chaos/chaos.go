@@ -71,6 +71,17 @@ const (
 	// leader into a target region the way operators re-place leaders for
 	// locality. Not a fault: nothing needs healing.
 	LeaderPlacementFlip
+	// CrashShardLeader crashes whichever node currently leads consensus
+	// group Shard (resolved at fire time via the ShardResolver extension);
+	// Duration > 0 schedules the victim's recovery. The sharded scenario
+	// harness asserts the blast radius stays inside the shards the victim
+	// replicates.
+	CrashShardLeader
+	// ShardPlacementFlip forces a live member of consensus group Shard in
+	// zone Zone to campaign for that shard's leadership (resolved via the
+	// ShardPlacer extension) — the per-shard migration primitive. Not a
+	// fault: nothing needs healing.
+	ShardPlacementFlip
 )
 
 // String implements fmt.Stringer.
@@ -102,6 +113,10 @@ func (k Kind) String() string {
 		return "crash-region"
 	case LeaderPlacementFlip:
 		return "placement-flip"
+	case CrashShardLeader:
+		return "crash-shard-leader"
+	case ShardPlacementFlip:
+		return "shard-placement-flip"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -123,8 +138,13 @@ type Action struct {
 	// Factor is the Sluggish CPU multiplier.
 	Factor float64
 	// Zone targets RegionPartition/CrashRegion/LeaderPlacementFlip; with
-	// ZoneB it names WANDegrade's zone pair.
+	// ZoneB it names WANDegrade's zone pair. ShardPlacementFlip pairs it
+	// with Shard.
 	Zone, ZoneB int
+	// Shard targets CrashShardLeader/ShardPlacementFlip: the consensus
+	// group whose leadership the action manipulates. Distinct kinds keep
+	// shard 0 (a valid index) unambiguous from the zero value here.
+	Shard int
 	// Duration, when positive, makes the fault self-healing: crashes
 	// recover, partitions heal, link faults clear, sluggish nodes recover
 	// this long after the action fires.
@@ -187,6 +207,22 @@ type Placer interface {
 	CampaignFrom(zone int) ids.ID
 }
 
+// ShardResolver is an optional Resolver extension for sharded deployments:
+// it reports the current leader of one consensus group (zero if unknown —
+// the injector then skips the action, deterministically).
+type ShardResolver interface {
+	ShardLeader(shard int) ids.ID
+}
+
+// ShardPlacer is an optional Resolver extension for per-shard placement:
+// it forces a live member of the given shard in the given zone to bid for
+// that shard's leadership and reports who campaigned (zero when no such
+// member is live — the action is then skipped, deterministically). Zone 0
+// means "any zone": the resolver picks its preferred standby.
+type ShardPlacer interface {
+	CampaignShardFrom(shard, zone int) ids.ID
+}
+
 // StaticResolver is a Resolver with fixed answers (tests, leaderless
 // protocols).
 type StaticResolver struct {
@@ -212,11 +248,16 @@ type Applied struct {
 	Kind   Kind
 	Target ids.ID // resolved victim (zero for partition/heal/clear)
 	Zone   int    // targeted region, for region-level actions (0 otherwise)
+	Shard  int    // targeted consensus group for shard-level actions, -1 otherwise
 }
 
 // String implements fmt.Stringer.
 func (a Applied) String() string {
 	switch {
+	case a.Shard >= 0 && !a.Target.IsZero():
+		return fmt.Sprintf("%v(shard %d → %v)@%v", a.Kind, a.Shard, a.Target, a.At)
+	case a.Shard >= 0:
+		return fmt.Sprintf("%v(shard %d)@%v", a.Kind, a.Shard, a.At)
 	case a.Zone != 0 && !a.Target.IsZero():
 		return fmt.Sprintf("%v(zone %d → %v)@%v", a.Kind, a.Zone, a.Target, a.At)
 	case a.Zone != 0:
@@ -258,12 +299,17 @@ func (in *Injector) Log() []Applied { return in.log }
 
 // note records an executed action.
 func (in *Injector) note(k Kind, target ids.ID) {
-	in.log = append(in.log, Applied{At: in.sim.Now(), Kind: k, Target: target})
+	in.log = append(in.log, Applied{At: in.sim.Now(), Kind: k, Target: target, Shard: -1})
 }
 
 // noteZone records an executed region-level action.
 func (in *Injector) noteZone(k Kind, zone int, target ids.ID) {
-	in.log = append(in.log, Applied{At: in.sim.Now(), Kind: k, Target: target, Zone: zone})
+	in.log = append(in.log, Applied{At: in.sim.Now(), Kind: k, Target: target, Zone: zone, Shard: -1})
+}
+
+// noteShard records an executed shard-level action.
+func (in *Injector) noteShard(k Kind, shard int, target ids.ID) {
+	in.log = append(in.log, Applied{At: in.sim.Now(), Kind: k, Target: target, Shard: shard})
 }
 
 // crashFor crashes victim now and, when d > 0, schedules its recovery.
@@ -386,6 +432,29 @@ func (in *Injector) fire(ev Event) {
 				in.noteZone(LeaderPlacementFlip, a.Zone, id)
 			}
 		}
+	case CrashShardLeader:
+		var victim ids.ID
+		if sr, ok := in.res.(ShardResolver); ok {
+			victim = sr.ShardLeader(a.Shard)
+		}
+		if victim.IsZero() {
+			return // unresolvable target: skip, deterministically
+		}
+		in.net.Crash(victim)
+		in.noteShard(CrashShardLeader, a.Shard, victim)
+		if a.Duration > 0 {
+			shard := a.Shard
+			in.sim.Schedule(a.Duration, func() {
+				in.net.Recover(victim)
+				in.noteShard(Recover, shard, victim)
+			})
+		}
+	case ShardPlacementFlip:
+		if p, ok := in.res.(ShardPlacer); ok {
+			if id := p.CampaignShardFrom(a.Shard, a.Zone); !id.IsZero() {
+				in.noteShard(ShardPlacementFlip, a.Shard, id)
+			}
+		}
 	}
 }
 
@@ -461,6 +530,20 @@ func PlacementFlip(zone int, at time.Duration) Schedule {
 	return Schedule{{At: at, Action: Action{Kind: LeaderPlacementFlip, Zone: zone}}}
 }
 
+// ShardLeaderCrash scripts the sharded failover scenario: kill whichever
+// node leads consensus group shard at `at`, bringing it back downFor later.
+// Shards not replicated by the victim must keep committing throughout.
+func ShardLeaderCrash(shard int, at, downFor time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: CrashShardLeader, Shard: shard, Duration: downFor}}}
+}
+
+// ShardFlip forces a campaign for shard's leadership from zone at `at`
+// (zone 0 lets the resolver pick any live standby) — the per-shard
+// migration primitive.
+func ShardFlip(shard, zone int, at time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: ShardPlacementFlip, Shard: shard, Zone: zone}}}
+}
+
 // ------------------------------------------------------------- validation --
 
 // MaxSafeCrashes is the classical f: how many of n nodes may be down
@@ -486,7 +569,7 @@ func Validate(s Schedule, n int, healBy time.Duration) error {
 	for _, ev := range s {
 		a := ev.Action
 		switch a.Kind {
-		case Crash, CrashLeader, CrashRelay:
+		case Crash, CrashLeader, CrashRelay, CrashShardLeader:
 			end := ev.At + a.Duration
 			if a.Duration <= 0 {
 				if a.Kind != Crash {

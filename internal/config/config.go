@@ -23,6 +23,10 @@ type Cluster struct {
 	// Addrs maps node IDs to host:port addresses for the live TCP
 	// transport. Unused by the simulator.
 	Addrs map[ids.ID]string
+	// Shards is the number of independent consensus groups the key space
+	// is partitioned across. Zero and one both mean a single unsharded
+	// group; values above one enable shard-tagged wire routing.
+	Shards int
 }
 
 // LatencyModel yields the one-way delay between two zones.
@@ -187,6 +191,14 @@ func NewWAN3Lossy(n int) Cluster {
 // N returns the cluster size.
 func (c Cluster) N() int { return len(c.Nodes) }
 
+// ShardCount normalizes Shards: 0 (unset) and 1 both mean one group.
+func (c Cluster) ShardCount() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
 // ZoneOf returns the zone a node belongs to.
 func (c Cluster) ZoneOf(id ids.ID) int {
 	if c.Zones != nil {
@@ -277,6 +289,9 @@ func (c Cluster) Contains(id ids.ID) bool {
 func (c Cluster) Validate() error {
 	if len(c.Nodes) == 0 {
 		return fmt.Errorf("config: empty cluster")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("config: negative shard count %d", c.Shards)
 	}
 	seen := make(map[ids.ID]bool, len(c.Nodes))
 	for _, n := range c.Nodes {

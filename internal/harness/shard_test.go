@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pigpaxos/internal/chaos"
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/shard"
+	"pigpaxos/internal/workload"
+)
+
+// shardTestOpts is a short sharded run: 12 nodes so 4 shards tile the
+// membership disjointly.
+func shardTestOpts(p Protocol) ShardedOptions {
+	return ShardedOptions{
+		ScenarioOptions: ScenarioOptions{
+			Options: Options{
+				Protocol: p,
+				N:        12,
+				Clients:  48,
+				Warmup:   200 * time.Millisecond,
+				Measure:  time.Second,
+				Seed:     42,
+			},
+		},
+	}
+}
+
+// The tentpole acceptance bar: ≥3× aggregate throughput at S=4 vs S=1 at
+// equal aggregate client count.
+func TestShardSweepScalesNearLinearly(t *testing.T) {
+	for _, p := range []Protocol{Paxos, PigPaxos} {
+		pts := ShardSweep(shardTestOpts(p), []int{1, 4})
+		if len(pts) != 2 {
+			t.Fatalf("%v: sweep returned %d points", p, len(pts))
+		}
+		if pts[0].Throughput <= 0 {
+			t.Fatalf("%v: S=1 throughput %.0f", p, pts[0].Throughput)
+		}
+		if pts[1].Speedup < 3 {
+			t.Errorf("%v: S=4 speedup %.2f× (S=1 %.0f req/s, S=4 %.0f req/s), want ≥3×",
+				p, pts[1].Speedup, pts[0].Throughput, pts[1].Throughput)
+		}
+	}
+}
+
+// Uniform keys spread acks evenly; the zipfian option concentrates them on
+// a hot shard — the skew the sweep exists to expose.
+func TestShardedZipfianShowsHotShard(t *testing.T) {
+	uni := shardTestOpts(Paxos)
+	uni.Shards = 4
+	zipf := uni
+	zipf.Workload = workload.Config{Dist: workload.Zipfian, Theta: 0.99}
+
+	ru := RunSharded(uni)
+	rz := RunSharded(zipf)
+	share := func(r ShardedResult) float64 {
+		total, hot := 0, 0
+		for _, sl := range r.PerShard {
+			total += sl.Acked
+			if sl.Acked > hot {
+				hot = sl.Acked
+			}
+		}
+		return float64(hot) / float64(total)
+	}
+	us, zs := share(ru), share(rz)
+	if us > 0.40 {
+		t.Errorf("uniform hot-shard share %.2f, want ≈0.25", us)
+	}
+	if zs < us+0.10 {
+		t.Errorf("zipfian hot-shard share %.2f barely above uniform %.2f; skew not visible", zs, us)
+	}
+}
+
+// Satellite: per-key linearizability across shards under a leader crash in
+// one shard, and zero blast radius outside the shards the victim replicates.
+func TestShardedScenarioLeaderCrashIsolated(t *testing.T) {
+	opts := shardTestOpts(PigPaxos)
+	opts.Shards = 4
+	opts.Clients = 16
+	opts.OpsPerClient = 24
+	opts.Measure = 2 * time.Second
+	crashAt := opts.Warmup + opts.Measure/4
+	sched := chaos.ShardLeaderCrash(0, crashAt, opts.Measure/2)
+
+	r := RunShardedScenario(opts, sched)
+	if !r.Linearizable {
+		t.Fatalf("cross-shard history not linearizable (bad key %d)", r.LinBadKey)
+	}
+	if !r.AllComplete || !r.Converged {
+		t.Fatalf("recovery incomplete: complete=%v converged=%v", r.AllComplete, r.Converged)
+	}
+	if len(r.FaultLog) == 0 || r.FaultLog[0].Kind != chaos.CrashShardLeader {
+		t.Fatalf("fault log = %v, want a crash-shard-leader entry", r.FaultLog)
+	}
+	victim := r.FaultLog[0].Target
+	plan := shard.Plan(config.NewLAN(opts.N), opts.Shards, 0)
+	touched := map[int]bool{}
+	for _, k := range plan.ShardsOn(victim) {
+		touched[k] = true
+	}
+	if len(touched) == 0 {
+		t.Fatalf("victim %v replicates no shard?", victim)
+	}
+	for _, sl := range r.PerShard {
+		if touched[sl.Shard] {
+			continue
+		}
+		if sl.Stalls != 0 {
+			t.Errorf("shard %d (victim not a member) stalled %d times, gap %v — blast radius escaped",
+				sl.Shard, sl.Stalls, sl.AvailabilityGap)
+		}
+	}
+}
+
+// Satellite: sharded runs are a pure function of the seed — two runs at one
+// seed are bit-identical, field for field.
+func TestShardedScenarioDeterministic(t *testing.T) {
+	opts := shardTestOpts(Paxos)
+	opts.Shards = 4
+	opts.Clients = 12
+	opts.OpsPerClient = 18
+	sched := chaos.ShardLeaderCrash(1, opts.Warmup+250*time.Millisecond, 500*time.Millisecond)
+	a := RunShardedScenario(opts, sched)
+	b := RunShardedScenario(opts, sched)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	if a.Acked == 0 {
+		t.Fatal("determinism check ran an empty scenario")
+	}
+}
+
+// A faultless sharded scenario must behave like S independent healthy
+// clusters: linearizable, complete, converged, and stall-free everywhere.
+func TestShardedScenarioHealthy(t *testing.T) {
+	opts := shardTestOpts(Paxos)
+	opts.Shards = 2
+	opts.Clients = 10
+	opts.OpsPerClient = 15
+	r := RunShardedScenario(opts, nil)
+	if !r.Linearizable || !r.AllComplete || !r.Converged {
+		t.Fatalf("healthy run: lin=%v complete=%v converged=%v", r.Linearizable, r.AllComplete, r.Converged)
+	}
+	for _, sl := range r.PerShard {
+		if sl.Stalls != 0 {
+			t.Errorf("shard %d stalled %d times with no faults scheduled", sl.Shard, sl.Stalls)
+		}
+		if sl.Acked == 0 {
+			t.Errorf("shard %d served nothing; router imbalance?", sl.Shard)
+		}
+	}
+}
+
+// ShardPlacementFlip moves one shard's leader; the flip is not a fault and
+// the run must stay clean.
+func TestShardedScenarioPlacementFlip(t *testing.T) {
+	opts := shardTestOpts(Paxos)
+	opts.Shards = 2
+	opts.Clients = 10
+	opts.OpsPerClient = 15
+	opts.Measure = 2 * time.Second
+	sched := chaos.ShardFlip(1, 0, opts.Warmup+300*time.Millisecond)
+	r := RunShardedScenario(opts, sched)
+	if !r.Linearizable || !r.AllComplete || !r.Converged {
+		t.Fatalf("flip run: lin=%v complete=%v converged=%v", r.Linearizable, r.AllComplete, r.Converged)
+	}
+	found := false
+	for _, a := range r.FaultLog {
+		if a.Kind == chaos.ShardPlacementFlip && a.Shard == 1 && !a.Target.IsZero() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no shard-placement-flip in fault log: %v", r.FaultLog)
+	}
+}
+
+// S=1 must reduce to a single group spanning the whole membership.
+func TestShardedSingleShardDegenerate(t *testing.T) {
+	opts := shardTestOpts(Paxos)
+	opts.Shards = 1
+	opts.Clients = 8
+	opts.OpsPerClient = 12
+	r := RunShardedScenario(opts, nil)
+	if r.Shards != 1 || len(r.PerShard) != 1 {
+		t.Fatalf("S=1 produced %d shards", r.Shards)
+	}
+	if len(r.PerShard[0].Members) != opts.N {
+		t.Fatalf("S=1 group has %d members, want %d", len(r.PerShard[0].Members), opts.N)
+	}
+	if !r.Linearizable || !r.Converged {
+		t.Fatalf("S=1 run: lin=%v converged=%v", r.Linearizable, r.Converged)
+	}
+}

@@ -10,11 +10,17 @@ import (
 )
 
 // deref unwraps the pointer-boxed messages DecodeInto returns for hot
-// types, so tests can compare against value-decoded messages.
+// types, so tests can compare against value-decoded messages. Sharded
+// envelopes are normalized recursively: their inner message is pointer-boxed
+// too when decoded into a Scratch.
 func deref(m Msg) Msg {
 	v := reflect.ValueOf(m)
 	if v.Kind() == reflect.Pointer {
-		return v.Elem().Interface().(Msg)
+		m = v.Elem().Interface().(Msg)
+	}
+	if sm, ok := m.(Sharded); ok {
+		sm.Inner = deref(sm.Inner)
+		return sm
 	}
 	return m
 }
@@ -55,6 +61,9 @@ func sampleMsgs() []Msg {
 		HeartbeatAck{Ballot: b, From: id2},
 		CatchupReq{From: 3, To: 9},
 		CatchupReply{Ballot: b, Entries: []SlotEntry{{Slot: 3, Ballot: 5, Cmds: sampleBatch(3)}}},
+		Sharded{Shard: 0, Inner: Request{Cmd: sampleCmd()}},
+		Sharded{Shard: 3, Inner: P2a{Ballot: b, Slot: 11, Cmds: sampleBatch(2), Commit: 9}},
+		Sharded{Shard: 65535, Inner: AggP2b{Ballot: b, Relay: id1, Slot: 1, Acks: []ids.ID{id1, id2}}},
 	}
 }
 
@@ -138,6 +147,8 @@ func TestHotPathZeroAllocs(t *testing.T) {
 		PrepareReply{Inst: InstRef{Replica: ids.NewID(1, 2), Slot: 77}, From: ids.NewID(1, 3),
 			OK: true, Ballot: b, Status: InstPreAccepted, VBallot: b, Cmd: sampleCmd(), Seq: 9,
 			Deps: []InstRef{{Replica: ids.NewID(1, 4), Slot: 5}, {Replica: ids.NewID(1, 5), Slot: 2}}},
+		Sharded{Shard: 5, Inner: P2a{Ballot: b, Slot: 124, Cmds: sampleBatch(16), Commit: 121}},
+		Sharded{Shard: 5, Inner: P2b{Ballot: b, From: ids.NewID(1, 4), Slot: 124}},
 	}
 	s := GetScratch()
 	defer PutScratch(s)

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"fmt"
 	"time"
 
 	"pigpaxos/internal/ids"
@@ -861,6 +862,53 @@ func init() {
 		if s := r.scratch; s != nil {
 			s.heartbeatAck = m
 			return &s.heartbeatAck
+		}
+		return m
+	}
+}
+
+// -------------------------------------------------------------- sharding --
+
+// Sharded is the multi-group routing envelope: it tags any protocol message
+// with the consensus group (shard) it belongs to, so S independent replica
+// instances can multiplex over one node's endpoint and event loop. The
+// inner message is encoded exactly as it would be on its own — tag byte
+// included — so every registered decoder works unchanged beneath the
+// envelope. Envelopes do not nest.
+type Sharded struct {
+	Shard uint16
+	Inner Msg
+}
+
+// Type implements Msg.
+func (Sharded) Type() Type { return TSharded }
+
+// Size implements Msg.
+func (m Sharded) Size() int { return szU16 + 1 + m.Inner.Size() }
+
+func (m Sharded) append(b []byte) []byte {
+	if m.Inner.Type() == TSharded {
+		panic("wire: nested Sharded envelope")
+	}
+	b = putU16(b, m.Shard)
+	return Encode(b, m.Inner)
+}
+
+func init() {
+	decoders[TSharded] = func(r *reader) Msg {
+		shard := r.u16()
+		t := Type(r.u8())
+		if r.err != nil {
+			return Sharded{}
+		}
+		if t == 0 || t >= maxType || t == TSharded {
+			r.err = fmt.Errorf("bad inner type %d in Sharded envelope", uint8(t))
+			return Sharded{}
+		}
+		m := Sharded{Shard: shard, Inner: decoders[t](r)}
+		if s := r.scratch; s != nil {
+			s.sharded = m
+			return &s.sharded
 		}
 		return m
 	}

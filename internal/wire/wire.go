@@ -56,6 +56,7 @@ const (
 	THeartbeatAck
 	TPrepare
 	TPrepareReply
+	TSharded
 	maxType
 )
 
@@ -73,6 +74,7 @@ var typeNames = [maxType]string{
 	TCatchupReq: "CatchupReq", TCatchupReply: "CatchupReply",
 	THeartbeatAck: "HeartbeatAck",
 	TPrepare:      "Prepare", TPrepareReply: "PrepareReply",
+	TSharded: "Sharded",
 }
 
 // String implements fmt.Stringer.
@@ -211,6 +213,7 @@ type Scratch struct {
 	reply        Reply
 	prepare      Prepare
 	prepareReply PrepareReply
+	sharded      Sharded
 
 	// Growable arenas for variable-length message contents.
 	cmds    []kvstore.Command

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -22,6 +23,32 @@ const (
 	// Zipfian draws keys with a zipf(θ) skew, for hot-spot experiments.
 	Zipfian
 )
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution maps a flag value ("uniform", "zipfian") to its
+// Distribution — the CLI surface for skewed-key sweeps (the shard scenario
+// runs both to show hot-shard behavior).
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "zipfian", "zipf":
+		return Zipfian, nil
+	default:
+		return Uniform, fmt.Errorf("workload: unknown distribution %q (want uniform or zipfian)", s)
+	}
+}
 
 // Config describes a workload.
 type Config struct {

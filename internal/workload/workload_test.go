@@ -117,3 +117,38 @@ func TestReadsCarryNoPayload(t *testing.T) {
 		t.Errorf("read with payload: %+v", c)
 	}
 }
+
+func TestParseDistribution(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Distribution
+		ok   bool
+	}{
+		{"uniform", Uniform, true},
+		{"zipfian", Zipfian, true},
+		{"zipf", Zipfian, true},
+		{"gaussian", Uniform, false},
+		{"", Uniform, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDistribution(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseDistribution(%q) error = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseDistribution(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipfian.String() != "zipfian" {
+		t.Fatalf("Distribution.String: got %q, %q", Uniform, Zipfian)
+	}
+	// Round trip: the flag value a sweep prints parses back to itself.
+	for _, d := range []Distribution{Uniform, Zipfian} {
+		if got, err := ParseDistribution(d.String()); err != nil || got != d {
+			t.Fatalf("round trip of %v failed: %v, %v", d, got, err)
+		}
+	}
+}

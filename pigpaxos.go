@@ -10,6 +10,14 @@
 // (r = relay groups) instead of 2(N−1)+2, which lets consensus scale
 // vertically to tens of nodes within one conflict domain.
 //
+// A single replicated log is still a sequencing ceiling, so the package
+// also scales horizontally: Options.Shards partitions the uint64 key space
+// across S independent consensus groups (each a subset of the membership
+// with its own leader and relay plane) behind a deterministic hash router.
+// Clients route Put/Get/Delete/QuorumRead by key, with an independent
+// at-most-once session per shard; aggregate throughput scales near-linearly
+// with S.
+//
 // The package offers three ways to run:
 //
 //   - NewCluster: an in-process cluster over channels, for embedding and
@@ -32,6 +40,7 @@ import (
 	"pigpaxos/internal/paxos"
 	"pigpaxos/internal/pigpaxos"
 	"pigpaxos/internal/pqr"
+	"pigpaxos/internal/shard"
 	"pigpaxos/internal/transport"
 	"pigpaxos/internal/wire"
 )
@@ -99,8 +108,15 @@ type Options struct {
 	N int
 	// Protocol selects the replication protocol (default PigPaxos).
 	Protocol Protocol
+	// Shards partitions the key space across this many independent
+	// consensus groups (default 1 = a single group spanning the whole
+	// membership). Each shard is replicated by a deterministic subset of
+	// max(3, N/Shards) nodes with its own leader; clients route by key.
+	// Requires a leader-based protocol (PigPaxos or Paxos).
+	Shards int
 	// RelayGroups is PigPaxos' r (default 2; ignored by the baselines).
-	// The paper's evaluation (§5.3) finds small values best.
+	// The paper's evaluation (§5.3) finds small values best. In sharded
+	// clusters the fan-out is clamped per shard to its group size.
 	RelayGroups int
 	// RelayTimeout bounds relay-side aggregation waits (default 50ms).
 	RelayTimeout time.Duration
@@ -125,6 +141,9 @@ func (o *Options) applyDefaults() {
 	if o.N == 0 {
 		o.N = 3
 	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
 	if o.RelayGroups == 0 {
 		o.RelayGroups = 2
 	}
@@ -138,9 +157,11 @@ type Cluster struct {
 	opts     Options
 	bus      *transport.LocalBus
 	cc       config.Cluster
-	handlers map[ids.ID]node.Handler
 	nodes    map[ids.ID]*transport.LocalNode
-	stores   map[ids.ID]*kvstore.Store
+	plan     shard.Map
+	sharded  bool // Shards > 1: wire traffic rides Sharded envelopes
+	replicas []map[ids.ID]*paxos.Replica  // decision core per (shard, member); nil map entries for EPaxos
+	stores   []map[ids.ID]*kvstore.Store  // state machine per (shard, member)
 
 	clientMu sync.Mutex
 	nextCl   int
@@ -150,68 +171,143 @@ type Cluster struct {
 // when done.
 func NewCluster(opts Options) (*Cluster, error) {
 	opts.applyDefaults()
-	if opts.Protocol == ProtocolPigPaxos && opts.RelayGroups >= opts.N {
+	if opts.Shards > 1 && opts.Protocol == ProtocolEPaxos {
+		return nil, fmt.Errorf("pigpaxos: sharding requires a leader-based protocol (PigPaxos or Paxos)")
+	}
+	if opts.Protocol == ProtocolPigPaxos && opts.Shards == 1 && opts.RelayGroups >= opts.N {
 		return nil, fmt.Errorf("pigpaxos: %d relay groups need a cluster larger than %d", opts.RelayGroups, opts.N)
 	}
 	cc := config.NewLAN(opts.N)
+	cc.Shards = opts.Shards
 	c := &Cluster{
-		opts:     opts,
-		bus:      transport.NewLocalBus(),
-		cc:       cc,
-		handlers: make(map[ids.ID]node.Handler),
-		nodes:    make(map[ids.ID]*transport.LocalNode),
-		stores:   make(map[ids.ID]*kvstore.Store),
+		opts:    opts,
+		bus:     transport.NewLocalBus(),
+		cc:      cc,
+		nodes:   make(map[ids.ID]*transport.LocalNode),
+		sharded: opts.Shards > 1,
 	}
+	if c.sharded {
+		c.plan = shard.Plan(cc, opts.Shards, 0)
+	} else {
+		// A single group spanning the whole membership, led by node 1 —
+		// identical to the historical unsharded layout.
+		c.plan = shard.Map{
+			Router: shard.NewRouter(1),
+			Shards: []shard.Descriptor{{Index: 0, Members: cc.Nodes, Leader: cc.Nodes[0]}},
+		}
+	}
+
 	type starter interface{ Start() }
-	starters := make([]starter, 0, opts.N)
+	type startEntry struct {
+		id ids.ID
+		s  starter
+	}
+	var starters []startEntry // (shard, member) order
+
+	// One bus node — one event loop — per physical node. In sharded
+	// clusters its handler is a Dispatcher demultiplexing per-shard
+	// replicas; unsharded clusters keep the direct single-handler path
+	// (and the unwrapped wire format).
+	dispatchers := make(map[ids.ID]*shard.Dispatcher)
+	handlers := make(map[ids.ID]*relay)
 	for _, id := range cc.Nodes {
-		tr := &relay{}
-		n, err := c.bus.Node(id, tr)
+		var h node.Handler
+		if c.sharded {
+			d := shard.NewDispatcher(c.plan.NumShards())
+			dispatchers[id] = d
+			h = d
+		} else {
+			r := &relay{}
+			handlers[id] = r
+			h = r
+		}
+		n, err := c.bus.Node(id, h)
 		if err != nil {
 			c.bus.Close()
 			return nil, err
 		}
 		c.nodes[id] = n
-		switch opts.Protocol {
-		case ProtocolPaxos:
-			r := paxos.New(n, paxos.Config{
-				Cluster: cc, ID: id, InitialLeader: cc.Nodes[0],
+	}
+
+	c.replicas = make([]map[ids.ID]*paxos.Replica, c.plan.NumShards())
+	c.stores = make([]map[ids.ID]*kvstore.Store, c.plan.NumShards())
+	for k, desc := range c.plan.Shards {
+		c.replicas[k] = make(map[ids.ID]*paxos.Replica, len(desc.Members))
+		c.stores[k] = make(map[ids.ID]*kvstore.Store, len(desc.Members))
+		sub := c.shardCluster(k)
+		for _, id := range desc.Members {
+			var ctx node.Context = c.nodes[id]
+			if c.sharded {
+				ctx = shard.Wrap(ctx, k)
+			}
+			pcfg := paxos.Config{
+				Cluster: sub, ID: id, InitialLeader: desc.Leader,
 				ElectionTimeout: opts.ElectionTimeout,
 				ReadMode:        opts.paxosReadMode(),
-			}, nil)
-			tr.h = withQuorumReads(n, r.Store(), r.OnMessage)
-			c.stores[id] = r.Store()
-			starters = append(starters, r)
-		case ProtocolEPaxos:
-			r := epaxos.New(n, epaxos.Config{Cluster: cc, ID: id})
-			tr.h = withQuorumReads(n, r.Store(), r.OnMessage)
-			c.stores[id] = r.Store()
-			starters = append(starters, r)
-		default:
-			r := pigpaxos.New(n, pigpaxos.Config{
-				Paxos: paxos.Config{
-					Cluster: cc, ID: id, InitialLeader: cc.Nodes[0],
-					ElectionTimeout: opts.ElectionTimeout,
-					ReadMode:        opts.paxosReadMode(),
-				},
-				NumGroups:    opts.RelayGroups,
-				RelayTimeout: opts.RelayTimeout,
-			})
-			tr.h = withQuorumReads(n, r.Core().Store(), r.OnMessage)
-			c.stores[id] = r.Core().Store()
-			starters = append(starters, r)
+			}
+			var s starter
+			var h func(ids.ID, wire.Msg)
+			switch opts.Protocol {
+			case ProtocolPaxos:
+				r := paxos.New(ctx, pcfg, nil)
+				h = withQuorumReads(ctx, r.Store(), r.OnMessage)
+				c.replicas[k][id] = r
+				c.stores[k][id] = r.Store()
+				s = r
+			case ProtocolEPaxos:
+				r := epaxos.New(ctx, epaxos.Config{Cluster: sub, ID: id})
+				h = withQuorumReads(ctx, r.Store(), r.OnMessage)
+				c.stores[k][id] = r.Store()
+				s = r
+			default:
+				// Clamp the relay fan-out to the shard's group size: r
+				// relay groups need at least r followers.
+				ng := opts.RelayGroups
+				if max := len(desc.Members) - 1; ng > max {
+					ng = max
+				}
+				if ng < 1 {
+					ng = 1
+				}
+				r := pigpaxos.New(ctx, pigpaxos.Config{
+					Paxos:        pcfg,
+					NumGroups:    ng,
+					RelayTimeout: opts.RelayTimeout,
+				})
+				h = withQuorumReads(ctx, r.Core().Store(), r.OnMessage)
+				c.replicas[k][id] = r.Core()
+				c.stores[k][id] = r.Core().Store()
+				s = r
+			}
+			if c.sharded {
+				dispatchers[id].Register(k, &relay{h: h})
+			} else {
+				handlers[id].set(h)
+			}
+			starters = append(starters, startEntry{id: id, s: s})
 		}
 	}
+
 	// Start each replica on its own event loop.
 	var wg sync.WaitGroup
-	for _, id := range cc.Nodes {
-		id := id
+	for _, e := range starters {
+		e := e
 		wg.Add(1)
-		s := starters[indexOf(cc.Nodes, id)]
-		c.post(id, func() { s.Start(); wg.Done() })
+		c.post(e.id, func() { e.s.Start(); wg.Done() })
 	}
 	wg.Wait()
 	return c, nil
+}
+
+// shardCluster restricts the membership to shard k's group, keeping the
+// topology.
+func (c *Cluster) shardCluster(k int) config.Cluster {
+	d := c.plan.Shards[k]
+	return config.Cluster{
+		Nodes:   append([]ids.ID(nil), d.Members...),
+		Zones:   c.cc.Zones,
+		Latency: c.cc.Latency,
+	}
 }
 
 func indexOf(s []ids.ID, id ids.ID) int {
@@ -242,6 +338,12 @@ type relay struct {
 	h  func(from ids.ID, m wire.Msg)
 }
 
+func (r *relay) set(h func(from ids.ID, m wire.Msg)) {
+	r.mu.Lock()
+	r.h = h
+	r.mu.Unlock()
+}
+
 // OnMessage implements node.Handler.
 func (r *relay) OnMessage(from ids.ID, m wire.Msg) {
 	r.mu.Lock()
@@ -263,8 +365,64 @@ func (c *Cluster) Close() { c.bus.Close() }
 // N returns the cluster size.
 func (c *Cluster) N() int { return c.opts.N }
 
-// Leader returns the 1-based index of the initial leader node.
-func (c *Cluster) Leader() int { return 1 }
+// Shards returns the shard count (1 for an unsharded cluster).
+func (c *Cluster) Shards() int { return c.plan.NumShards() }
+
+// leaderQueryTimeout bounds how long Leader/ShardLeader wait for event-loop
+// replies: stopped nodes never run posted callbacks, so a crashed member
+// simply does not answer.
+const leaderQueryTimeout = 200 * time.Millisecond
+
+// ShardLeader returns the 1-based node index of shard k's current leader,
+// or 0 when no live member currently believes it leads (mid-election).
+// Each member is asked on its own event loop; when views disagree
+// transiently, the highest ballot wins. EPaxos is leaderless; every node
+// accepts commands, and the first member stands in.
+func (c *Cluster) ShardLeader(k int) int {
+	if k < 0 || k >= len(c.plan.Shards) {
+		return 0
+	}
+	members := c.plan.Shards[k].Members
+	if c.opts.Protocol == ProtocolEPaxos {
+		return indexOf(c.cc.Nodes, members[0]) + 1
+	}
+	type answer struct {
+		id     ids.ID
+		ballot ids.Ballot
+	}
+	ch := make(chan answer, len(members))
+	for _, id := range members {
+		id := id
+		core := c.replicas[k][id]
+		c.post(id, func() {
+			if core.IsLeader() {
+				ch <- answer{id: id, ballot: core.Ballot()}
+			} else {
+				ch <- answer{}
+			}
+		})
+	}
+	deadline := time.After(leaderQueryTimeout)
+	var best answer
+	for pending := len(members); pending > 0; pending-- {
+		select {
+		case a := <-ch:
+			if !a.id.IsZero() && (best.id.IsZero() || a.ballot > best.ballot) {
+				best = a
+			}
+		case <-deadline:
+			pending = 0
+		}
+	}
+	if best.id.IsZero() {
+		return 0
+	}
+	return indexOf(c.cc.Nodes, best.id) + 1
+}
+
+// Leader returns the 1-based node index of the current leader (shard 0's
+// leader in a sharded cluster), or 0 when no live replica currently leads.
+func (c *Cluster) Leader() int { return c.ShardLeader(0) }
 
 // Client opens a synchronous client session against the cluster.
 func (c *Cluster) Client() (*Client, error) {
@@ -276,7 +434,8 @@ func (c *Cluster) Client() (*Client, error) {
 	cl := &Client{
 		cluster: c,
 		id:      uint64(idx),
-		replies: make(chan wire.Reply, 16),
+		seqs:    make([]uint64, c.plan.NumShards()),
+		replies: make(chan taggedReply, 16),
 		timeout: 5 * time.Second,
 	}
 	n, err := c.bus.Node(id, cl)
@@ -284,15 +443,33 @@ func (c *Cluster) Client() (*Client, error) {
 		return nil, err
 	}
 	cl.node = n
-	// Every client knows the whole membership: EPaxos clients round-robin
-	// across it, the leader-based protocols start at the initial leader
-	// and rotate only on timeouts (crash failover).
-	cl.targets = c.cc.Nodes
+	// Per-shard target lists: the planned leader first, then the rest of
+	// the shard's group — leader-based clients start at the leader and
+	// rotate only on timeouts (crash failover). In the unsharded cluster
+	// shard 0 spans the whole membership, so this reduces to the
+	// historical behavior; EPaxos clients round-robin across it.
+	cl.targets = make([][]ids.ID, c.plan.NumShards())
+	cl.rr = make([]int, c.plan.NumShards())
+	for k, desc := range c.plan.Shards {
+		cl.targets[k] = append(cl.targets[k], desc.Leader)
+		for _, m := range desc.Members {
+			if m != desc.Leader {
+				cl.targets[k] = append(cl.targets[k], m)
+			}
+		}
+	}
 	if c.opts.Protocol == ProtocolEPaxos {
-		cl.rr = idx % len(c.cc.Nodes)
+		cl.rr[0] = idx % len(cl.targets[0])
 	}
 	cl.qresults = make(chan pqr.Result, 1)
-	cl.qreader = pqr.New(n, pqr.Config{Members: c.cc.Nodes}, nil)
+	cl.qreaders = make([]*pqr.Reader, c.plan.NumShards())
+	for k, desc := range c.plan.Shards {
+		var ctx node.Context = n
+		if c.sharded {
+			ctx = shard.Wrap(ctx, k)
+		}
+		cl.qreaders[k] = pqr.New(ctx, pqr.Config{Members: desc.Members}, nil)
+	}
 	return cl, nil
 }
 
@@ -307,46 +484,76 @@ func (c *Cluster) StopNode(i int) error {
 	return nil
 }
 
+// taggedReply is a Reply with the shard that served it.
+type taggedReply struct {
+	shard int
+	rep   wire.Reply
+}
+
 // Client is a synchronous KV client. It is safe for use from one goroutine;
-// open one client per goroutine.
+// open one client per goroutine. Operations route by key to the shard
+// owning it, with an independent at-most-once session per shard.
 type Client struct {
 	cluster *Cluster
 	node    *transport.LocalNode
 	id      uint64
-	seq     uint64
-	targets []ids.ID
-	rr      int
-	replies chan wire.Reply
+	seqs    []uint64   // per-shard session sequence numbers
+	targets [][]ids.ID // per-shard servers, preferred first
+	rr      []int      // per-shard rotation cursor
+	replies chan taggedReply
 	timeout time.Duration
 
-	qreader  *pqr.Reader
+	qreaders []*pqr.Reader // per-shard quorum readers
 	qresults chan pqr.Result
 }
 
 // OnMessage implements node.Handler (internal use).
 func (cl *Client) OnMessage(from ids.ID, m wire.Msg) {
+	k := 0
+	switch sm := m.(type) {
+	case *wire.Sharded:
+		k, m = int(sm.Shard), sm.Inner
+	case wire.Sharded:
+		k, m = int(sm.Shard), sm.Inner
+	}
 	switch v := m.(type) {
 	case wire.Reply:
 		select {
-		case cl.replies <- v:
+		case cl.replies <- taggedReply{shard: k, rep: v}:
 		default:
 		}
 	case wire.QReadReply:
-		cl.qreader.OnReply(v)
+		if k < len(cl.qreaders) {
+			cl.qreaders[k].OnReply(v)
+		}
 	}
 }
 
 // SetTimeout adjusts the per-operation timeout (default 5s).
 func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
 
+// send transmits cmd to a shard-k server, tagging it when the cluster is
+// sharded.
+func (cl *Client) send(k int, to ids.ID, cmd kvstore.Command) {
+	if cl.cluster.sharded {
+		cl.node.Send(to, wire.Sharded{Shard: uint16(k), Inner: wire.Request{Cmd: cmd}})
+		return
+	}
+	cl.node.Send(to, wire.Request{Cmd: cmd})
+}
+
 func (cl *Client) do(cmd kvstore.Command) (wire.Reply, error) {
-	cl.seq++
+	k := cl.cluster.plan.Router.Shard(cmd.Key)
+	cl.seqs[k]++
 	cmd.ClientID = cl.id
-	cmd.Seq = cl.seq
-	// Try each known node in turn: the preferred target first, rotating
-	// on per-attempt timeouts so a crashed leader does not strand the
-	// client (redirect replies re-route immediately).
-	attempts := len(cl.targets)
+	cmd.Seq = cl.seqs[k]
+	// Try each of the shard's servers in turn: the preferred target first,
+	// rotating on per-attempt timeouts so a crashed leader does not strand
+	// the client (redirect replies re-route immediately). The server that
+	// answers becomes the shard's preferred target, so after a failover
+	// later operations go straight to the new leader instead of re-paying
+	// a timeout at the dead one.
+	attempts := len(cl.targets[k])
 	if attempts < 1 {
 		attempts = 1
 	}
@@ -355,25 +562,31 @@ func (cl *Client) do(cmd kvstore.Command) (wire.Reply, error) {
 		perAttempt = cl.timeout
 	}
 	for a := 0; a < attempts; a++ {
-		target := cl.targets[(cl.rr+a)%len(cl.targets)]
-		cl.node.Send(target, wire.Request{Cmd: cmd})
+		ti := (cl.rr[k] + a) % len(cl.targets[k])
+		cl.send(k, cl.targets[k][ti], cmd)
 		deadline := time.After(perAttempt)
 	waiting:
 		for {
 			select {
-			case rep := <-cl.replies:
-				if rep.Seq != cl.seq {
-					continue // stale reply from an earlier attempt
+			case tr := <-cl.replies:
+				rep := tr.rep
+				if tr.shard != k || rep.Seq != cl.seqs[k] {
+					continue // stale reply from an earlier attempt or shard
 				}
 				if !rep.OK {
 					if rep.Leader.IsZero() {
 						return rep, fmt.Errorf("pigpaxos: request rejected")
 					}
-					cl.node.Send(rep.Leader, wire.Request{Cmd: cmd})
+					if li := indexOf(cl.targets[k], rep.Leader); li >= 0 {
+						ti = li
+					}
+					cl.send(k, rep.Leader, cmd)
 					continue
 				}
 				if cl.cluster.opts.Protocol == ProtocolEPaxos {
-					cl.rr++
+					cl.rr[k]++
+				} else {
+					cl.rr[k] = ti
 				}
 				return rep, nil
 			case <-deadline:
@@ -409,13 +622,14 @@ func (cl *Client) Delete(key uint64) (found bool, err error) {
 }
 
 // QuorumRead performs a Paxos Quorum Read (§4.3): it probes a majority of
-// replicas for their version of key and returns the stable newest value,
-// without involving the leader or the log. The read is linearizable with
-// respect to completed writes.
+// the owning shard's replicas for their version of key and returns the
+// stable newest value, without involving the leader or the log. The read is
+// linearizable with respect to completed writes.
 func (cl *Client) QuorumRead(key uint64) (value []byte, found bool, err error) {
+	k := cl.cluster.plan.Router.Shard(key)
 	// The reader must run on the client's event loop.
 	cl.node.After(0, func() {
-		cl.qreader.Read(key, func(r pqr.Result) {
+		cl.qreaders[k].Read(key, func(r pqr.Result) {
 			select {
 			case cl.qresults <- r:
 			default:
@@ -433,22 +647,49 @@ func (cl *Client) QuorumRead(key uint64) (value []byte, found bool, err error) {
 	}
 }
 
-// StoreChecksums returns each replica's state-machine checksum, in node
-// order. Equal checksums mean converged replicas; useful in tests and
-// health checks.
+// StoreChecksums returns each node's state-machine checksum, in node order.
+// In a sharded cluster a node's figure combines (XORs) the stores of every
+// shard it replicates; unsharded clusters report the single store directly.
+// Equal checksums across one shard's members mean converged replicas.
 func (c *Cluster) StoreChecksums() []uint64 {
 	out := make([]uint64, 0, len(c.cc.Nodes))
 	for _, id := range c.cc.Nodes {
-		out = append(out, c.stores[id].Checksum())
+		var sum uint64
+		for k := range c.plan.Shards {
+			if st, ok := c.stores[k][id]; ok {
+				sum ^= st.Checksum()
+			}
+		}
+		out = append(out, sum)
 	}
 	return out
 }
 
-// StoreApplied returns each replica's applied-command count, in node order.
+// StoreApplied returns each node's applied-command count, in node order
+// (summed across the shards a node replicates).
 func (c *Cluster) StoreApplied() []uint64 {
 	out := make([]uint64, 0, len(c.cc.Nodes))
 	for _, id := range c.cc.Nodes {
-		out = append(out, c.stores[id].Applied())
+		var sum uint64
+		for k := range c.plan.Shards {
+			if st, ok := c.stores[k][id]; ok {
+				sum += st.Applied()
+			}
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// ShardStoreChecksums returns shard k's members' state-machine checksums in
+// the shard's membership order — the per-shard convergence view.
+func (c *Cluster) ShardStoreChecksums(k int) []uint64 {
+	if k < 0 || k >= len(c.plan.Shards) {
+		return nil
+	}
+	out := make([]uint64, 0, len(c.plan.Shards[k].Members))
+	for _, id := range c.plan.Shards[k].Members {
+		out = append(out, c.stores[k][id].Checksum())
 	}
 	return out
 }

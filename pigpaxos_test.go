@@ -248,3 +248,220 @@ func TestClusterLeaseReads(t *testing.T) {
 		t.Fatalf("lease read: %q %v %v", v, ok, err)
 	}
 }
+
+// Leader must report the actual current leader, not a hardcoded node: after
+// crashing it, polling must converge on a different live node (the
+// regression test for the old `return 1` stub).
+func TestClusterLeaderTracksFailover(t *testing.T) {
+	c, err := NewCluster(Options{
+		N: 5, RelayGroups: 2,
+		ElectionTimeout: 150 * time.Millisecond,
+		RelayTimeout:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	old := c.Leader()
+	if old == 0 {
+		t.Fatal("no leader reported on a healthy cluster")
+	}
+	if err := c.StopNode(old); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if l := c.Leader(); l != 0 && l != old {
+			return // a different live node took over
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Leader() still reports %d after crashing it", c.Leader())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// A sharded cluster must serve the full KV surface, routing by key across
+// independent groups, each with its own leader.
+func TestShardedClusterPutGetDelete(t *testing.T) {
+	for _, p := range []Protocol{ProtocolPigPaxos, ProtocolPaxos} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			c, err := NewCluster(Options{N: 12, Protocol: p, Shards: 4, RelayGroups: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if c.Shards() != 4 {
+				t.Fatalf("Shards() = %d, want 4", c.Shards())
+			}
+			cl, err := c.Client()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Enough keys to hit every shard with overwhelming probability.
+			for k := uint64(0); k < 32; k++ {
+				if err := cl.Put(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+					t.Fatalf("put %d: %v", k, err)
+				}
+			}
+			for k := uint64(0); k < 32; k++ {
+				v, ok, err := cl.Get(k)
+				if err != nil || !ok || string(v) != fmt.Sprintf("v%d", k) {
+					t.Fatalf("get %d: %q %v %v", k, v, ok, err)
+				}
+			}
+			found, err := cl.Delete(5)
+			if err != nil || !found {
+				t.Fatalf("delete: %v %v", found, err)
+			}
+			if _, ok, _ := cl.Get(5); ok {
+				t.Fatal("key survived delete")
+			}
+			// Every shard must report a leader; leaders must cover more
+			// than one distinct node.
+			distinct := map[int]bool{}
+			for k := 0; k < c.Shards(); k++ {
+				l := c.ShardLeader(k)
+				if l == 0 {
+					t.Fatalf("shard %d has no leader", k)
+				}
+				distinct[l] = true
+			}
+			if len(distinct) < 2 {
+				t.Fatalf("all shards led by one node: %v", distinct)
+			}
+		})
+	}
+}
+
+// Crashing one shard's leader must not disturb the other shards, and the
+// touched shard must fail over.
+func TestShardedClusterLeaderFailover(t *testing.T) {
+	c, err := NewCluster(Options{
+		N: 12, Shards: 4, RelayGroups: 2,
+		ElectionTimeout: 150 * time.Millisecond,
+		RelayTimeout:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _ := c.Client()
+	cl.SetTimeout(10 * time.Second)
+	for k := uint64(0); k < 16; k++ {
+		if err := cl.Put(k, []byte("before")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := c.ShardLeader(2)
+	if victim == 0 {
+		t.Fatal("shard 2 has no leader")
+	}
+	others := map[int]int{}
+	for k := 0; k < 4; k++ {
+		if k != 2 {
+			others[k] = c.ShardLeader(k)
+		}
+	}
+	if err := c.StopNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// All keys must still be writable — shard 2 via its new leader.
+	for k := uint64(0); k < 16; k++ {
+		if err := cl.Put(k, []byte("after")); err != nil {
+			t.Fatalf("put %d after shard-leader crash: %v", k, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if l := c.ShardLeader(2); l != 0 && l != victim {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 2 still led by crashed node %d", victim)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// Untouched shards keep their leaders.
+	for k, want := range others {
+		if got := c.ShardLeader(k); got != want {
+			t.Errorf("shard %d leader moved %d -> %d though its leader never crashed", k, want, got)
+		}
+	}
+}
+
+// Quorum reads route to the owning shard's members.
+func TestShardedClusterQuorumRead(t *testing.T) {
+	c, err := NewCluster(Options{N: 12, Shards: 4, RelayGroups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _ := c.Client()
+	for k := uint64(0); k < 8; k++ {
+		if err := cl.Put(k, []byte(fmt.Sprintf("q%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 8; k++ {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			v, ok, err := cl.QuorumRead(k)
+			if err == nil && ok && string(v) == fmt.Sprintf("q%d", k) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("quorum read %d: %q %v %v", k, v, ok, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// Per-shard convergence: each shard's members agree on their store.
+func TestShardedClusterConverges(t *testing.T) {
+	c, err := NewCluster(Options{N: 12, Shards: 4, RelayGroups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, _ := c.Client()
+	for i := 0; i < 40; i++ {
+		if err := cl.Put(uint64(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for k := 0; k < c.Shards(); k++ {
+		for {
+			sums := c.ShardStoreChecksums(k)
+			same := true
+			for _, s := range sums[1:] {
+				if s != sums[0] {
+					same = false
+				}
+			}
+			if same {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %d replicas diverged: %v", k, sums)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// Sharding requires a leader; EPaxos must be rejected.
+func TestShardedClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Options{N: 12, Shards: 4, Protocol: ProtocolEPaxos}); err == nil {
+		t.Error("sharded EPaxos must be rejected")
+	}
+	// RelayGroups larger than a shard's group is clamped, not an error.
+	c, err := NewCluster(Options{N: 12, Shards: 4, RelayGroups: 5})
+	if err != nil {
+		t.Fatalf("clampable relay groups rejected: %v", err)
+	}
+	c.Close()
+}

@@ -38,7 +38,7 @@ func main() {
 		table    = flag.Int("table", 0, "table number to regenerate (1-2)")
 		util     = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
 		batch    = flag.Bool("batch", false, "run the leader-batching sweep (batch size × protocol)")
-		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve | epaxoschaos | wan | regionpartition | placement | wanexplore | epaxoswan | shard")
+		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve | epaxoschaos | wan | regionpartition | placement | wanexplore | epaxoswan | shard | restart")
 		benchfmt = flag.Bool("benchfmt", false, "emit scenario results as go-bench lines (pipe into cmd/benchjson)")
 		all      = flag.Bool("all", false, "run every figure and table")
 		quick    = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
@@ -446,6 +446,12 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 		if !det {
 			return fmt.Errorf("shard: two runs at seed %d are not bit-identical", o.Seed)
 		}
+	case "restart":
+		// Durable deployments: honest crash-restarts from snapshot + WAL
+		// tail (leader restart, torn journal tail, rolling follower
+		// reboots, a slow-disk window), the fsync cost ablation, and the
+		// recovery-latency-vs-snapshot-age curve on a real filesystem.
+		return runRestartSuite(suite, benchfmt)
 	case "faultcurve":
 		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
 			o := scenarioBase(p, suite)

@@ -82,6 +82,28 @@ const (
 	// ShardPlacer extension) — the per-shard migration primitive. Not a
 	// fault: nothing needs healing.
 	ShardPlacementFlip
+	// Restart crashes Node and, Duration later, reboots it as a FRESH
+	// process recovering from its persisted WAL + snapshot alone (via the
+	// Rebooter extension) — unlike Recover, which hands back the pre-crash
+	// memory image. Duration must be positive. Skipped deterministically
+	// when the resolver is not a Rebooter (volatile deployments).
+	Restart
+	// RestartLeader is Restart aimed at whichever node the Resolver reports
+	// as leader at fire time.
+	RestartLeader
+	// TornTail is Restart with disk damage: before the reboot, a suffix of
+	// the journal's synced tail is truncated mid-frame (the crash tore the
+	// last write). Recovery must drop the torn frame and rejoin.
+	TornTail
+	// Reboot is the log marker for a completed Restart (never scheduled
+	// directly).
+	Reboot
+	// DiskSlow raises Node's fsync latency to SyncLatency (a degraded or
+	// contended disk); Duration > 0 restores the baseline afterwards.
+	// Resolved through the DiskFaulter extension.
+	DiskSlow
+	// DiskRestore returns Node's fsync latency to the scenario baseline.
+	DiskRestore
 )
 
 // String implements fmt.Stringer.
@@ -117,6 +139,18 @@ func (k Kind) String() string {
 		return "crash-shard-leader"
 	case ShardPlacementFlip:
 		return "shard-placement-flip"
+	case Restart:
+		return "restart"
+	case RestartLeader:
+		return "restart-leader"
+	case TornTail:
+		return "torn-tail"
+	case Reboot:
+		return "reboot"
+	case DiskSlow:
+		return "disk-slow"
+	case DiskRestore:
+		return "disk-restore"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -145,9 +179,15 @@ type Action struct {
 	// group whose leadership the action manipulates. Distinct kinds keep
 	// shard 0 (a valid index) unambiguous from the zero value here.
 	Shard int
+	// Torn makes a Restart truncate the journal's synced tail mid-frame
+	// before rebooting (TornTail implies it).
+	Torn bool
+	// SyncLatency is DiskSlow's degraded fsync latency.
+	SyncLatency time.Duration
 	// Duration, when positive, makes the fault self-healing: crashes
 	// recover, partitions heal, link faults clear, sluggish nodes recover
-	// this long after the action fires.
+	// this long after the action fires. For Restart kinds it is the outage
+	// length before the reboot and must be positive.
 	Duration time.Duration
 }
 
@@ -221,6 +261,22 @@ type ShardResolver interface {
 // means "any zone": the resolver picks its preferred standby.
 type ShardPlacer interface {
 	CampaignShardFrom(shard, zone int) ids.ID
+}
+
+// Rebooter is an optional Resolver extension for durable deployments: the
+// scenario harness implements it by tearing down a node's protocol stack and
+// rebuilding it from persisted WAL + snapshot alone. torn additionally
+// truncates a suffix of the journal's synced tail first (a torn final
+// write). Reboot reports false when id cannot be rebooted (unknown node, or
+// no durable storage behind it) — the injector then skips, deterministically.
+type Rebooter interface {
+	Reboot(id ids.ID, torn bool) bool
+}
+
+// DiskFaulter is an optional Resolver extension giving the injector per-node
+// fsync latency control. lat <= 0 restores the scenario's baseline.
+type DiskFaulter interface {
+	SetDiskSync(id ids.ID, lat time.Duration)
 }
 
 // StaticResolver is a Resolver with fixed answers (tests, leaderless
@@ -325,6 +381,27 @@ func (in *Injector) crashFor(k Kind, victim ids.ID, d time.Duration) {
 			in.note(Recover, victim)
 		})
 	}
+}
+
+// restartFor crashes victim now and schedules an honest reboot-from-disk d
+// later. The whole action is skipped when the resolver cannot reboot —
+// running only the crash half would silently degrade Restart to a permanent
+// crash on volatile deployments.
+func (in *Injector) restartFor(k Kind, victim ids.ID, d time.Duration, torn bool) {
+	if victim.IsZero() {
+		return
+	}
+	rb, ok := in.res.(Rebooter)
+	if !ok {
+		return
+	}
+	in.net.Crash(victim)
+	in.note(k, victim)
+	in.sim.Schedule(d, func() {
+		if rb.Reboot(victim, torn) {
+			in.note(Reboot, victim)
+		}
+	})
 }
 
 func (in *Injector) fire(ev Event) {
@@ -455,6 +532,33 @@ func (in *Injector) fire(ev Event) {
 				in.noteShard(ShardPlacementFlip, a.Shard, id)
 			}
 		}
+	case Restart, TornTail:
+		in.restartFor(a.Kind, a.Node, a.Duration, a.Torn || a.Kind == TornTail)
+	case RestartLeader:
+		var victim ids.ID
+		if in.res != nil {
+			victim = in.res.Leader()
+		}
+		in.restartFor(RestartLeader, victim, a.Duration, a.Torn)
+	case DiskSlow:
+		df, ok := in.res.(DiskFaulter)
+		if !ok {
+			return
+		}
+		df.SetDiskSync(a.Node, a.SyncLatency)
+		in.note(DiskSlow, a.Node)
+		if a.Duration > 0 {
+			node := a.Node
+			in.sim.Schedule(a.Duration, func() {
+				df.SetDiskSync(node, 0)
+				in.note(DiskRestore, node)
+			})
+		}
+	case DiskRestore:
+		if df, ok := in.res.(DiskFaulter); ok {
+			df.SetDiskSync(a.Node, 0)
+			in.note(DiskRestore, a.Node)
+		}
 	}
 }
 
@@ -544,6 +648,45 @@ func ShardFlip(shard, zone int, at time.Duration) Schedule {
 	return Schedule{{At: at, Action: Action{Kind: ShardPlacementFlip, Shard: shard, Zone: zone}}}
 }
 
+// RestartFromDisk crashes node at `at` and reboots it downFor later from its
+// persisted WAL + snapshot — the honest process-restart fault.
+func RestartFromDisk(node ids.ID, at, downFor time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: Restart, Node: node, Duration: downFor}}}
+}
+
+// LeaderRestart restarts whichever node leads at `at` — failover plus
+// durable recovery in one scenario.
+func LeaderRestart(at, downFor time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: RestartLeader, Duration: downFor}}}
+}
+
+// TornRestart crashes node at `at`, tears the synced tail of its journal
+// mid-frame, and reboots it downFor later — the crash-during-write fault.
+func TornRestart(node ids.ID, at, downFor time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{Kind: TornTail, Node: node, Duration: downFor}}}
+}
+
+// DiskSlowWindow degrades node's fsync latency to lat from `at`, restoring
+// the baseline clearAfter later.
+func DiskSlowWindow(node ids.ID, lat time.Duration, at, clearAfter time.Duration) Schedule {
+	return Schedule{{At: at, Action: Action{
+		Kind: DiskSlow, Node: node, SyncLatency: lat, Duration: clearAfter,
+	}}}
+}
+
+// RollingReboot restarts each node in turn from disk for downFor, spacing
+// consecutive restarts by gap (gap ≥ downFor keeps at most one node down at
+// a time) — the cluster-wide upgrade drill.
+func RollingReboot(nodes []ids.ID, start, downFor, gap time.Duration) Schedule {
+	s := make(Schedule, 0, len(nodes))
+	at := start
+	for _, n := range nodes {
+		s = append(s, Event{At: at, Action: Action{Kind: Restart, Node: n, Duration: downFor}})
+		at += gap
+	}
+	return s
+}
+
 // ------------------------------------------------------------- validation --
 
 // MaxSafeCrashes is the classical f: how many of n nodes may be down
@@ -569,6 +712,16 @@ func Validate(s Schedule, n int, healBy time.Duration) error {
 	for _, ev := range s {
 		a := ev.Action
 		switch a.Kind {
+		case Restart, RestartLeader, TornTail:
+			// Restart kinds count against the crash budget like any outage,
+			// and always need a Duration — the reboot has no other trigger.
+			if a.Duration <= 0 {
+				return fmt.Errorf("chaos: %v at %v has no Duration (the reboot needs a fire time)", a.Kind, ev.At)
+			}
+			if ev.At+a.Duration > healBy {
+				return fmt.Errorf("chaos: %v at %v reboots at %v, after the %v deadline", a.Kind, ev.At, ev.At+a.Duration, healBy)
+			}
+			crashes = append(crashes, window{ev.At, ev.At + a.Duration})
 		case Crash, CrashLeader, CrashRelay, CrashShardLeader:
 			end := ev.At + a.Duration
 			if a.Duration <= 0 {
@@ -696,7 +849,7 @@ func ValidateRegions(s Schedule, cc config.Cluster, healBy time.Duration) error 
 				Kind: LinkFault, Faults: a.Faults, Duration: a.Duration,
 			}})
 		default:
-			if a.Kind == Crash {
+			if a.Kind == Crash || a.Kind == Restart || a.Kind == TornTail {
 				crashWindow(a.Node, ev.At, a.Duration)
 			}
 			expanded = append(expanded, ev)

@@ -36,6 +36,13 @@ type Palette struct {
 	WANDegrade      bool // loss/dup/reorder on one zone-pair path
 	CrashRegion     bool // whole minority regions crash and recover
 	PlacementFlip   bool // forced campaigns from a target region
+
+	// Disk families (require a durable deployment: the harness resolver must
+	// implement Rebooter / DiskFaulter, or the actions skip).
+	Restart       bool // follower crash + reboot-from-disk windows
+	LeaderRestart bool // dynamic current-leader restarts
+	TornTail      bool // restarts with a torn journal tail
+	DiskSlow      bool // degraded-fsync windows
 }
 
 // FullPalette allows every LAN fault family (region families need a WAN
@@ -56,6 +63,18 @@ func WANPalette() Palette {
 		RegionPartition: true, WANDegrade: true, CrashRegion: true,
 		PlacementFlip: true, LeaderCrash: true,
 		LinkLoss: true, LinkReorder: true, Sluggish: true,
+	}
+}
+
+// DurablePalette mixes the disk fault families with the LAN faults a
+// durable deployment must ride out anyway. FullPalette is deliberately left
+// unchanged — adding families there would shift the draw sequence of every
+// existing explorer seed.
+func DurablePalette() Palette {
+	return Palette{
+		Crashes: true, LeaderCrash: true, Partitions: true,
+		LinkLoss: true, LinkReorder: true, Sluggish: true,
+		Restart: true, LeaderRestart: true, TornTail: true, DiskSlow: true,
 	}
 }
 
@@ -369,6 +388,52 @@ func explore1(opts ExplorerOpts, rng *rand.Rand) Schedule {
 				return Event{At: at, Action: Action{Kind: LeaderPlacementFlip, Zone: z}}, true
 			})
 		}
+	}
+	// Disk families come after every older generator so palettes that do not
+	// enable them keep their exact historical draw sequences.
+	if al.Restart && len(followers) > 0 {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(100*time.Millisecond, 500*time.Millisecond)
+			if !crashOK(at, dur) {
+				return Event{}, false
+			}
+			crashes = append(crashes, window{at, at + dur})
+			victim := followers[rng.Intn(len(followers))]
+			return Event{At: at, Action: Action{Kind: Restart, Node: victim, Duration: dur}}, true
+		})
+	}
+	if al.LeaderRestart {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(150*time.Millisecond, 600*time.Millisecond)
+			if !crashOK(at, dur) {
+				return Event{}, false
+			}
+			crashes = append(crashes, window{at, at + dur})
+			return Event{At: at, Action: Action{Kind: RestartLeader, Duration: dur}}, true
+		})
+	}
+	if al.TornTail && len(followers) > 0 {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(100*time.Millisecond, 500*time.Millisecond)
+			if !crashOK(at, dur) {
+				return Event{}, false
+			}
+			crashes = append(crashes, window{at, at + dur})
+			victim := followers[rng.Intn(len(followers))]
+			return Event{At: at, Action: Action{Kind: TornTail, Node: victim, Duration: dur}}, true
+		})
+	}
+	if al.DiskSlow && len(opts.Nodes) > 0 {
+		gens = append(gens, func() (Event, bool) {
+			at, dur := randWindow(100*time.Millisecond, 800*time.Millisecond)
+			// Any node, the leader included: a slow leader disk throttles
+			// every commit, which is exactly the scenario worth exploring.
+			victim := opts.Nodes[rng.Intn(len(opts.Nodes))]
+			lat := time.Duration(500+rng.Intn(4500)) * time.Microsecond
+			return Event{At: at, Action: Action{
+				Kind: DiskSlow, Node: victim, SyncLatency: lat, Duration: dur,
+			}}, true
+		})
 	}
 	var s Schedule
 	if len(gens) == 0 {

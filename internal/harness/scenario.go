@@ -23,6 +23,7 @@ import (
 	"pigpaxos/internal/node"
 	"pigpaxos/internal/paxos"
 	"pigpaxos/internal/pigpaxos"
+	"pigpaxos/internal/wal"
 	"pigpaxos/internal/wire"
 )
 
@@ -68,6 +69,19 @@ type ScenarioOptions struct {
 	// RegionPartition maroons the cut region's clients along with its
 	// replicas.
 	RegionClients bool
+	// Durable gives every Paxos/PigPaxos replica a wal.MemStorage journal:
+	// promises and accepts fsync before the corresponding vote leaves,
+	// snapshots checkpoint the state machine, and the Restart/TornTail/
+	// DiskSlow chaos families go live (the scenario resolver implements
+	// chaos.Rebooter and chaos.DiskFaulter). EPaxos has no durable path, so
+	// restart actions against it skip deterministically.
+	Durable bool
+	// SnapshotEvery is the per-replica checkpoint cadence in executed
+	// commands (default 64 when Durable).
+	SnapshotEvery int
+	// SyncCost is the simulated fsync latency charged per real journal sync
+	// (default 400µs when Durable — an EBS-class flush).
+	SyncCost time.Duration
 }
 
 func (o *ScenarioOptions) applyDefaults() {
@@ -95,6 +109,14 @@ func (o *ScenarioOptions) applyDefaults() {
 	}
 	if o.Drain == 0 {
 		o.Drain = 5 * time.Second
+	}
+	if o.Durable {
+		if o.SnapshotEvery == 0 {
+			o.SnapshotEvery = 64
+		}
+		if o.SyncCost == 0 {
+			o.SyncCost = 400 * time.Microsecond
+		}
 	}
 }
 
@@ -146,6 +168,17 @@ type ScenarioResult struct {
 	Messages  uint64
 	Delivered uint64
 	Dropped   uint64
+
+	// Durability telemetry, summed over replicas (zero on volatile runs).
+	WALSyncs     uint64 // real journal fsyncs
+	Snapshots    uint64 // checkpoints saved
+	SnapRestores uint64 // snapshot installs (boot recovery + catch-up)
+	Reboots      int    // honest restarts the injector completed
+	// MaxLogLen and MaxWALBytes are the largest in-memory log and journal
+	// footprint across replicas at run end — the bounded-memory check for
+	// snapshot-driven compaction.
+	MaxLogLen   int
+	MaxWALBytes int
 
 	// Regions breaks the measurement down by client region (ascending
 	// zone), populated when RegionClients is set on a multi-zone cluster.
@@ -362,6 +395,58 @@ type liveResolver struct {
 	replicas map[ids.ID]replica
 }
 
+// durableResolver layers reboot and disk-fault capabilities over the live
+// resolver. Only durable deployments get one, so on volatile runs the
+// injector's chaos.Rebooter/DiskFaulter type assertions fail and restart
+// schedules skip deterministically without ever crashing the node.
+type durableResolver struct {
+	*liveResolver
+	env *rebootEnv
+}
+
+// rebootEnv is everything needed to tear a node down and rebuild its
+// protocol stack from persisted state alone.
+type rebootEnv struct {
+	storages map[ids.ID]*wal.MemStorage
+	tramps   map[ids.ID]*trampoline
+	rebuild  func(id ids.ID) replica
+	baseSync time.Duration
+}
+
+// Reboot implements chaos.Rebooter: power-loss semantics (unsynced journal
+// appends dropped, optionally a torn final frame), then a fresh replica
+// recovering from snapshot + WAL tail takes over the node's endpoint.
+func (dr *durableResolver) Reboot(id ids.ID, torn bool) bool {
+	env := dr.env
+	st, tr := env.storages[id], env.tramps[id]
+	if st == nil || tr == nil {
+		return false
+	}
+	st.Crash() // whatever was never fsynced is gone
+	if torn {
+		st.TearTail()
+	}
+	// Epoch bump first: timers the old incarnation armed must never fire
+	// into the new one, and the fresh replica's Start() timers must.
+	dr.net.Reboot(id, tr)
+	rep := env.rebuild(id)
+	tr.h = rep.OnMessage
+	dr.replicas[id] = rep
+	rep.Start()
+	return true
+}
+
+// SetDiskSync implements chaos.DiskFaulter. lat <= 0 restores the
+// scenario's baseline fsync cost.
+func (dr *durableResolver) SetDiskSync(id ids.ID, lat time.Duration) {
+	if st := dr.env.storages[id]; st != nil {
+		if lat <= 0 {
+			lat = dr.env.baseSync
+		}
+		st.SetSyncCost(lat)
+	}
+}
+
 // Leader implements chaos.Resolver: the first replica (membership order)
 // that believes it leads. EPaxos is leaderless — every replica is command
 // leader for its own clients — so a leader-targeted fault resolves to the
@@ -442,9 +527,25 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 	leader := cc.Nodes[0]
 	replicas := make(map[ids.ID]replica, opts.N)
 	stores := make(map[ids.ID]*kvstore.Store, opts.N)
-	for _, id := range cc.Nodes {
-		tr := &trampoline{}
-		ep := net.Register(id, tr, false)
+	tramps := make(map[ids.ID]*trampoline, opts.N)
+	endpoints := make(map[ids.ID]*netsim.Endpoint, opts.N)
+	durable := opts.Durable && opts.Protocol != EPaxos
+	var storages map[ids.ID]*wal.MemStorage
+	if durable {
+		storages = make(map[ids.ID]*wal.MemStorage, opts.N)
+		for _, id := range cc.Nodes {
+			st := wal.NewMem()
+			st.SetSyncCost(opts.SyncCost)
+			storages[id] = st
+		}
+	}
+	// build constructs one node's protocol stack. It runs once per node at
+	// boot and again on every chaos Restart — a rebuilt replica gets the
+	// node's surviving storage and nothing else, so recovery is honest. It
+	// refreshes the stores map: convergence checks must read the live
+	// incarnation's state machine, not a dead one's.
+	build := func(id ids.ID) replica {
+		ep := endpoints[id]
 		var rep replica
 		switch opts.Protocol {
 		case Paxos:
@@ -454,6 +555,10 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 				RetryTimeout:    100 * time.Millisecond, // mask schedule-injected loss
 			}
 			opts.paxosBatching(&cfg)
+			if durable {
+				cfg.Storage = storages[id]
+				cfg.SnapshotEvery = opts.SnapshotEvery
+			}
 			if opts.MutPaxos != nil {
 				opts.MutPaxos(&cfg)
 			}
@@ -469,6 +574,10 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 				NumGroups: opts.NumGroups,
 			}
 			opts.paxosBatching(&cfg.Paxos)
+			if durable {
+				cfg.Paxos.Storage = storages[id]
+				cfg.Paxos.SnapshotEvery = opts.SnapshotEvery
+			}
 			if opts.ZoneGroups {
 				cfg.Strategy = pigpaxos.GroupByZone
 			}
@@ -487,6 +596,13 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 			stores[id] = r.Store()
 			rep = r
 		}
+		return rep
+	}
+	for _, id := range cc.Nodes {
+		tr := &trampoline{}
+		endpoints[id] = net.Register(id, tr, false)
+		tramps[id] = tr
+		rep := build(id)
 		tr.h = rep.OnMessage
 		replicas[id] = rep
 	}
@@ -559,7 +675,18 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 		clients[i] = cl
 	}
 
-	resolver := &liveResolver{cc: cc, net: net, replicas: replicas}
+	var resolver chaos.Resolver = &liveResolver{cc: cc, net: net, replicas: replicas}
+	if durable {
+		resolver = &durableResolver{
+			liveResolver: resolver.(*liveResolver),
+			env: &rebootEnv{
+				storages: storages,
+				tramps:   tramps,
+				rebuild:  build,
+				baseSync: opts.SyncCost,
+			},
+		}
+	}
 	injector := chaos.Apply(sim, net, sched, resolver)
 
 	sim.Schedule(0, func() {
@@ -666,6 +793,36 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 	for _, id := range cc.Nodes {
 		if er, ok := replicas[id].(*epaxos.Replica); ok {
 			res.Unrecovered += er.Unexecuted()
+		}
+	}
+	for _, id := range cc.Nodes {
+		var st paxos.Stats
+		var logLen int
+		switch r := replicas[id].(type) {
+		case *paxos.Replica:
+			st = r.Stats()
+			logLen = r.Log().Len()
+		case *pigpaxos.Replica:
+			st = r.Core().Stats()
+			logLen = r.Core().Log().Len()
+		default:
+			continue
+		}
+		res.WALSyncs += st.WALSyncs
+		res.Snapshots += st.Snapshots
+		res.SnapRestores += st.SnapRestores
+		if logLen > res.MaxLogLen {
+			res.MaxLogLen = logLen
+		}
+		if durable {
+			if b := storages[id].Bytes(); b > res.MaxWALBytes {
+				res.MaxWALBytes = b
+			}
+		}
+	}
+	for _, a := range res.FaultLog {
+		if a.Kind == chaos.Reboot {
+			res.Reboots++
 		}
 	}
 	lin := hist.Check()

@@ -5,7 +5,9 @@
 package kvstore
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -171,6 +173,104 @@ func (s *Store) Checksum() uint64 {
 		acc ^= kh
 	}
 	return acc
+}
+
+// Serialize appends the full store state to b in a deterministic layout
+// (keys sorted ascending), so every replica serializes identical state to
+// identical bytes — snapshots can be compared and shipped between nodes.
+// The version map is serialized in full, including keys whose data was
+// deleted (their write-versions still matter to quorum reads).
+func (s *Store) Serialize(b []byte) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b = binary.LittleEndian.AppendUint64(b, s.applied)
+	verKeys := make([]uint64, 0, len(s.version))
+	for k := range s.version {
+		verKeys = append(verKeys, k)
+	}
+	sort.Slice(verKeys, func(i, j int) bool { return verKeys[i] < verKeys[j] })
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(verKeys)))
+	for _, k := range verKeys {
+		b = binary.LittleEndian.AppendUint64(b, k)
+		b = binary.LittleEndian.AppendUint64(b, s.version[k])
+	}
+	dataKeys := make([]uint64, 0, len(s.data))
+	for k := range s.data {
+		dataKeys = append(dataKeys, k)
+	}
+	sort.Slice(dataKeys, func(i, j int) bool { return dataKeys[i] < dataKeys[j] })
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(dataKeys)))
+	for _, k := range dataKeys {
+		v := s.data[k]
+		b = binary.LittleEndian.AppendUint64(b, k)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+		b = append(b, v...)
+	}
+	return b
+}
+
+// Restore replaces the store's contents with a state previously produced by
+// Serialize, returning the number of bytes consumed.
+func (s *Store) Restore(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := 0
+	u64 := func() (uint64, bool) {
+		if off+8 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, true
+	}
+	fail := func() (int, error) {
+		return 0, fmt.Errorf("kvstore: truncated snapshot at offset %d", off)
+	}
+	applied, ok := u64()
+	if !ok {
+		return fail()
+	}
+	nVer, ok := u32()
+	if !ok {
+		return fail()
+	}
+	version := make(map[uint64]uint64, nVer)
+	for i := uint32(0); i < nVer; i++ {
+		k, ok1 := u64()
+		v, ok2 := u64()
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		version[k] = v
+	}
+	nData, ok := u32()
+	if !ok {
+		return fail()
+	}
+	data := make(map[uint64][]byte, nData)
+	for i := uint32(0); i < nData; i++ {
+		k, ok1 := u64()
+		n, ok2 := u32()
+		if !ok1 || !ok2 || off+int(n) > len(b) {
+			return fail()
+		}
+		v := make([]byte, n)
+		copy(v, b[off:off+int(n)])
+		off += int(n)
+		data[k] = v
+	}
+	s.applied = applied
+	s.version = version
+	s.data = data
+	return off, nil
 }
 
 func fnvMix(h, x uint64) uint64 {

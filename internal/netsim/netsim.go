@@ -158,6 +158,22 @@ func (n *Network) Recover(id ids.ID) {
 	}
 }
 
+// Reboot brings a crashed node back as a fresh incarnation: h replaces the
+// endpoint's handler and every timer armed by the previous incarnation is
+// invalidated (its epoch no longer matches). Unlike Recover, which models a
+// process that kept its memory, Reboot models an honest process restart —
+// the caller supplies a new protocol instance that must rebuild its state
+// from durable storage alone. Messages already in flight still arrive (the
+// network does not know the process restarted); protocols tolerate them the
+// same way they tolerate any stale delivery.
+func (n *Network) Reboot(id ids.ID, h Handler) {
+	if e := n.endpoints[id]; e != nil {
+		e.epoch++
+		e.crashed = false
+		e.handler = h
+	}
+}
+
 // Crashed reports whether id is currently crashed.
 func (n *Network) Crashed(id ids.ID) bool {
 	e := n.endpoints[id]
@@ -404,6 +420,7 @@ type Endpoint struct {
 	busyUntil time.Duration
 	busyTotal time.Duration // accumulated CPU time consumed
 	crashed   bool
+	epoch     uint64 // incarnation counter; bumped by Reboot to kill timers
 	slow      float64
 	cut       map[ids.ID]bool
 	links     map[ids.ID]LinkFaults // per-destination probabilistic faults
@@ -548,10 +565,13 @@ func (e *Endpoint) Broadcast(to []ids.ID, m wire.Msg) {
 }
 
 // After schedules fn after d of virtual time. Timers fire even while the
-// CPU is busy (they model OS timers); crashed nodes skip the callback.
+// CPU is busy (they model OS timers); crashed nodes skip the callback, and a
+// timer armed before a Reboot never fires into the new incarnation (the
+// restarted process did not arm it).
 func (e *Endpoint) After(d time.Duration, fn func()) node.Timer {
+	epoch := e.epoch
 	return e.net.sim.Schedule(d, func() {
-		if e.crashed {
+		if e.crashed || e.epoch != epoch {
 			return
 		}
 		fn()

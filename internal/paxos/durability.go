@@ -1,0 +1,160 @@
+package paxos
+
+import (
+	"fmt"
+
+	"pigpaxos/internal/wal"
+	"pigpaxos/internal/wire"
+)
+
+// This file wires the replica to its wal.Storage. Every entry point is a
+// no-op when cfg.Storage is nil, so the volatile default keeps the exact
+// event sequence of the seed.
+//
+// The sync discipline follows the classical acceptor rule — state must be
+// durable before the message that reveals it leaves:
+//
+//   - a promise (P1b) syncs a KindPromise record first (ensurePromised);
+//   - an accept vote (P2b, and the leader's own self-vote) syncs the
+//     KindAccept record the rlog journaled (syncStorage at the accept site);
+//   - commits are journaled but synced lazily — a lost commit record is
+//     re-learned from a quorum during phase-1, so it never forges anything.
+//
+// The leader batches commands into slots, so "one fsync per batch" falls out
+// naturally: propose() syncs once per slot, covering the whole batch.
+
+// recoverFromStorage rebuilds replica state from snapshot + journal tail at
+// construction time. Ordering matters: the snapshot positions the log floor,
+// replay fills the tail above it, and only then is the journal attached to
+// the log (attaching earlier would re-journal the replayed records).
+func (r *Replica) recoverFromStorage() {
+	if snap, ok := r.st.Snapshot(); ok {
+		ballot, err := r.restoreSnapshot(snap.Data)
+		if err != nil {
+			panic(fmt.Sprintf("paxos %v: unreadable local snapshot: %v", r.cfg.ID, err))
+		}
+		r.ballot = ballot
+		r.log.InstallSnapshot(snap.Floor)
+		r.stats.SnapRestores++
+	}
+	err := r.st.Replay(func(rec wal.Record) error {
+		if rec.Ballot > r.ballot {
+			r.ballot = rec.Ballot
+		}
+		if rec.Kind == wal.KindPromise || rec.Slot < r.log.FirstSlot() {
+			return nil // ballot already folded in; slot covered by snapshot
+		}
+		switch rec.Kind {
+		case wal.KindAccept:
+			r.log.Accept(rec.Slot, rec.Ballot, rec.Cmds)
+		case wal.KindCommit:
+			r.log.Commit(rec.Slot, rec.Ballot, rec.Cmds)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("paxos %v: journal replay failed: %v", r.cfg.ID, err))
+	}
+	r.journaledBallot = r.ballot
+	r.log.Attach(r.st)
+	// Re-apply the committed tail above the snapshot floor. Routes are empty,
+	// so no replies go out; ExecWork is charged as honest recovery CPU.
+	r.execute()
+	if r.cfg.ReadMode == ReadLease {
+		// The pre-crash replica may have promised the leader a lease; the
+		// promise window is not journaled, so re-arm it conservatively. A
+		// restarted follower must not elect itself inside a window the old
+		// incarnation promised away.
+		r.leasePromiseUntil = r.ctx.Now() + r.cfg.LeaseDuration
+	}
+}
+
+// ensurePromised makes the current ballot durable before a promise for it is
+// sent. Idempotent per ballot; accept records carry their ballot too, so
+// journaledBallot also advances at accept sync sites.
+func (r *Replica) ensurePromised() {
+	if r.st == nil || r.ballot <= r.journaledBallot {
+		return
+	}
+	if err := r.st.Append(wal.Record{Kind: wal.KindPromise, Ballot: r.ballot}); err != nil {
+		panic(fmt.Sprintf("paxos %v: journal promise: %v", r.cfg.ID, err))
+	}
+	r.syncStorage()
+}
+
+// syncStorage flushes the journal, charging simulated fsync latency only
+// when records were actually pending (group fsync: one call covers every
+// append since the last).
+func (r *Replica) syncStorage() {
+	if r.st == nil {
+		return
+	}
+	synced, err := r.st.Sync()
+	if err != nil {
+		panic(fmt.Sprintf("paxos %v: journal sync: %v", r.cfg.ID, err))
+	}
+	if synced {
+		r.stats.WALSyncs++
+		if r.journaledBallot < r.ballot {
+			r.journaledBallot = r.ballot
+		}
+		r.ctx.Work(r.st.SyncCost())
+	}
+}
+
+// maybeSnapshot checkpoints the state machine every SnapshotEvery local
+// executions and compacts both the in-memory log and the journal to the
+// snapshot floor — this is what bounds memory and disk over a long run, and
+// what lets restart replay snapshot + tail instead of the full history.
+func (r *Replica) maybeSnapshot() {
+	if r.st == nil || r.cfg.SnapshotEvery <= 0 || r.execSinceSnap < r.cfg.SnapshotEvery {
+		return
+	}
+	r.execSinceSnap = 0
+	floor := r.log.ExecuteCursor()
+	if err := r.st.SaveSnapshot(wal.Snapshot{Floor: floor, Data: r.encodeSnapshot()}); err != nil {
+		panic(fmt.Sprintf("paxos %v: save snapshot: %v", r.cfg.ID, err))
+	}
+	r.stats.Snapshots++
+	r.ctx.Work(r.st.SyncCost())
+	r.log.CompactTo(floor)
+	r.st.CompactTo(floor)
+}
+
+// OnSnapInstall installs a snapshot shipped by the leader to a replica whose
+// catch-up request fell below the leader's compaction floor.
+func (r *Replica) OnSnapInstall(m wire.SnapInstall) {
+	r.catchupInFlight = false
+	if m.Ballot > r.ballot {
+		r.ballot = m.Ballot
+		r.active = false
+		r.redirectPending()
+	}
+	if m.Ballot >= r.ballot {
+		r.lastLeaderContact = r.ctx.Now()
+	}
+	if m.Floor <= r.log.ExecuteCursor() {
+		return // already caught up past the snapshot; nothing to gain
+	}
+	ballot, err := r.restoreSnapshot(m.Data)
+	if err != nil {
+		panic(fmt.Sprintf("paxos %v: peer snapshot rejected: %v", r.cfg.ID, err))
+	}
+	if ballot > r.ballot {
+		r.ballot = ballot
+	}
+	r.log.InstallSnapshot(m.Floor)
+	r.stats.SnapRestores++
+	if r.st != nil {
+		// Persist the installed snapshot as our own checkpoint so a crash
+		// right now restarts from here, then drop the journal prefix it
+		// covers.
+		if err := r.st.SaveSnapshot(wal.Snapshot{Floor: m.Floor, Data: m.Data}); err != nil {
+			panic(fmt.Sprintf("paxos %v: persist installed snapshot: %v", r.cfg.ID, err))
+		}
+		r.ctx.Work(r.st.SyncCost())
+		r.st.CompactTo(m.Floor)
+		r.execSinceSnap = 0
+	}
+	r.execute()
+}

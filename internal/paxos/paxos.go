@@ -28,6 +28,7 @@ import (
 	"pigpaxos/internal/node"
 	"pigpaxos/internal/quorum"
 	"pigpaxos/internal/rlog"
+	"pigpaxos/internal/wal"
 	"pigpaxos/internal/wire"
 )
 
@@ -131,6 +132,17 @@ type Config struct {
 	// proposes immediately, as in the seed. A small window creates the
 	// backpressure that lets batches accumulate under load.
 	MaxInFlight int
+	// Storage, when non-nil, makes the replica durable: promises and
+	// accepts are journaled and fsynced before the corresponding protocol
+	// reply leaves (sync-before-vote), commits are journaled lazily, and a
+	// crash-restart rebuilds the replica from snapshot + WAL tail. Nil (the
+	// default) keeps the volatile seed behaviour bit-for-bit.
+	Storage wal.Storage
+	// SnapshotEvery, with Storage set, checkpoints the state machine after
+	// this many locally executed commands and compacts the log and journal
+	// to the snapshot floor. Zero disables snapshots (the WAL grows without
+	// bound and restart replays it in full).
+	SnapshotEvery int
 }
 
 // ReadMode selects a read path (paper §4.3).
@@ -199,19 +211,23 @@ type route struct {
 
 // Stats counts protocol events for experiments and tests.
 type Stats struct {
-	Requests    uint64 // client requests received while leader
-	Redirects   uint64 // requests redirected to the leader
-	Commits     uint64 // slots committed locally
-	Executions  uint64 // commands applied to the state machine
-	Elections   uint64 // phase-1 rounds started by this node
-	Duplicates  uint64 // client requests answered from the session cache
-	Catchups    uint64 // catch-up requests sent
-	Retransmits uint64 // P2a re-broadcasts on lossy networks
-	Compactions uint64 // log compaction sweeps
-	LeaseReads  uint64 // reads served from the leader's lease
-	LocalReads  uint64 // reads served unsafely by ReadAny
-	Batches     uint64 // slots proposed by this node as leader
-	BatchedCmds uint64 // client commands packed into those slots
+	Requests     uint64 // client requests received while leader
+	Redirects    uint64 // requests redirected to the leader
+	Commits      uint64 // slots committed locally
+	Executions   uint64 // commands applied to the state machine
+	Elections    uint64 // phase-1 rounds started by this node
+	Duplicates   uint64 // client requests answered from the session cache
+	Catchups     uint64 // catch-up requests sent
+	Retransmits  uint64 // P2a re-broadcasts on lossy networks
+	Compactions  uint64 // log compaction sweeps
+	LeaseReads   uint64 // reads served from the leader's lease
+	LocalReads   uint64 // reads served unsafely by ReadAny
+	Batches      uint64 // slots proposed by this node as leader
+	BatchedCmds  uint64 // client commands packed into those slots
+	WALSyncs     uint64 // real fsyncs performed on the journal
+	Snapshots    uint64 // state-machine checkpoints saved locally
+	SnapSends    uint64 // snapshots shipped to laggards (SnapInstall)
+	SnapRestores uint64 // snapshots installed from a peer or at boot
 }
 
 // MeanBatchSize reports commands per proposed slot (1.0 when unbatched).
@@ -244,13 +260,15 @@ type Replica struct {
 	store *kvstore.Store
 
 	// Leader state.
-	p1q       *quorum.Threshold
-	p2qs      map[uint64]*quorum.Threshold
-	routes    map[uint64][]route // per-slot, aligned with the slot's batch
-	buffered  []pendingRequest
-	announced uint64 // commit watermark last disseminated
-	sessions  map[uint64]*session
-	retries   map[uint64]node.Timer
+	p1q         *quorum.Threshold
+	p1MaxFloor  uint64 // highest compaction floor reported in phase-1
+	p1FloorFrom ids.ID // promiser that reported p1MaxFloor
+	p2qs        map[uint64]*quorum.Threshold
+	routes      map[uint64][]route // per-slot, aligned with the slot's batch
+	buffered    []pendingRequest
+	announced   uint64 // commit watermark last disseminated
+	sessions    map[uint64]*session
+	retries     map[uint64]node.Timer
 
 	// Batch accumulator: commands admitted by the leader but not yet
 	// proposed into a slot.
@@ -264,6 +282,11 @@ type Replica struct {
 	campaignRetry     node.Timer
 	catchupInFlight   bool
 	execSinceCompact  int
+
+	// Durability state (nil/zero when running volatile).
+	st              wal.Storage
+	execSinceSnap   int
+	journaledBallot ids.Ballot // highest ballot already durable in the WAL
 
 	// Lease state: followers promise not to campaign until
 	// leasePromiseUntil; the leader holds ack timestamps and serves local
@@ -312,6 +335,10 @@ func New(ctx node.Context, cfg Config, diss Disseminator) *Replica {
 			Thrifty: cfg.Thrifty,
 			Q2:      cfg.Q2,
 		}
+	}
+	if cfg.Storage != nil {
+		r.st = cfg.Storage
+		r.recoverFromStorage()
 	}
 	return r
 }
@@ -375,6 +402,8 @@ func (r *Replica) OnMessage(from ids.ID, m wire.Msg) {
 		r.OnCatchupReq(from, v)
 	case wire.CatchupReply:
 		r.OnCatchupReply(v)
+	case wire.SnapInstall:
+		r.OnSnapInstall(v)
 	case wire.HeartbeatAck:
 		r.OnHeartbeatAck(v)
 	}
@@ -412,7 +441,9 @@ func (r *Replica) campaign() {
 	r.abortProposals()
 	r.ballot = r.ballot.Next(r.cfg.ID)
 	r.active = false
+	r.ensurePromised() // the self-promise below must survive a crash
 	r.p1q = quorum.NewThreshold(r.cfg.Cluster.N(), r.cfg.Q1)
+	r.p1MaxFloor, r.p1FloorFrom = 0, 0
 	r.p1q.ACK(r.cfg.ID) // self-promise
 	r.diss.FanOut(wire.P1a{Ballot: r.ballot, From: r.log.ExecuteCursor()})
 	if r.p1q.Satisfied() { // single-node cluster
@@ -474,7 +505,8 @@ func (r *Replica) HandleP1aLocal(m wire.P1a) wire.P1b {
 		r.lastLeaderContact = r.ctx.Now()
 		r.redirectPending()
 	}
-	reply := wire.P1b{Ballot: r.ballot, From: r.cfg.ID}
+	r.ensurePromised() // sync-before-promise: durable before the P1b leaves
+	reply := wire.P1b{Ballot: r.ballot, From: r.cfg.ID, Floor: r.log.FirstSlot()}
 	// Report every known entry from the campaigner's cursor up — committed
 	// ones included, flagged, so a lagging winner installs them as commits
 	// instead of proposing no-op fillers over anchored slots (which would
@@ -518,6 +550,9 @@ func (r *Replica) OnP1b(m wire.P1b) {
 		return // stale or already elected
 	}
 	r.p1q.ACK(m.From)
+	if m.Floor > r.p1MaxFloor {
+		r.p1MaxFloor, r.p1FloorFrom = m.Floor, m.From
+	}
 	r.recoverEntries(m.Entries)
 	if r.p1q.Satisfied() {
 		r.becomeLeader(nil)
@@ -551,6 +586,15 @@ func (r *Replica) becomeLeader(_ []wire.SlotEntry) {
 	// filling log gaps with no-ops, so earlier instances anchor before new
 	// commands enter.
 	low := r.log.ExecuteCursor()
+	if r.p1MaxFloor > low {
+		// A promiser's compaction floor is above our cursor: every slot
+		// below it was committed, executed and checkpointed somewhere, but
+		// nobody can report those slots any more. Their silence is NOT
+		// license to fill with no-ops — skip past the floor and pull the
+		// checkpoint holder's snapshot instead.
+		r.catchupToFloor(r.p1FloorFrom, r.p1MaxFloor)
+		low = r.p1MaxFloor
+	}
 	high := r.log.PeekNextSlot()
 	for slot := low; slot < high; slot++ {
 		e := r.log.Get(slot)
@@ -786,6 +830,10 @@ func (r *Replica) OnHeartbeatAck(m wire.HeartbeatAck) {
 // propose runs phase-2 for (slot, cmds) under the current ballot.
 func (r *Replica) propose(slot uint64, cmds []kvstore.Command) {
 	r.log.Accept(slot, r.ballot, cmds)
+	// The leader's self-vote counts toward Q2, so its own accept must be as
+	// durable as a follower's — one fsync here covers the slot's whole
+	// command batch (group commit).
+	r.syncStorage()
 	q := quorum.NewThreshold(r.cfg.Cluster.N(), r.cfg.Q2)
 	q.ACK(r.cfg.ID) // self-vote
 	r.p2qs[slot] = q
@@ -850,9 +898,23 @@ func (r *Replica) AcceptP2a(m wire.P2a) (vote wire.P2b, ok bool) {
 			// Teach the proposer the anchored value instead of voting.
 			if e := r.log.Get(m.Slot); e != nil && e.Committed {
 				r.ctx.Send(m.Ballot.ID(), wire.P3{Ballot: r.ballot, Slot: m.Slot, Cmds: e.Commands})
+			} else if m.Slot < r.log.FirstSlot() {
+				// The slot was committed, executed and compacted away: the
+				// proposer is behind our checkpoint floor, so the single-slot
+				// teach-back no longer exists — ship the whole snapshot.
+				r.stats.SnapSends++
+				r.ctx.Send(m.Ballot.ID(), wire.SnapInstall{
+					Ballot: r.ballot, Floor: r.log.ExecuteCursor(), Data: r.encodeSnapshot(),
+				})
 			}
 		}
 		r.applyWatermark(m.Commit, m.Ballot)
+		if ok {
+			// Sync-before-vote: the accept (journaled by the log) must be
+			// durable before the P2b leaves. Commits folded in by the
+			// watermark ride along in the same group fsync.
+			r.syncStorage()
+		}
 	}
 	return wire.P2b{Ballot: r.ballot, From: r.cfg.ID, Slot: m.Slot}, ok
 }
@@ -915,6 +977,7 @@ func (r *Replica) execute() {
 	r.log.ExecuteReady(r.store, func(slot uint64, idx int, cmd kvstore.Command, res kvstore.Result) {
 		r.stats.Executions++
 		r.execSinceCompact++
+		r.execSinceSnap++
 		r.ctx.Work(r.cfg.ExecWork)
 		rep := wire.Reply{
 			ClientID: cmd.ClientID,
@@ -958,6 +1021,7 @@ func (r *Replica) execute() {
 		delete(r.routes, slot)
 	}
 	r.maybeCompact()
+	r.maybeSnapshot()
 }
 
 // applyWatermark commits every slot below w that this replica accepted
@@ -987,7 +1051,18 @@ func (r *Replica) applyWatermark(w uint64, b ids.Ballot) {
 }
 
 // OnCatchupReq re-announces committed entries a lagging follower asked for.
+// A request below the compaction floor cannot be served slot-by-slot — the
+// entries are gone — so the follower gets a snapshot of live state instead
+// (floor = our execution cursor), replacing full-log replay with
+// snapshot-based catch-up.
 func (r *Replica) OnCatchupReq(from ids.ID, m wire.CatchupReq) {
+	if m.From < r.log.FirstSlot() {
+		r.stats.SnapSends++
+		r.ctx.Send(from, wire.SnapInstall{
+			Ballot: r.ballot, Floor: r.log.ExecuteCursor(), Data: r.encodeSnapshot(),
+		})
+		return
+	}
 	to := m.To
 	if hi := r.log.ExecuteCursor(); to > hi {
 		to = hi
@@ -1013,6 +1088,21 @@ func (r *Replica) OnCatchupReply(m wire.CatchupReply) {
 		r.stats.Commits++
 	}
 	r.execute()
+}
+
+// catchupToFloor pulls state from the promiser whose compaction floor is
+// above this new leader's execution cursor, retrying until the snapshot
+// lands (the request is From < the holder's floor, so the holder answers
+// with SnapInstall). Followers cure lag through the watermark path; an
+// active leader announces watermarks instead of receiving them, so it must
+// drive its own catch-up.
+func (r *Replica) catchupToFloor(target ids.ID, floor uint64) {
+	if !r.active || r.log.ExecuteCursor() >= floor {
+		return
+	}
+	r.stats.Catchups++
+	r.ctx.Send(target, wire.CatchupReq{From: r.log.ExecuteCursor(), To: floor})
+	r.ctx.After(150*time.Millisecond, func() { r.catchupToFloor(target, floor) })
 }
 
 // maybeCompact discards old executed log entries once enough executions

@@ -11,9 +11,11 @@ package rlog
 
 import (
 	"fmt"
+	"sort"
 
 	"pigpaxos/internal/ids"
 	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/wal"
 )
 
 // Entry is one slot of the replicated log.
@@ -31,11 +33,42 @@ type Log struct {
 	firstSlot uint64 // lowest slot that may still be unexecuted
 	nextSlot  uint64 // next slot a leader would propose into
 	execCur   uint64 // next slot to execute
+
+	// st, when attached, journals every Accept and Commit so the log is
+	// reconstructible after a crash. Attached only after boot replay, so
+	// replaying records does not re-journal them.
+	st wal.Storage
 }
 
 // New creates an empty log whose first slot is 1.
 func New() *Log {
 	return &Log{entries: make(map[uint64]*Entry), firstSlot: 1, nextSlot: 1, execCur: 1}
+}
+
+// Attach turns on journaling: every subsequent Accept and Commit is
+// appended to st (buffered; the replica decides when to Sync). Callers
+// replay st into the log first, then attach.
+func (l *Log) Attach(st wal.Storage) { l.st = st }
+
+// InstallSnapshot positions the log on top of a state-machine snapshot
+// covering every slot below floor: entries below floor are dropped and all
+// cursors advance to at least floor. Handles a snapshot newer than the log
+// tail (floor beyond nextSlot) — the log simply becomes empty at floor.
+func (l *Log) InstallSnapshot(floor uint64) {
+	for s := range l.entries {
+		if s < floor {
+			delete(l.entries, s)
+		}
+	}
+	if floor > l.firstSlot {
+		l.firstSlot = floor
+	}
+	if floor > l.execCur {
+		l.execCur = floor
+	}
+	if floor > l.nextSlot {
+		l.nextSlot = floor
+	}
 }
 
 // NextSlot returns the next unproposed slot and advances the proposal cursor.
@@ -61,10 +94,17 @@ func (l *Log) BumpNextSlot(slot uint64) {
 // the slot already holds a value under a higher ballot (the accept is stale)
 // or the slot has already committed a different proposal.
 func (l *Log) Accept(slot uint64, b ids.Ballot, cmds []kvstore.Command) bool {
+	if slot < l.firstSlot {
+		// Compacted ⇒ committed and executed: any new proposal for the slot
+		// is necessarily stale. Accepting it as a fresh entry would let a
+		// lagging leader quorum a no-op over an anchored batch.
+		return false
+	}
 	e, ok := l.entries[slot]
 	if !ok {
 		l.entries[slot] = &Entry{Ballot: b, Commands: cmds}
 		l.BumpNextSlot(slot)
+		l.journal(wal.KindAccept, slot, b, cmds)
 		return true
 	}
 	if e.Committed {
@@ -78,13 +118,30 @@ func (l *Log) Accept(slot uint64, b ids.Ballot, cmds []kvstore.Command) bool {
 	e.Ballot = b
 	e.Commands = cmds
 	l.BumpNextSlot(slot)
+	l.journal(wal.KindAccept, slot, b, cmds)
 	return true
+}
+
+// journal appends one record to the attached storage (buffered until the
+// replica syncs). Append on the provided implementations cannot fail; an
+// I/O error from a file-backed journal is fatal — continuing would
+// acknowledge state that was never persisted.
+func (l *Log) journal(kind wal.Kind, slot uint64, b ids.Ballot, cmds []kvstore.Command) {
+	if l.st == nil {
+		return
+	}
+	if err := l.st.Append(wal.Record{Kind: kind, Ballot: b, Slot: slot, Cmds: cmds}); err != nil {
+		panic(fmt.Sprintf("rlog: journal append failed: %v", err))
+	}
 }
 
 // Commit marks slot committed with batch cmds. Commit is authoritative:
 // phase-3 messages carry the anchored batch, so the entry is overwritten
 // even if a different value was accepted locally under an older ballot.
 func (l *Log) Commit(slot uint64, b ids.Ballot, cmds []kvstore.Command) {
+	if slot < l.firstSlot {
+		return // compacted: already committed and executed here
+	}
 	e, ok := l.entries[slot]
 	if !ok {
 		e = &Entry{}
@@ -97,6 +154,7 @@ func (l *Log) Commit(slot uint64, b ids.Ballot, cmds []kvstore.Command) {
 	e.Commands = cmds
 	e.Committed = true
 	l.BumpNextSlot(slot)
+	l.journal(wal.KindCommit, slot, b, cmds)
 }
 
 // Get returns the entry at slot, or nil.
@@ -129,17 +187,26 @@ func (l *Log) ExecuteReady(sm *kvstore.Store, fn func(slot uint64, idx int, cmd 
 // ExecuteCursor returns the next slot awaiting execution.
 func (l *Log) ExecuteCursor() uint64 { return l.execCur }
 
+// SlotEntry pairs a slot number with its entry for ordered iteration.
+type SlotEntry struct {
+	Slot  uint64
+	Entry Entry
+}
+
 // Uncommitted returns the slots in [from, l.nextSlot) that hold accepted but
-// uncommitted proposals, together with their entries. (Phase-1 recovery now
-// walks the log directly to include committed entries; this remains as a
-// diagnostic helper.)
-func (l *Log) Uncommitted(from uint64) map[uint64]Entry {
-	out := make(map[uint64]Entry)
+// uncommitted proposals, in ascending slot order. The sorted slice (not a
+// map) keeps map iteration order out of any caller's message or timing
+// sequence — the same determinism bug class the PR 4 redirectPending fix
+// closed. (Phase-1 recovery walks the log directly to include committed
+// entries; this remains as a diagnostic helper.)
+func (l *Log) Uncommitted(from uint64) []SlotEntry {
+	var out []SlotEntry
 	for s, e := range l.entries {
 		if s >= from && !e.Committed {
-			out[s] = *e
+			out = append(out, SlotEntry{Slot: s, Entry: *e})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
 	return out
 }
 
@@ -173,6 +240,10 @@ func (l *Log) CompactTo(slot uint64) int {
 
 // Len returns the number of live entries.
 func (l *Log) Len() int { return len(l.entries) }
+
+// FirstSlot returns the compaction floor: the lowest slot the log may still
+// hold. Requests for slots below it need snapshot-based catch-up.
+func (l *Log) FirstSlot() uint64 { return l.firstSlot }
 
 // String summarizes the log state.
 func (l *Log) String() string {

@@ -7,6 +7,7 @@ import (
 
 	"pigpaxos/internal/ids"
 	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/wal"
 )
 
 func bal(n int) ids.Ballot { return ids.NewBallot(n, ids.NewID(1, 1)) }
@@ -143,15 +144,32 @@ func TestUncommitted(t *testing.T) {
 	l.Commit(2, bal(1), one(2))
 	l.Accept(3, bal(1), one(3))
 	u := l.Uncommitted(1)
-	if len(u) != 2 {
-		t.Fatalf("uncommitted: %v, want slots 1 and 3", u)
+	if len(u) != 2 || u[0].Slot != 1 || u[1].Slot != 3 {
+		t.Fatalf("uncommitted: %v, want slots [1 3] in order", u)
 	}
-	if _, ok := u[2]; ok {
-		t.Error("committed slot must not appear")
+	for _, se := range u {
+		if se.Slot == 2 {
+			t.Error("committed slot must not appear")
+		}
 	}
 	u = l.Uncommitted(3)
-	if len(u) != 1 {
-		t.Error("from=3 should only see slot 3")
+	if len(u) != 1 || u[0].Slot != 3 {
+		t.Errorf("from=3 should only see slot 3, got %v", u)
+	}
+}
+
+// TestUncommittedSorted pins the satellite fix: results are in ascending
+// slot order regardless of map insertion order.
+func TestUncommittedSorted(t *testing.T) {
+	l := New()
+	for _, s := range []uint64{9, 2, 7, 4, 1, 8} {
+		l.Accept(s, bal(1), one(s))
+	}
+	u := l.Uncommitted(1)
+	for i := 1; i < len(u); i++ {
+		if u[i-1].Slot >= u[i].Slot {
+			t.Fatalf("uncommitted slots out of order: %v", u)
+		}
 	}
 }
 
@@ -285,6 +303,151 @@ func TestNoopSlotAdvancesCursor(t *testing.T) {
 	}
 	if l.ExecuteCursor() != 3 {
 		t.Errorf("cursor = %d, want 3", l.ExecuteCursor())
+	}
+}
+
+// rebuild replays a journal into a fresh log (the boot path paxos drives).
+func rebuild(t *testing.T, st *wal.MemStorage, floor uint64) *Log {
+	t.Helper()
+	l := New()
+	l.InstallSnapshot(floor)
+	err := st.Replay(func(r wal.Record) error {
+		if r.Slot < floor {
+			return nil
+		}
+		switch r.Kind {
+		case wal.KindAccept:
+			l.Accept(r.Slot, r.Ballot, r.Cmds)
+		case wal.KindCommit:
+			l.Commit(r.Slot, r.Ballot, r.Cmds)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	l.Attach(st)
+	return l
+}
+
+// TestJournalRoundTrip drives a journaled log through accepts and commits,
+// crashes it, and rebuilds from the WAL: the reconstruction must execute to
+// the same state machine.
+func TestJournalRoundTrip(t *testing.T) {
+	st := wal.NewMem()
+	l := New()
+	l.Attach(st)
+	sm := kvstore.New()
+	for s := uint64(1); s <= 8; s++ {
+		l.Accept(s, bal(1), one(s))
+		l.Commit(s, bal(1), one(s))
+	}
+	l.Accept(9, bal(1), one(9)) // accepted, never committed
+	l.ExecuteReady(sm, nil)
+	if _, err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := rebuild(t, st, 1)
+	sm2 := kvstore.New()
+	l2.ExecuteReady(sm2, nil)
+	if sm2.Checksum() != sm.Checksum() {
+		t.Fatal("rebuilt log executes to a different state")
+	}
+	if e := l2.Get(9); e == nil || e.Committed {
+		t.Fatalf("uncommitted accept lost in replay: %+v", e)
+	}
+	if l2.PeekNextSlot() != l.PeekNextSlot() {
+		t.Errorf("nextSlot %d, want %d", l2.PeekNextSlot(), l.PeekNextSlot())
+	}
+}
+
+func TestInstallSnapshotDropsPrefix(t *testing.T) {
+	l := New()
+	for s := uint64(1); s <= 6; s++ {
+		l.Commit(s, bal(1), one(s))
+	}
+	l.InstallSnapshot(4)
+	if l.Get(3) != nil || l.Get(4) == nil {
+		t.Error("snapshot floor boundary wrong")
+	}
+	if l.ExecuteCursor() != 4 || l.FirstSlot() != 4 {
+		t.Errorf("cursors after install: exec=%d first=%d, want 4,4", l.ExecuteCursor(), l.FirstSlot())
+	}
+}
+
+// TestInstallSnapshotNewerThanTail covers the recovery edge where the
+// snapshot is ahead of everything the log holds: the log becomes empty and
+// all cursors land on the floor.
+func TestInstallSnapshotNewerThanTail(t *testing.T) {
+	l := New()
+	l.Commit(1, bal(1), one(1))
+	l.InstallSnapshot(100)
+	if l.Len() != 0 {
+		t.Errorf("log should be empty, has %d entries", l.Len())
+	}
+	if l.ExecuteCursor() != 100 || l.PeekNextSlot() != 100 || l.FirstSlot() != 100 {
+		t.Errorf("cursors: exec=%d next=%d first=%d, want 100 each",
+			l.ExecuteCursor(), l.PeekNextSlot(), l.FirstSlot())
+	}
+	// Execution resumes cleanly above the floor.
+	sm := kvstore.New()
+	l.Commit(100, bal(1), one(7))
+	if n := l.ExecuteReady(sm, nil); n != 1 {
+		t.Errorf("executed %d, want 1", n)
+	}
+}
+
+// TestCompactionConsistency is the satellite assertion: compacting to the
+// snapshot floor preserves the execution cursor and the state machine
+// checksum, and the journal's segments follow the floor.
+func TestCompactionConsistency(t *testing.T) {
+	st := wal.NewMem()
+	st.SetSegBytes(64) // force frequent rolls
+	l := New()
+	l.Attach(st)
+	sm := kvstore.New()
+	for s := uint64(1); s <= 40; s++ {
+		l.Accept(s, bal(1), one(s%5))
+		l.Commit(s, bal(1), one(s%5))
+		l.ExecuteReady(sm, nil)
+		st.Sync()
+	}
+	cur := l.ExecuteCursor()
+	sum := sm.Checksum()
+	segsBefore := st.Segments()
+
+	floor := cur // snapshot covers everything executed
+	st.SaveSnapshot(wal.Snapshot{Floor: floor, Data: sm.Serialize(nil)})
+	l.CompactTo(floor)
+	st.CompactTo(floor)
+
+	if l.ExecuteCursor() != cur {
+		t.Errorf("compaction moved the execution cursor: %d → %d", cur, l.ExecuteCursor())
+	}
+	if sm.Checksum() != sum {
+		t.Error("compaction changed the state machine checksum")
+	}
+	if l.Len() != 0 {
+		t.Errorf("log holds %d entries below the floor", l.Len())
+	}
+	if st.Segments() >= segsBefore {
+		t.Errorf("journal segments not reclaimed: %d → %d", segsBefore, st.Segments())
+	}
+
+	// A restart from snapshot + (empty) tail reproduces the state.
+	snap, ok := st.Snapshot()
+	if !ok {
+		t.Fatal("snapshot missing")
+	}
+	sm2 := kvstore.New()
+	if _, err := sm2.Restore(snap.Data); err != nil {
+		t.Fatal(err)
+	}
+	l2 := rebuild(t, st, snap.Floor)
+	l2.ExecuteReady(sm2, nil)
+	if sm2.Checksum() != sum || sm2.Applied() != sm.Applied() {
+		t.Fatal("restart from snapshot+tail diverged from pre-crash state")
 	}
 }
 

@@ -1,0 +1,204 @@
+// In-memory Storage: the deterministic simulator's "disk". It keeps the
+// exact byte framing FileStorage writes, models fsync as a configurable
+// simulated latency (charged by the replica, not here), and exposes the
+// crash surface chaos needs: Crash drops unsynced appends (the strictest
+// reading of a power cut) and TearTail rips the last synced frame in half
+// (a torn sector write).
+package wal
+
+import (
+	"time"
+)
+
+// memSeg is one sealed-or-active segment: a frame concatenation plus the
+// metadata compaction and tearing need.
+type memSeg struct {
+	buf       []byte
+	maxSlot   uint64 // highest slot any frame concerns (0 = promises only)
+	frames    int
+	lastFrame int // byte length of the most recently synced frame
+}
+
+// MemStorage implements Storage without a filesystem. Not safe for
+// concurrent use; the owning replica's event loop serializes access. The
+// harness keeps MemStorage instances alive across simulated crashes — they
+// play the role of the machine's disk.
+type MemStorage struct {
+	enc      frameEncoder
+	segBytes int
+	segs     []*memSeg
+
+	// Unsynced appends: framed bytes plus enough metadata to fold them
+	// into the active segment on Sync.
+	pending       []byte
+	pendingFrames []int
+	pendingMax    uint64
+
+	snap     Snapshot
+	hasSnap  bool
+	syncCost time.Duration
+	syncs    uint64
+}
+
+// NewMem creates an empty in-memory journal with the default segment size.
+func NewMem() *MemStorage {
+	return &MemStorage{segBytes: DefaultSegBytes, segs: []*memSeg{{}}}
+}
+
+// SetSegBytes overrides the segment roll threshold (tests use tiny segments
+// to exercise multi-segment replay and compaction).
+func (m *MemStorage) SetSegBytes(n int) {
+	if n > 0 {
+		m.segBytes = n
+	}
+}
+
+// SetSyncCost sets the simulated latency one fsync costs (the DiskSlow
+// chaos fault adjusts it mid-run).
+func (m *MemStorage) SetSyncCost(d time.Duration) { m.syncCost = d }
+
+// SyncCost implements Storage.
+func (m *MemStorage) SyncCost() time.Duration { return m.syncCost }
+
+// Append implements Storage: frame rec into the unsynced buffer.
+func (m *MemStorage) Append(rec Record) error {
+	start := len(m.pending)
+	m.pending = m.enc.appendFrame(m.pending, rec)
+	m.pendingFrames = append(m.pendingFrames, len(m.pending)-start)
+	if rec.Slot > m.pendingMax {
+		m.pendingMax = rec.Slot
+	}
+	return nil
+}
+
+// Sync implements Storage: fold unsynced appends into the active segment,
+// sealing it when it crossed the roll threshold.
+func (m *MemStorage) Sync() (bool, error) {
+	if len(m.pending) == 0 {
+		return false, nil
+	}
+	cur := m.segs[len(m.segs)-1]
+	cur.buf = append(cur.buf, m.pending...)
+	cur.frames += len(m.pendingFrames)
+	cur.lastFrame = m.pendingFrames[len(m.pendingFrames)-1]
+	if m.pendingMax > cur.maxSlot {
+		cur.maxSlot = m.pendingMax
+	}
+	m.pending = m.pending[:0]
+	m.pendingFrames = m.pendingFrames[:0]
+	m.pendingMax = 0
+	if len(cur.buf) >= m.segBytes {
+		m.segs = append(m.segs, &memSeg{})
+	}
+	m.syncs++
+	return true, nil
+}
+
+// Crash models power loss: every append since the last Sync is gone. The
+// chaos injector calls it at the instant a node with durable state crashes.
+func (m *MemStorage) Crash() {
+	m.pending = m.pending[:0]
+	m.pendingFrames = m.pendingFrames[:0]
+	m.pendingMax = 0
+}
+
+// TearTail rips the last synced frame in half — a torn sector write that
+// the next Replay must detect and truncate. Returns false when there is no
+// synced frame to tear.
+func (m *MemStorage) TearTail() bool {
+	for i := len(m.segs) - 1; i >= 0; i-- {
+		s := m.segs[i]
+		if s.frames == 0 || s.lastFrame == 0 {
+			continue
+		}
+		cut := (s.lastFrame + 1) / 2
+		s.buf = s.buf[:len(s.buf)-cut]
+		s.frames--
+		s.lastFrame = 0
+		return true
+	}
+	return false
+}
+
+// CorruptFrame flips one byte inside segment seg at offset off (tests use
+// it to plant mid-segment corruption that replay must refuse to skip).
+func (m *MemStorage) CorruptFrame(seg, off int) bool {
+	if seg < 0 || seg >= len(m.segs) || off < 0 || off >= len(m.segs[seg].buf) {
+		return false
+	}
+	m.segs[seg].buf[off] ^= 0xff
+	return true
+}
+
+// SaveSnapshot implements Storage. The blob is copied; callers may reuse
+// their buffer.
+func (m *MemStorage) SaveSnapshot(snap Snapshot) error {
+	data := make([]byte, len(snap.Data))
+	copy(data, snap.Data)
+	m.snap = Snapshot{Floor: snap.Floor, Data: data}
+	m.hasSnap = true
+	return nil
+}
+
+// Snapshot implements Storage. The returned blob is owned by the storage;
+// callers must not modify it.
+func (m *MemStorage) Snapshot() (Snapshot, bool) { return m.snap, m.hasSnap }
+
+// CompactTo implements Storage: drop sealed segments whose every record
+// concerns a slot below floor. The active segment is never dropped.
+func (m *MemStorage) CompactTo(floor uint64) int {
+	n := 0
+	for n < len(m.segs)-1 && m.segs[n].maxSlot < floor {
+		n++
+	}
+	if n > 0 {
+		m.segs = append(m.segs[:0], m.segs[n:]...)
+	}
+	return n
+}
+
+// Replay implements Storage: stream every synced record in order. A torn
+// tail in the final segment is truncated in place; corruption anywhere else
+// aborts with ErrCorrupt. Unsynced appends are discarded first — replay
+// reconstructs what the disk holds, nothing more.
+func (m *MemStorage) Replay(fn func(rec Record) error) error {
+	m.Crash()
+	for i, s := range m.segs {
+		maxSlot, frames, lastFrame := uint64(0), 0, 0
+		valid, err := parseFrames(s.buf, i == len(m.segs)-1, func(rec Record, frameLen int) error {
+			if rec.Slot > maxSlot {
+				maxSlot = rec.Slot
+			}
+			frames++
+			lastFrame = frameLen
+			if fn != nil {
+				return fn(rec)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		s.buf = s.buf[:valid]
+		s.maxSlot, s.frames, s.lastFrame = maxSlot, frames, lastFrame
+	}
+	return nil
+}
+
+// Close implements Storage.
+func (m *MemStorage) Close() error { return nil }
+
+// Segments reports the live segment count (bounded-memory assertions).
+func (m *MemStorage) Segments() int { return len(m.segs) }
+
+// Bytes reports the total synced journal size in bytes.
+func (m *MemStorage) Bytes() int {
+	n := 0
+	for _, s := range m.segs {
+		n += len(s.buf)
+	}
+	return n
+}
+
+// Syncs reports how many real fsyncs were performed.
+func (m *MemStorage) Syncs() uint64 { return m.syncs }

@@ -1,0 +1,217 @@
+// Package wal implements the durable write-ahead log behind crash-restart:
+// a segmented, CRC-framed journal of ballot promises, slot accepts and slot
+// commits, plus a state-machine snapshot slot. Two implementations share one
+// byte format — MemStorage is the deterministic-sim default (no disk, same
+// framing, so recovery and fuzz tests exercise the real parser), FileStorage
+// persists to a directory of segment files with group fsync.
+//
+// Record payloads reuse the wire codec: a promise is framed as a wire.P1a,
+// an accept as a wire.P2a and a commit as a wire.P3, so the journal format
+// is exactly the protocol's own message encoding. Each frame is
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// and segments are plain frame concatenations. A partial trailing frame in
+// the *final* segment is a torn tail (the crash interrupted the last write):
+// replay truncates it and recovery proceeds. Any framing or checksum
+// violation in a non-final segment is corruption and fails loudly — skipping
+// acknowledged records would forge durability.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/wire"
+)
+
+// Kind tags one journal record.
+type Kind uint8
+
+const (
+	// KindPromise records a ballot this replica promised (phase-1) or
+	// adopted; it must be durable before the promise is sent.
+	KindPromise Kind = iota + 1
+	// KindAccept records a slot accepted under a ballot; it must be durable
+	// before the accept is acknowledged (P2b).
+	KindAccept
+	// KindCommit records a slot learned committed. Commits are recoverable
+	// from the cluster (phase-1 re-reads a quorum), so they may be synced
+	// lazily.
+	KindCommit
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPromise:
+		return "promise"
+	case KindAccept:
+		return "accept"
+	case KindCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one journal entry. Slot and Cmds are unused for KindPromise.
+type Record struct {
+	Kind   Kind
+	Ballot ids.Ballot
+	Slot   uint64
+	Cmds   []kvstore.Command
+}
+
+// Snapshot is a state-machine checkpoint. Floor is the first slot NOT
+// covered: log replay resumes there. Data is an opaque blob owned by the
+// protocol layer (see paxos snapshot encoding).
+type Snapshot struct {
+	Floor uint64
+	Data  []byte
+}
+
+// Storage is the durability interface a replica journals through. All
+// methods are single-threaded (the replica's event loop owns its storage).
+//
+// Append buffers a record; nothing is durable until Sync. Sync flushes and
+// fsyncs every buffered append, returning whether an actual sync was
+// performed (false when nothing was pending — callers charge simulated
+// fsync latency only for real syncs). CompactTo drops whole segments whose
+// records all concern slots below floor; it must only be called after
+// SaveSnapshot with that snapshot's floor, because the snapshot blob is
+// what carries the promise ballot across the discarded segments.
+type Storage interface {
+	Append(rec Record) error
+	Sync() (bool, error)
+	SyncCost() time.Duration
+	SaveSnapshot(snap Snapshot) error
+	Snapshot() (Snapshot, bool)
+	CompactTo(floor uint64) int
+	Replay(fn func(rec Record) error) error
+	Close() error
+}
+
+// ErrCorrupt marks an unrecoverable journal: a framing or checksum
+// violation anywhere but the final segment's tail.
+var ErrCorrupt = errors.New("wal: corrupt journal")
+
+const (
+	frameHdr = 8 // u32 length + u32 crc
+	// maxFrame bounds a frame's payload; anything larger is a corrupted
+	// length field, not a real record (the largest legal record is a
+	// uint16-counted command batch).
+	maxFrame = 1 << 26
+	// DefaultSegBytes is the segment roll threshold: a segment is sealed
+	// once it grows past this after a sync.
+	DefaultSegBytes = 64 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameEncoder appends framed records using pointer-boxed scratch messages,
+// so the hot append path performs no interface-boxing allocation (the PR 2
+// codec discipline: a pointer converted to wire.Msg does not escape).
+type frameEncoder struct {
+	p1a wire.P1a
+	p2a wire.P2a
+	p3  wire.P3
+}
+
+// appendFrame encodes rec as one frame onto dst and returns the extended
+// buffer. Allocation-free once dst has capacity.
+func (f *frameEncoder) appendFrame(dst []byte, rec Record) []byte {
+	var m wire.Msg
+	switch rec.Kind {
+	case KindPromise:
+		f.p1a = wire.P1a{Ballot: rec.Ballot}
+		m = &f.p1a
+	case KindAccept:
+		f.p2a = wire.P2a{Ballot: rec.Ballot, Slot: rec.Slot, Cmds: rec.Cmds}
+		m = &f.p2a
+	case KindCommit:
+		f.p3 = wire.P3{Ballot: rec.Ballot, Slot: rec.Slot, Cmds: rec.Cmds}
+		m = &f.p3
+	default:
+		panic(fmt.Sprintf("wal: cannot journal %v record", rec.Kind))
+	}
+	hdr := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = wire.Encode(dst, m)
+	payload := dst[hdr+frameHdr:]
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[hdr+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// decodeRecord maps a wire message payload back to its Record.
+func decodeRecord(payload []byte) (Record, error) {
+	m, n, err := wire.Decode(payload)
+	if err != nil {
+		return Record{}, err
+	}
+	if n != len(payload) {
+		return Record{}, fmt.Errorf("frame carries %d trailing bytes", len(payload)-n)
+	}
+	switch v := m.(type) {
+	case wire.P1a:
+		return Record{Kind: KindPromise, Ballot: v.Ballot}, nil
+	case wire.P2a:
+		return Record{Kind: KindAccept, Ballot: v.Ballot, Slot: v.Slot, Cmds: v.Cmds}, nil
+	case wire.P3:
+		return Record{Kind: KindCommit, Ballot: v.Ballot, Slot: v.Slot, Cmds: v.Cmds}, nil
+	default:
+		return Record{}, fmt.Errorf("unexpected %v payload in journal", m.Type())
+	}
+}
+
+// parseFrames walks the frames in one segment, invoking fn for each decoded
+// record with the frame's total length. final marks the journal's last
+// segment, where a partial or checksum-failing trailing region is a torn
+// tail: parseFrames stops there and returns the valid prefix length so the
+// caller can truncate. The same condition in a non-final segment — and any
+// decodable-but-malformed payload anywhere — returns ErrCorrupt.
+func parseFrames(data []byte, final bool, fn func(rec Record, frameLen int) error) (valid int, err error) {
+	off := 0
+	for off < len(data) {
+		rem := data[off:]
+		torn := func(what string) (int, error) {
+			if final {
+				return off, nil
+			}
+			return off, fmt.Errorf("%w: %s at offset %d of non-final segment", ErrCorrupt, what, off)
+		}
+		if len(rem) < frameHdr {
+			return torn("truncated frame header")
+		}
+		plen := int(binary.LittleEndian.Uint32(rem))
+		if plen == 0 || plen > maxFrame {
+			return torn(fmt.Sprintf("implausible frame length %d", plen))
+		}
+		if len(rem) < frameHdr+plen {
+			return torn("truncated frame payload")
+		}
+		payload := rem[frameHdr : frameHdr+plen]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rem[4:]) {
+			return torn("checksum mismatch")
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			// The checksum matched, so these bytes were written whole: a
+			// payload the codec rejects is corruption, not a torn write.
+			return off, fmt.Errorf("%w: %v at offset %d", ErrCorrupt, derr, off)
+		}
+		if fn != nil {
+			if ferr := fn(rec, frameHdr+plen); ferr != nil {
+				return off, ferr
+			}
+		}
+		off += frameHdr + plen
+	}
+	return off, nil
+}

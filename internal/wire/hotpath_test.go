@@ -61,6 +61,7 @@ func sampleMsgs() []Msg {
 		HeartbeatAck{Ballot: b, From: id2},
 		CatchupReq{From: 3, To: 9},
 		CatchupReply{Ballot: b, Entries: []SlotEntry{{Slot: 3, Ballot: 5, Cmds: sampleBatch(3)}}},
+		SnapInstall{Ballot: b, Floor: 128, Data: []byte("snapshot blob")},
 		Sharded{Shard: 0, Inner: Request{Cmd: sampleCmd()}},
 		Sharded{Shard: 3, Inner: P2a{Ballot: b, Slot: 11, Cmds: sampleBatch(2), Commit: 9}},
 		Sharded{Shard: 65535, Inner: AggP2b{Ballot: b, Relay: id1, Slot: 1, Acks: []ids.ID{id1, id2}}},

@@ -101,9 +101,14 @@ func (r *reader) slotEntry() SlotEntry {
 }
 
 // P1b is a follower's phase-1 promise, carrying its uncommitted log suffix.
+// Floor is the follower's log compaction floor (first resident slot): slots
+// below it were committed, executed and checkpointed, so the follower can no
+// longer report them — a campaigner behind the floor must install a snapshot
+// instead of treating the silence as proposable gaps.
 type P1b struct {
 	Ballot  ids.Ballot // highest ballot the follower has seen
 	From    ids.ID
+	Floor   uint64
 	Entries []SlotEntry
 }
 
@@ -112,7 +117,7 @@ func (P1b) Type() Type { return TP1b }
 
 // Size implements Msg.
 func (m P1b) Size() int {
-	n := szBallot + szID + szU16
+	n := szBallot + szID + szU64 + szU16
 	for _, e := range m.Entries {
 		n += szSlotEntry(e)
 	}
@@ -122,6 +127,7 @@ func (m P1b) Size() int {
 func (m P1b) append(b []byte) []byte {
 	b = putU64(b, uint64(m.Ballot))
 	b = putU32(b, uint32(m.From))
+	b = putU64(b, m.Floor)
 	checkCount(len(m.Entries), "P1b entry list")
 	b = putU16(b, uint16(len(m.Entries)))
 	for _, e := range m.Entries {
@@ -864,6 +870,38 @@ func init() {
 			return &s.heartbeatAck
 		}
 		return m
+	}
+}
+
+// -------------------------------------------------------------- snapshot --
+
+// SnapInstall ships a state-machine snapshot to a follower whose catch-up
+// request fell below the sender's log compaction floor: the full store and
+// session table as of Floor (the first slot the snapshot does NOT cover),
+// serialized by the protocol layer. Ballot is the sender's current ballot.
+// The receiver installs the snapshot, persists it, and resumes ordinary
+// catch-up for slots at or above Floor.
+type SnapInstall struct {
+	Ballot ids.Ballot
+	Floor  uint64
+	Data   []byte
+}
+
+// Type implements Msg.
+func (SnapInstall) Type() Type { return TSnapInstall }
+
+// Size implements Msg.
+func (m SnapInstall) Size() int { return szBallot + szU64 + szBytes(m.Data) }
+
+func (m SnapInstall) append(b []byte) []byte {
+	b = putU64(b, uint64(m.Ballot))
+	b = putU64(b, m.Floor)
+	return putBytes(b, m.Data)
+}
+
+func init() {
+	decoders[TSnapInstall] = func(r *reader) Msg {
+		return SnapInstall{Ballot: r.ballot(), Floor: r.u64(), Data: r.bytes()}
 	}
 }
 

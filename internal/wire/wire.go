@@ -57,6 +57,7 @@ const (
 	TPrepare
 	TPrepareReply
 	TSharded
+	TSnapInstall
 	maxType
 )
 
@@ -74,7 +75,8 @@ var typeNames = [maxType]string{
 	TCatchupReq: "CatchupReq", TCatchupReply: "CatchupReply",
 	THeartbeatAck: "HeartbeatAck",
 	TPrepare:      "Prepare", TPrepareReply: "PrepareReply",
-	TSharded: "Sharded",
+	TSharded:     "Sharded",
+	TSnapInstall: "SnapInstall",
 }
 
 // String implements fmt.Stringer.
@@ -438,7 +440,7 @@ func (r *reader) slotEntries() []SlotEntry {
 }
 
 // szP1bMin is the smallest possible encoded P1b (no entries).
-const szP1bMin = szBallot + szID + szU16
+const szP1bMin = szBallot + szID + szU64 + szU16
 
 // p1bs decodes a count-prefixed P1b list (AggP1b).
 func (r *reader) p1bs() []P1b {
@@ -465,7 +467,7 @@ func (r *reader) p1bs() []P1b {
 }
 
 func (r *reader) p1b() P1b {
-	return P1b{Ballot: r.ballot(), From: r.id(), Entries: r.slotEntries()}
+	return P1b{Ballot: r.ballot(), From: r.id(), Floor: r.u64(), Entries: r.slotEntries()}
 }
 
 // ---- command encoding (shared by several messages) ----

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"strings"
 	"time"
 
 	"pigpaxos/internal/chaos"
@@ -32,17 +33,28 @@ import (
 	"pigpaxos/internal/workload"
 )
 
+// scenarioNames is the single source of truth for -scenario values: both
+// the flag help and the unknown-scenario error render from it, so the two
+// lists can never drift again (the error once omitted "restart").
+var scenarioNames = []string{
+	"leader", "relay", "explore", "faultcurve", "epaxoschaos",
+	"wan", "regionpartition", "placement", "wanexplore", "epaxoswan",
+	"shard", "restart", "sweep",
+}
+
 func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure number to regenerate (7-13)")
 		table    = flag.Int("table", 0, "table number to regenerate (1-2)")
 		util     = flag.Bool("util", false, "regenerate the §6.1 CPU utilization study")
 		batch    = flag.Bool("batch", false, "run the leader-batching sweep (batch size × protocol)")
-		scenario = flag.String("scenario", "", "chaos scenario: leader | relay | explore | faultcurve | epaxoschaos | wan | regionpartition | placement | wanexplore | epaxoswan | shard | restart")
+		scenario = flag.String("scenario", "", "chaos scenario: "+strings.Join(scenarioNames, " | "))
 		benchfmt = flag.Bool("benchfmt", false, "emit scenario results as go-bench lines (pipe into cmd/benchjson)")
 		all      = flag.Bool("all", false, "run every figure and table")
 		quick    = flag.Bool("quick", false, "reduced sweeps (faster, coarser)")
 		seed     = flag.Int64("seed", 42, "simulation seed")
+		nRuns    = flag.Int("runs", 0, "sweep: explored schedules per protocol (default 12, 6 with -quick)")
+		jobs     = flag.Int("jobs", 0, "explorer worker count: 0 = GOMAXPROCS, 1 = serial (equal seeds give bit-identical results at any value)")
 	)
 	flag.Parse()
 
@@ -53,7 +65,7 @@ func main() {
 	suite.Seed = *seed
 
 	if *scenario != "" {
-		if err := runScenarios(*scenario, suite, *benchfmt); err != nil {
+		if err := runScenarios(*scenario, suite, *benchfmt, *nRuns, *jobs); err != nil {
 			fmt.Fprintln(os.Stderr, "pigbench:", err)
 			os.Exit(2)
 		}
@@ -225,17 +237,17 @@ func shardBase(p harness.Protocol, suite harness.Suite) harness.ShardedOptions {
 }
 
 // printShardSweep renders one scaling curve: aggregate throughput, speedup
-// over S=1, latency, and the busiest shard's ack share (the hot-shard
-// signal under a zipfian workload).
+// over the smallest swept shard count, latency, and the busiest shard's
+// ack share (the hot-shard signal under a zipfian workload).
 func printShardSweep(p harness.Protocol, dist workload.Distribution, pts []harness.ShardPoint, benchfmt bool) {
 	for _, pt := range pts {
 		if benchfmt {
 			fmt.Printf("BenchmarkShardSweep/%s/%s/S%d 1 %.0f req/s %.3f speedup %.3f mean-ms %.3f p99-ms %.3f hot-share\n",
-				p, dist, pt.Shards, pt.Throughput, pt.Speedup, pt.MeanLatMs, pt.P99Ms, pt.HotShardShare)
+				p, dist, pt.Shards, pt.Throughput, pt.SpeedupVsMin, pt.MeanLatMs, pt.P99Ms, pt.HotShardShare)
 			continue
 		}
 		fmt.Printf("%-10s %-8s S=%d tput=%-8.0f speedup=%-6.2f mean=%-8.3fms p99=%-8.3fms hot-share=%.2f\n",
-			p, dist, pt.Shards, pt.Throughput, pt.Speedup, pt.MeanLatMs, pt.P99Ms, pt.HotShardShare)
+			p, dist, pt.Shards, pt.Throughput, pt.SpeedupVsMin, pt.MeanLatMs, pt.P99Ms, pt.HotShardShare)
 	}
 }
 
@@ -266,8 +278,9 @@ func printShardScenario(name string, r harness.ShardedScenarioResult, untouchedS
 	}
 }
 
-// runScenarios executes the named chaos suite.
-func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
+// runScenarios executes the named chaos suite. jobs fans explorer-driven
+// suites across workers (0 = GOMAXPROCS); runs sizes the sweep scenario.
+func runScenarios(name string, suite harness.Suite, benchfmt bool, runs, jobs int) error {
 	switch name {
 	case "wan":
 		// Figure 9: Paxos vs PigPaxos per-region client latency on the
@@ -304,6 +317,7 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 		// WAN-path degradation, region crashes, placement flips.
 		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
 			o := wanBase(p, suite)
+			o.Jobs = jobs
 			results := harness.ExploreScenarios(o, chaos.ExplorerOpts{Scenarios: 3})
 			for i, r := range results {
 				printRegions(fmt.Sprintf("explore/%d", i), r, benchfmt)
@@ -328,6 +342,7 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 		// each implementation tolerates (see harness.ExploreScenarios).
 		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos, harness.EPaxos} {
 			o := scenarioBase(p, suite)
+			o.Jobs = jobs
 			results := harness.ExploreScenarios(o, chaos.ExplorerOpts{Scenarios: 3})
 			for i, r := range results {
 				printScenario(fmt.Sprintf("explore/%d", i), r, benchfmt)
@@ -357,6 +372,7 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 		if !reflect.DeepEqual(r, again) {
 			return fmt.Errorf("epaxoschaos: two runs at seed %d are not bit-identical", o.Seed)
 		}
+		o.Jobs = jobs
 		ex := chaos.ExplorerOpts{Scenarios: 3, Allow: chaos.EPaxosPalette()}
 		results := harness.ExploreScenarios(o, ex)
 		rerun := harness.ExploreScenarios(o, ex)
@@ -401,8 +417,8 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 					continue
 				}
 				for _, pt := range pts {
-					if pt.Shards == 4 && pt.Speedup < 3 {
-						return fmt.Errorf("shard: %s S=4 speedup %.2f× under uniform keys, want ≥3×", p, pt.Speedup)
+					if pt.Shards == 4 && pt.SpeedupVsMin < 3 {
+						return fmt.Errorf("shard: %s S=4 speedup %.2f× under uniform keys, want ≥3×", p, pt.SpeedupVsMin)
 					}
 				}
 			}
@@ -452,6 +468,11 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 		// reboots, a slow-disk window), the fsync cost ablation, and the
 		// recovery-latency-vs-snapshot-age curve on a real filesystem.
 		return runRestartSuite(suite, benchfmt)
+	case "sweep":
+		// Large multi-protocol parallel exploration: runs schedules per
+		// protocol across jobs workers, classifies failures, auto-shrinks
+		// each one, and persists the minimized schedules in corpus format.
+		return runSweep(suite, benchfmt, runs, jobs)
 	case "faultcurve":
 		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
 			o := scenarioBase(p, suite)
@@ -477,7 +498,7 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool) error {
 			}
 		}
 	default:
-		return fmt.Errorf("unknown -scenario %q (want leader, relay, explore, faultcurve, epaxoschaos, wan, regionpartition, placement, wanexplore, epaxoswan, or shard)", name)
+		return fmt.Errorf("unknown -scenario %q (want %s)", name, strings.Join(scenarioNames, ", "))
 	}
 	return nil
 }

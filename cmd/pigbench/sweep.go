@@ -1,0 +1,109 @@
+// The sweep scenario: a large multi-protocol parallel exploration with
+// automatic failure shrinking. It is the nightly CI's workhorse — explore
+// many seeded schedules per protocol across worker goroutines, classify
+// every failing result, minimize each failing schedule with
+// harness.ShrinkScenario, and persist the minimized schedules in the
+// regression-corpus format so they can be uploaded as artifacts and, once
+// fixed, checked into internal/chaos/corpus.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pigpaxos/internal/chaos"
+	"pigpaxos/internal/harness"
+)
+
+// shrinkBudget bounds the scenario re-runs each failure's minimization may
+// spend; failures are rare, so the budget is generous.
+const shrinkBudget = 80
+
+// sweepConfig is one protocol's slice of the sweep.
+type sweepConfig struct {
+	label string
+	opts  harness.ScenarioOptions
+}
+
+// sweepConfigs covers the three protocols on LAN clusters plus the two
+// leader-based protocols on the WAN topology — the palettes (and thus the
+// fault families explored) differ per entry via ExploreSchedules defaults.
+func sweepConfigs(suite harness.Suite, jobs int) []sweepConfig {
+	lan := func(p harness.Protocol) harness.ScenarioOptions {
+		o := scenarioBase(p, suite)
+		o.Clients = 8
+		o.OpsPerClient = 24
+		o.Jobs = jobs
+		return o
+	}
+	wan := func(p harness.Protocol) harness.ScenarioOptions {
+		o := wanBase(p, suite)
+		o.Jobs = jobs
+		return o
+	}
+	return []sweepConfig{
+		{"paxos", lan(harness.Paxos)},
+		{"pigpaxos", lan(harness.PigPaxos)},
+		{"epaxos", lan(harness.EPaxos)},
+		{"paxos-wan", wan(harness.Paxos)},
+		{"pigpaxos-wan", wan(harness.PigPaxos)},
+	}
+}
+
+// runSweep explores runs schedules per protocol in parallel, shrinks every
+// failure, and writes each minimized failing schedule as
+// shrunk-<label>-<i>.json in the working directory (the nightly workflow
+// uploads them as artifacts). Returns an error when any failure survives,
+// so CI gates on a clean sweep.
+func runSweep(suite harness.Suite, benchfmt bool, runs, jobs int) error {
+	if runs <= 0 {
+		runs = 12
+		if suite.Measure < 2*time.Second {
+			runs = 6
+		}
+	}
+	fmt.Printf("# sweep: seed=%d runs=%d jobs=%d (re-run with -scenario sweep -seed %d to reproduce)\n",
+		suite.Seed, runs, jobs, suite.Seed)
+	failures := 0
+	for _, cfg := range sweepConfigs(suite, jobs) {
+		start := time.Now()
+		scheds := harness.ExploreSchedules(cfg.opts, chaos.ExplorerOpts{Scenarios: runs})
+		results := harness.RunScenarios(cfg.opts, scheds)
+		elapsed := time.Since(start)
+
+		failed := 0
+		for i, r := range results {
+			kind := r.Failure()
+			if kind == "" {
+				continue
+			}
+			failed++
+			failures++
+			fmt.Printf("# sweep/%s: scenario %d FAILED (%s), shrinking...\n", cfg.label, i, kind)
+			res := harness.ShrinkScenario(cfg.opts, scheds[i], func(sr harness.ScenarioResult) bool {
+				return sr.Failure() == kind
+			}, shrinkBudget)
+			entry := harness.CorpusEntryFor(cfg.opts, res.Schedule,
+				fmt.Sprintf("shrunk-%s-%d", cfg.label, i),
+				fmt.Sprintf("pigbench -scenario sweep -seed %d (scenario %d)", suite.Seed, i),
+				kind)
+			path, err := chaos.WriteCorpusEntry(".", entry)
+			if err != nil {
+				return fmt.Errorf("sweep: persisting shrunk schedule: %w", err)
+			}
+			fmt.Printf("# sweep/%s: shrunk %d→%d events in %d runs → %s\n",
+				cfg.label, len(scheds[i]), len(res.Schedule), res.Runs, path)
+		}
+		if benchfmt {
+			fmt.Printf("BenchmarkExplore/%s/sweep 1 %d scenarios %d failures %.2f scen-per-sec\n",
+				cfg.label, len(results), failed, float64(len(results))/elapsed.Seconds())
+		} else {
+			fmt.Printf("%-14s scenarios=%-4d failures=%-3d wall=%v\n",
+				cfg.label, len(results), failed, elapsed.Round(time.Millisecond))
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("sweep: %d failing scenario(s) at seed %d; shrunk schedules written as shrunk-*.json", failures, suite.Seed)
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"pigpaxos/internal/ids"
 	"pigpaxos/internal/netsim"
 	"pigpaxos/internal/quorum"
+	"pigpaxos/internal/shard"
 )
 
 // Palette selects which fault families the explorer may draw. Every
@@ -152,13 +153,25 @@ func (o *ExplorerOpts) applyDefaults() {
 	}
 }
 
+// childSeed derives schedule i's RNG seed from the base seed via the
+// splitmix64 stream (golden-gamma increment, then the shard router's
+// Mix64 finalizer). The old `Seed<<16 + i` derivation collided across
+// base seeds — seed 1/scenario 0 drew exactly seed 0/scenario 65536's
+// schedule — and silently truncated the top 16 bits of large seeds.
+func childSeed(seed int64, i int) int64 {
+	return int64(shard.Mix64(uint64(seed) + (uint64(i)+1)*0x9e3779b97f4a7c15))
+}
+
 // Explore generates opts.Scenarios random schedules within the bounds.
 // Every returned schedule passes Validate(s, len(Nodes), Horizon).
+// Schedule i is a pure function of (Seed, i, bounds): generation draws
+// from a per-schedule child RNG, so schedules can be generated — and the
+// runs under them fanned out — in any order without changing the corpus.
 func Explore(opts ExplorerOpts) []Schedule {
 	opts.applyDefaults()
 	out := make([]Schedule, 0, opts.Scenarios)
 	for i := 0; i < opts.Scenarios; i++ {
-		out = append(out, explore1(opts, rand.New(rand.NewSource(opts.Seed<<16+int64(i)))))
+		out = append(out, explore1(opts, rand.New(rand.NewSource(childSeed(opts.Seed, i)))))
 	}
 	return out
 }
@@ -191,15 +204,21 @@ func explore1(opts ExplorerOpts, rng *rand.Rand) Schedule {
 		at = opts.Start + time.Duration(rng.Int63n(int64(latest-opts.Start)+1))
 		return at, dur
 	}
-	crashOK := func(at, dur time.Duration) bool {
-		down := 1
+	// unavailable counts a candidate window's k victims against the shared
+	// crash budget: a partitioned-away node is as gone as a crashed one for
+	// quorum purposes, so crash windows, partition cuts and region outages
+	// must never jointly exceed MaxConcurrentCrashes — the connected
+	// survivors stay a formable majority at every instant.
+	unavailable := func(at, dur time.Duration, k int) bool {
+		down := k
 		for _, w := range crashes {
 			if w.start < at+dur && at < w.end {
 				down++
 			}
 		}
-		return down <= opts.MaxConcurrentCrashes
+		return down > opts.MaxConcurrentCrashes
 	}
+	crashOK := func(at, dur time.Duration) bool { return !unavailable(at, dur, 1) }
 
 	// Candidate action kinds under the palette, in a fixed order so the
 	// draw sequence is stable.
@@ -247,6 +266,16 @@ func explore1(opts ExplorerOpts, rng *rand.Rand) Schedule {
 		gens = append(gens, func() (Event, bool) {
 			at, dur := randWindow(50*time.Millisecond, 400*time.Millisecond)
 			k := 1 + rng.Intn((len(opts.Nodes)-1)/2) // strict minority
+			// Charge the cut minority to the shared crash budget, exactly
+			// like RegionPartition below: without it, a drawn partition plus
+			// a concurrent crash window on the majority side could leave the
+			// connected survivors unable to form a majority.
+			if unavailable(at, dur, k) {
+				return Event{}, false
+			}
+			for i := 0; i < k; i++ {
+				crashes = append(crashes, window{at, at + dur})
+			}
 			cut := append([]ids.ID(nil), opts.Nodes[len(opts.Nodes)-k:]...)
 			rest := append([]ids.ID(nil), opts.Nodes[:len(opts.Nodes)-k]...)
 			return Event{At: at, Action: Action{
@@ -301,20 +330,6 @@ func explore1(opts ExplorerOpts, rng *rand.Rand) Schedule {
 		var flips []struct {
 			zone int
 			at   time.Duration
-		}
-		// unavailable counts a window's nodes against the shared crash
-		// budget: a partitioned-away region is as gone as a crashed one for
-		// quorum purposes, so region cuts and region/node crashes must
-		// never jointly exceed MaxConcurrentCrashes — the survivors stay a
-		// connected majority.
-		unavailable := func(at, dur time.Duration, k int) bool {
-			down := k
-			for _, w := range crashes {
-				if w.start < at+dur && at < w.end {
-					down++
-				}
-			}
-			return down > opts.MaxConcurrentCrashes
 		}
 		if al.RegionPartition && len(minority) > 0 {
 			gens = append(gens, func() (Event, bool) {

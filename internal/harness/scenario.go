@@ -9,6 +9,8 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"pigpaxos/internal/chaos"
@@ -82,6 +84,11 @@ type ScenarioOptions struct {
 	// SyncCost is the simulated fsync latency charged per real journal sync
 	// (default 400µs when Durable — an EBS-class flush).
 	SyncCost time.Duration
+	// Jobs is how many scenarios RunScenarios executes concurrently:
+	// 0 means GOMAXPROCS, 1 forces the serial path. Every run is an
+	// isolated deterministic sim and results are collected by schedule
+	// index, so any Jobs value produces bit-identical output.
+	Jobs int
 }
 
 func (o *ScenarioOptions) applyDefaults() {
@@ -875,13 +882,14 @@ func FaultCurve(opts ScenarioOptions, maxCrashes int) []FaultPoint {
 	return out
 }
 
-// ExploreScenarios generates ex.Scenarios random schedules (see
-// chaos.Explore) and runs each under opts, returning one result per
-// schedule. ex.Nodes is filled from the cluster when nil; the palette
-// defaults per protocol — the WAN region families on WAN clusters,
-// chaos.EPaxosPalette (everything but relay crashes) for EPaxos, and
-// everything-but-relay-crashes for Paxos.
-func ExploreScenarios(opts ScenarioOptions, ex chaos.ExplorerOpts) []ScenarioResult {
+// ExploreSchedules generates ex.Scenarios random schedules (see
+// chaos.Explore) with the harness defaults filled in: ex.Nodes from the
+// cluster when nil, and the palette per protocol — the WAN region
+// families on WAN clusters, chaos.EPaxosPalette (everything but relay
+// crashes) for EPaxos, and everything-but-relay-crashes for Paxos.
+// Exposed separately from ExploreScenarios so sweeps can keep the
+// schedule that produced each result (the shrinker's input).
+func ExploreSchedules(opts ScenarioOptions, ex chaos.ExplorerOpts) []chaos.Schedule {
 	opts.applyDefaults()
 	wan := opts.WAN || opts.WANLossy
 	if ex.Nodes == nil {
@@ -923,10 +931,53 @@ func ExploreScenarios(opts ScenarioOptions, ex chaos.ExplorerOpts) []ScenarioRes
 	if ex.Seed == 0 {
 		ex.Seed = opts.Seed
 	}
-	scheds := chaos.Explore(ex)
-	out := make([]ScenarioResult, 0, len(scheds))
-	for _, s := range scheds {
-		out = append(out, RunScenario(opts, s))
+	return chaos.Explore(ex)
+}
+
+// RunScenarios runs one scenario per schedule and returns results in
+// schedule order. Runs fan out across opts.Jobs workers (0 = GOMAXPROCS,
+// 1 = serial); each run is an isolated deterministic sim — no shared
+// state, per-run RNGs — and results land in a pre-sized slice by index,
+// so the output is bit-identical to the serial path regardless of worker
+// count or completion order.
+func RunScenarios(opts ScenarioOptions, scheds []chaos.Schedule) []ScenarioResult {
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
 	}
+	if jobs > len(scheds) {
+		jobs = len(scheds)
+	}
+	out := make([]ScenarioResult, len(scheds))
+	if jobs <= 1 {
+		for i, s := range scheds {
+			out[i] = RunScenario(opts, s)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = RunScenario(opts, scheds[i])
+			}
+		}()
+	}
+	for i := range scheds {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 	return out
+}
+
+// ExploreScenarios generates ex.Scenarios random schedules and runs each
+// under opts, returning one result per schedule. It is
+// RunScenarios(opts, ExploreSchedules(opts, ex)) — parallel across
+// opts.Jobs workers with positionally bit-identical results.
+func ExploreScenarios(opts ScenarioOptions, ex chaos.ExplorerOpts) []ScenarioResult {
+	return RunScenarios(opts, ExploreSchedules(opts, ex))
 }

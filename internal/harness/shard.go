@@ -906,11 +906,13 @@ func RunShardedScenario(opts ShardedOptions, sched chaos.Schedule) ShardedScenar
 type ShardPoint struct {
 	Shards     int
 	Throughput float64
-	// Speedup is aggregate throughput relative to the sweep's S=1 point
-	// (1.0 when the sweep has no S=1 point).
-	Speedup   float64
-	MeanLatMs float64
-	P99Ms     float64
+	// SpeedupVsMin is aggregate throughput relative to the smallest swept
+	// shard count (S=1 when the sweep includes it). It used to be named
+	// Speedup and silently report 1.0 for every point whenever the sweep
+	// lacked an S=1 sample — the baseline was only captured at s == 1.
+	SpeedupVsMin float64
+	MeanLatMs    float64
+	P99Ms        float64
 	// HotShardShare is the busiest shard's fraction of aggregate acks —
 	// 1/S under a uniform workload, rising toward the zipfian skew's head
 	// under a hot-key workload.
@@ -918,27 +920,21 @@ type ShardPoint struct {
 }
 
 // ShardSweep runs RunSharded across shard counts at equal aggregate client
-// count and reports the scaling curve. The acceptance bar for the sharding
-// layer is Speedup ≥ 3 at Shards=4.
+// count and reports the scaling curve, baselined against the smallest
+// swept shard count. The acceptance bar for the sharding layer is
+// SpeedupVsMin ≥ 3 at Shards=4 (with a sweep starting at S=1).
 func ShardSweep(opts ShardedOptions, shardCounts []int) []ShardPoint {
 	out := make([]ShardPoint, 0, len(shardCounts))
-	base := 0.0
 	for _, s := range shardCounts {
 		o := opts
 		o.Shards = s
 		r := RunSharded(o)
-		if s == 1 {
-			base = r.Throughput
-		}
 		p := ShardPoint{
-			Shards:     s,
-			Throughput: r.Throughput,
-			Speedup:    1,
-			MeanLatMs:  float64(r.Latency.Mean.Microseconds()) / 1000,
-			P99Ms:      float64(r.Latency.P99.Microseconds()) / 1000,
-		}
-		if base > 0 {
-			p.Speedup = r.Throughput / base
+			Shards:       s,
+			Throughput:   r.Throughput,
+			SpeedupVsMin: 1,
+			MeanLatMs:    float64(r.Latency.Mean.Microseconds()) / 1000,
+			P99Ms:        float64(r.Latency.P99.Microseconds()) / 1000,
 		}
 		total := 0
 		hot := 0
@@ -952,6 +948,20 @@ func ShardSweep(opts ShardedOptions, shardCounts []int) []ShardPoint {
 			p.HotShardShare = float64(hot) / float64(total)
 		}
 		out = append(out, p)
+	}
+	// Baseline after the fact so the sweep order cannot matter: the
+	// smallest swept S anchors the curve wherever it appears in the list.
+	minIdx := -1
+	for i, p := range out {
+		if minIdx < 0 || p.Shards < out[minIdx].Shards {
+			minIdx = i
+		}
+	}
+	if minIdx >= 0 && out[minIdx].Throughput > 0 {
+		base := out[minIdx].Throughput
+		for i := range out {
+			out[i].SpeedupVsMin = out[i].Throughput / base
+		}
 	}
 	return out
 }

@@ -39,10 +39,38 @@ func TestShardSweepScalesNearLinearly(t *testing.T) {
 		if pts[0].Throughput <= 0 {
 			t.Fatalf("%v: S=1 throughput %.0f", p, pts[0].Throughput)
 		}
-		if pts[1].Speedup < 3 {
+		if pts[1].SpeedupVsMin < 3 {
 			t.Errorf("%v: S=4 speedup %.2f× (S=1 %.0f req/s, S=4 %.0f req/s), want ≥3×",
-				p, pts[1].Speedup, pts[0].Throughput, pts[1].Throughput)
+				p, pts[1].SpeedupVsMin, pts[0].Throughput, pts[1].Throughput)
 		}
+	}
+}
+
+// Regression test for the sweep baseline: without an S=1 point the old
+// code reported Speedup: 1 for every sample (the baseline was only
+// captured at s == 1). The curve must now anchor on the smallest swept S,
+// wherever it appears in the list.
+func TestShardSweepBaselinesOnSmallestSweptS(t *testing.T) {
+	pts := ShardSweep(shardTestOpts(Paxos), []int{4, 2})
+	if len(pts) != 2 {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	s4, s2 := pts[0], pts[1]
+	if s4.Shards != 4 || s2.Shards != 2 {
+		t.Fatalf("point order changed: %+v", pts)
+	}
+	if s2.SpeedupVsMin != 1 {
+		t.Errorf("S=2 (smallest swept) speedup %.3f, want exactly 1", s2.SpeedupVsMin)
+	}
+	if s2.Throughput <= 0 {
+		t.Fatalf("S=2 throughput %.0f", s2.Throughput)
+	}
+	want := s4.Throughput / s2.Throughput
+	if s4.SpeedupVsMin != want {
+		t.Errorf("S=4 speedup %.3f, want throughput ratio %.3f", s4.SpeedupVsMin, want)
+	}
+	if s4.SpeedupVsMin <= 1.2 {
+		t.Errorf("S=4 vs S=2 speedup %.2f×, expected visible scaling", s4.SpeedupVsMin)
 	}
 }
 

@@ -56,6 +56,20 @@ func (r Router) Shards() int {
 	return int(r.n)
 }
 
+// Mix64 is the splitmix64 finalizer: a cheap bijective mixer whose output
+// bits all depend on all input bits. The key router runs every key through
+// it before the shard modulus, and the chaos explorer derives per-schedule
+// RNG seeds with it (distinct inputs can never collide the way shifted-sum
+// seed derivations do).
+func Mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
 // Shard maps a key to its shard index in [0, Shards()). Keys are finalized
 // through splitmix64 before the modulus so sequential key spaces (the
 // common workload-generator pattern) spread evenly rather than striping.
@@ -64,13 +78,7 @@ func (r Router) Shard(key uint64) int {
 	if r.n <= 1 {
 		return 0
 	}
-	z := key
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return int(z % r.n)
+	return int(Mix64(key) % r.n)
 }
 
 // ------------------------------------------------------------ placement --

@@ -34,10 +34,17 @@ func hashKey(s string) uint64 {
 }
 
 type client struct {
-	tn      *transport.TCPNode
-	server  ids.ID
-	replies chan wire.Reply
-	seq     uint64
+	tn     *transport.TCPNode
+	server ids.ID
+	addrs  map[ids.ID]string
+	// id must be unique per invocation: the cluster's at-most-once
+	// session table is keyed on (ClientID, Seq), so a reused identity
+	// would be answered from the previous invocation's cached replies
+	// instead of executing.
+	id        uint64
+	replies   chan wire.Reply
+	seq       uint64
+	redirects int
 }
 
 func (c *client) OnMessage(from ids.ID, m wire.Msg) {
@@ -46,24 +53,39 @@ func (c *client) OnMessage(from ids.ID, m wire.Msg) {
 	}
 }
 
+const maxRedirects = 8
+
 func (c *client) do(cmd kvstore.Command) (wire.Reply, error) {
 	c.seq++
-	cmd.ClientID = 1
+	cmd.ClientID = c.id
 	cmd.Seq = c.seq
-	c.tn.Send(c.server, wire.Request{Cmd: cmd})
+	target := c.server
+	c.tn.Send(target, wire.Request{Cmd: cmd})
+	deadline := time.After(5 * time.Second)
+	hops := 0
 	for {
 		select {
 		case rep := <-c.replies:
 			if rep.Seq != c.seq {
+				continue // stale reply from an earlier op
+			}
+			if !rep.OK && !rep.Leader.IsZero() && rep.Leader != target {
+				if hops++; hops > maxRedirects {
+					return wire.Reply{}, fmt.Errorf("redirect chain exceeded %d hops", maxRedirects)
+				}
+				if _, known := c.addrs[rep.Leader]; !known {
+					return wire.Reply{}, fmt.Errorf(
+						"redirected to leader %v but its address is unknown; pass -cluster", rep.Leader)
+				}
+				c.redirects++
+				target = rep.Leader
+				c.tn.Send(target, wire.Request{Cmd: cmd})
 				continue
 			}
-			if !rep.OK && !rep.Leader.IsZero() && rep.Leader != c.server {
-				// Follow the redirect if we can route to the leader.
-				c.tn.Send(rep.Leader, wire.Request{Cmd: cmd})
-				continue
-			}
+			// Stick with whoever answered so later ops skip the redirect.
+			c.server = target
 			return rep, nil
-		case <-time.After(5 * time.Second):
+		case <-deadline:
 			return wire.Reply{}, fmt.Errorf("timed out")
 		}
 	}
@@ -97,7 +119,12 @@ func main() {
 			addrs[ids.NewID(zone, node)] = kv[1]
 		}
 	}
-	cl := &client{server: serverID, replies: make(chan wire.Reply, 16)}
+	cl := &client{
+		server:  serverID,
+		addrs:   addrs,
+		id:      uint64(time.Now().UnixNano())<<8 | uint64(os.Getpid()&0xff),
+		replies: make(chan wire.Reply, 16),
+	}
 	tn, err := transport.ListenTCP(ids.NewID(999, 1), "127.0.0.1:0", addrs, cl)
 	if err != nil {
 		log.Fatal(err)

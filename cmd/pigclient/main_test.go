@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/cluster"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/transport"
+	"pigpaxos/internal/wire"
+)
+
+// TestDoFollowsRedirectFromFollower aims the client's first request at a
+// follower of a real TCP cluster and checks the redirect is followed, the
+// op commits, and later ops go straight to the leader (stickiness).
+func TestDoFollowsRedirectFromFollower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster")
+	}
+	c, err := cluster.StartInProc(cluster.InProcSpec{N: 3, Protocol: "paxos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := cluster.WaitReady(c.Addrs, c.Members, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	follower := c.Members[2]
+	cl := &client{server: follower, addrs: c.Addrs, id: 51, replies: make(chan wire.Reply, 16)}
+	tn, err := transport.ListenTCP(ids.NewID(999, 1), "127.0.0.1:0", c.Addrs, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	cl.tn = tn
+
+	rep, err := cl.do(kvstore.Command{Op: kvstore.Put, Key: hashKey("k"), Value: []byte("v")})
+	if err != nil || !rep.OK {
+		t.Fatalf("put via follower: %v %+v", err, rep)
+	}
+	if cl.redirects == 0 {
+		t.Error("put against a follower committed without a redirect")
+	}
+	if cl.server != c.Members[0] {
+		t.Errorf("client should stick to the leader %v, targets %v", c.Members[0], cl.server)
+	}
+
+	before := cl.redirects
+	rep, err = cl.do(kvstore.Command{Op: kvstore.Get, Key: hashKey("k")})
+	if err != nil || !rep.OK || string(rep.Value) != "v" {
+		t.Fatalf("get after redirect: %v %+v", err, rep)
+	}
+	if cl.redirects != before {
+		t.Errorf("sticky leader still redirected (%d → %d)", before, cl.redirects)
+	}
+}
+
+// TestDoErrorsOnUnknownLeaderAddr strips the leader from the client's
+// address book: the redirect must surface as an error naming the leader,
+// not a silent 5s timeout.
+func TestDoErrorsOnUnknownLeaderAddr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster")
+	}
+	c, err := cluster.StartInProc(cluster.InProcSpec{N: 3, Protocol: "paxos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := cluster.WaitReady(c.Addrs, c.Members, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	partial := map[ids.ID]string{} // follower only — no leader route
+	follower := c.Members[2]
+	partial[follower] = c.Addrs[follower]
+	cl := &client{server: follower, addrs: partial, id: 52, replies: make(chan wire.Reply, 16)}
+	tn, err := transport.ListenTCP(ids.NewID(999, 2), "127.0.0.1:0", partial, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	cl.tn = tn
+
+	start := time.Now()
+	_, err = cl.do(kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("v")})
+	if err == nil {
+		t.Fatal("put with unroutable leader must fail")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Errorf("unknown-leader error took %v; must fail fast, not time out", time.Since(start))
+	}
+}

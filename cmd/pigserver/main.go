@@ -8,7 +8,12 @@
 //	pigserver -id 1.3 -cluster 1.1=:7001,1.2=:7002,1.3=:7003 &
 //
 // The node whose ID sorts first is the initial leader. Use -protocol to
-// select paxos/epaxos, -groups for PigPaxos relay groups.
+// select paxos/epaxos, -groups for PigPaxos relay groups, -wal-dir for a
+// durable journal that survives crash-restart.
+//
+// On SIGTERM/SIGINT the server shuts down gracefully: it flushes the WAL
+// on the event loop, drains queued outbound frames so peers see its last
+// messages, then closes the transport. A second signal aborts immediately.
 package main
 
 import (
@@ -17,11 +22,10 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sort"
-	"strings"
 	"syscall"
 	"time"
 
+	"pigpaxos/internal/cluster"
 	"pigpaxos/internal/config"
 	"pigpaxos/internal/epaxos"
 	"pigpaxos/internal/ids"
@@ -29,35 +33,9 @@ import (
 	"pigpaxos/internal/paxos"
 	"pigpaxos/internal/pigpaxos"
 	"pigpaxos/internal/transport"
+	"pigpaxos/internal/wal"
 	"pigpaxos/internal/wire"
 )
-
-func parseID(s string) (ids.ID, error) {
-	var zone, n int
-	if _, err := fmt.Sscanf(s, "%d.%d", &zone, &n); err != nil {
-		return 0, fmt.Errorf("bad node ID %q (want zone.node, e.g. 1.2)", s)
-	}
-	return ids.NewID(zone, n), nil
-}
-
-func parseCluster(s string) (map[ids.ID]string, []ids.ID, error) {
-	addrs := make(map[ids.ID]string)
-	var members []ids.ID
-	for _, part := range strings.Split(s, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) != 2 {
-			return nil, nil, fmt.Errorf("bad cluster entry %q (want id=host:port)", part)
-		}
-		id, err := parseID(kv[0])
-		if err != nil {
-			return nil, nil, err
-		}
-		addrs[id] = kv[1]
-		members = append(members, id)
-	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	return addrs, members, nil
-}
 
 type handlerProxy struct{ h node.Handler }
 
@@ -75,19 +53,23 @@ func main() {
 		groups     = flag.Int("groups", 2, "PigPaxos relay groups")
 		relayTO    = flag.Duration("relay-timeout", 50*time.Millisecond, "relay aggregation timeout")
 		electTO    = flag.Duration("election-timeout", 2*time.Second, "leader failover timeout (0 disables)")
+		hb         = flag.Duration("hb", 0, "leader heartbeat interval (0 = library default)")
 		readMode   = flag.String("reads", "log", "read path: log | lease | any (paxos/pigpaxos)")
 		retryTO    = flag.Duration("retry-timeout", 250*time.Millisecond, "leader P2a retransmit timeout for lossy links (0 disables)")
+		walDir     = flag.String("wal-dir", "", "directory for a durable write-ahead log (empty = in-memory only)")
+		snapEvery  = flag.Int("snapshot-every", 4096, "with -wal-dir, checkpoint the state machine every N commits")
+		drainTO    = flag.Duration("drain-timeout", time.Second, "graceful-shutdown budget for flushing outbound frames")
 	)
 	flag.Parse()
 	if *idStr == "" || *clusterStr == "" {
 		fmt.Fprintln(os.Stderr, "usage: pigserver -id 1.1 -cluster 1.1=:7001,1.2=:7002,...")
 		os.Exit(2)
 	}
-	self, err := parseID(*idStr)
+	self, err := cluster.ParseID(*idStr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	addrs, members, err := parseCluster(*clusterStr)
+	addrs, members, err := cluster.ParseAddrs(*clusterStr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,12 +92,23 @@ func main() {
 	default:
 		log.Fatalf("unknown read mode %q (log|lease|any)", *readMode)
 	}
+	var st wal.Storage
+	if *walDir != "" {
+		fs, err := wal.OpenFile(*walDir)
+		if err != nil {
+			log.Fatalf("open wal: %v", err)
+		}
+		st = fs
+	}
 	base := paxos.Config{
 		Cluster: cc, ID: self, InitialLeader: members[0],
-		ElectionTimeout: *electTO,
-		ReadMode:        rm,
-		RetryTimeout:    *retryTO,
-		CompactEvery:    4096, // bound memory on long-running servers
+		ElectionTimeout:   *electTO,
+		HeartbeatInterval: *hb,
+		ReadMode:          rm,
+		RetryTimeout:      *retryTO,
+		CompactEvery:      4096, // bound memory on long-running servers
+		Storage:           st,
+		SnapshotEvery:     *snapEvery,
 	}
 
 	proxy := &handlerProxy{}
@@ -123,7 +116,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer tn.Close()
 
 	leader := members[0]
 	var start func()
@@ -153,8 +145,43 @@ func main() {
 	log.Printf("%s node %v serving on %s (leader: %v, %d members)",
 		*protocol, self, tn.Addr(), leader, len(members))
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down")
+	log.Printf("shutting down: flushing wal, draining transport")
+	go func() { // a second signal aborts the graceful path
+		<-sig
+		log.Printf("second signal: aborting")
+		os.Exit(1)
+	}()
+
+	// Flush the WAL on the event loop, where the replica appends, so the
+	// final sync serializes after every accepted record.
+	if st != nil {
+		flushed := make(chan struct{})
+		tn.After(0, func() {
+			if _, err := st.Sync(); err != nil {
+				log.Printf("wal flush: %v", err)
+			}
+			close(flushed)
+		})
+		select {
+		case <-flushed:
+		case <-time.After(*drainTO):
+			log.Printf("wal flush timed out")
+		}
+	}
+	// Drain queued outbound frames so peers receive our last protocol
+	// messages (votes, acks) before the sockets die.
+	if !tn.Drain(*drainTO) {
+		log.Printf("transport drain timed out; closing anyway")
+	}
+	tn.Close()
+	if st != nil {
+		// The event loop has exited; closing the storage races nothing.
+		if err := st.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	}
+	log.Printf("bye")
 }

@@ -1,0 +1,605 @@
+// Package cluster runs real TCP clusters of the repo's replicas — the
+// sim-to-metal bridge. It offers two substrates behind one addressing
+// scheme:
+//
+//   - InProc starts N replicas inside the current process, each on its own
+//     transport.TCPNode bound to an ephemeral 127.0.0.1 port. Integration
+//     tests use it to exercise the real socket path (framing, reverse
+//     routes, writer goroutines) without process management.
+//   - Procs forks N pigserver processes, one per replica, in the style of
+//     the go-paxos deploy/tester scripts — the substrate cmd/pigload's
+//     -spawn mode benchmarks.
+//
+// Readiness is probed through the client path itself: a node is ready when
+// it answers a Request, and the cluster is ready when a Get completes OK
+// (some leader is committing). SyncClient is the minimal synchronous
+// client both probes and tests share: one command at a time, bounded
+// redirect following, target rotation on connection errors.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pigpaxos/internal/config"
+	"pigpaxos/internal/epaxos"
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/node"
+	"pigpaxos/internal/paxos"
+	"pigpaxos/internal/pigpaxos"
+	"pigpaxos/internal/transport"
+	"pigpaxos/internal/wire"
+)
+
+// ParseID parses Paxi's "zone.node" notation.
+func ParseID(s string) (ids.ID, error) {
+	var zone, n int
+	if _, err := fmt.Sscanf(s, "%d.%d", &zone, &n); err != nil {
+		return 0, fmt.Errorf("cluster: bad node ID %q (want zone.node, e.g. 1.2)", s)
+	}
+	return ids.NewID(zone, n), nil
+}
+
+// ParseAddrs parses a comma-separated "id=host:port" membership list into
+// an address map and the sorted member list.
+func ParseAddrs(s string) (map[ids.ID]string, []ids.ID, error) {
+	addrs := make(map[ids.ID]string)
+	var members []ids.ID
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("cluster: bad entry %q (want id=host:port)", part)
+		}
+		id, err := ParseID(kv[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := addrs[id]; dup {
+			return nil, nil, fmt.Errorf("cluster: duplicate node %v", id)
+		}
+		addrs[id] = kv[1]
+		members = append(members, id)
+	}
+	if len(members) == 0 {
+		return nil, nil, fmt.Errorf("cluster: empty membership list")
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return addrs, members, nil
+}
+
+// FormatAddrs renders an address map back into ParseAddrs form, members in
+// ascending ID order — the -cluster argument handed to spawned pigservers.
+func FormatAddrs(addrs map[ids.ID]string) string {
+	members := make([]ids.ID, 0, len(addrs))
+	for id := range addrs {
+		members = append(members, id)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	parts := make([]string, 0, len(members))
+	for _, id := range members {
+		parts = append(parts, fmt.Sprintf("%s=%s", id, addrs[id]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Members returns the canonical member IDs of an n-node local cluster:
+// 1.1 … 1.n. The lowest ID is the initial leader everywhere in this repo.
+func Members(n int) []ids.ID {
+	out := make([]ids.ID, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, ids.NewID(1, i))
+	}
+	return out
+}
+
+// FreePorts reserves n distinct ephemeral TCP ports and releases them.
+// The caller binds them shortly after; the window in which another process
+// could steal one is accepted for a local test runner.
+func FreePorts(n int) ([]int, error) {
+	ports := make([]int, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}
+
+// ---------------------------------------------------------------- in-proc --
+
+// InProcSpec configures an in-process cluster.
+type InProcSpec struct {
+	// N is the member count.
+	N int
+	// Protocol is paxos | pigpaxos | epaxos.
+	Protocol string
+	// Groups is the PigPaxos relay group count (default 2).
+	Groups int
+	// RelayTimeout is the PigPaxos aggregation timeout (default 50ms).
+	RelayTimeout time.Duration
+	// ElectionTimeout enables leader failover when positive.
+	ElectionTimeout time.Duration
+	// HeartbeatInterval keeps followers from campaigning on an idle
+	// cluster; required with ElectionTimeout.
+	HeartbeatInterval time.Duration
+	// RetryTimeout is the leader's P2a retransmit timeout (liveness after
+	// follower reconnects; default off).
+	RetryTimeout time.Duration
+}
+
+type replica interface {
+	Start()
+	OnMessage(from ids.ID, m wire.Msg)
+}
+
+type handlerProxy struct{ h node.Handler }
+
+func (p *handlerProxy) OnMessage(from ids.ID, m wire.Msg) {
+	if p.h != nil {
+		p.h.OnMessage(from, m)
+	}
+}
+
+// InProc is a running in-process TCP cluster.
+type InProc struct {
+	Members []ids.ID
+	Addrs   map[ids.ID]string
+	nodes   map[ids.ID]*transport.TCPNode
+}
+
+// StartInProc boots an n-node cluster on ephemeral localhost ports. The
+// lowest ID campaigns immediately; replicas start on their event loops.
+func StartInProc(spec InProcSpec) (*InProc, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", spec.N)
+	}
+	if spec.Groups == 0 {
+		spec.Groups = 2
+	}
+	if spec.RelayTimeout == 0 {
+		spec.RelayTimeout = 50 * time.Millisecond
+	}
+	members := Members(spec.N)
+	cc := config.Cluster{Nodes: members}
+	c := &InProc{
+		Members: members,
+		Addrs:   make(map[ids.ID]string),
+		nodes:   make(map[ids.ID]*transport.TCPNode),
+	}
+	// Each node gets its OWN address map (TCPNode guards it with the
+	// node's mutex; sharing one map across nodes would race).
+	for _, id := range members {
+		proxy := &handlerProxy{}
+		tn, err := transport.ListenTCP(id, "127.0.0.1:0", make(map[ids.ID]string), proxy)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes[id] = tn
+		c.Addrs[id] = tn.Addr()
+		rep, err := buildReplica(tn, spec, cc, id)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		proxy.h = rep
+		tn.After(0, rep.Start) // Start on the node's event loop
+	}
+	for _, tn := range c.nodes {
+		for id, a := range c.Addrs {
+			tn.RegisterAddr(id, a)
+		}
+	}
+	return c, nil
+}
+
+func buildReplica(ctx node.Context, spec InProcSpec, cc config.Cluster, id ids.ID) (replica, error) {
+	base := paxos.Config{
+		Cluster: cc, ID: id, InitialLeader: cc.Nodes[0],
+		ElectionTimeout:   spec.ElectionTimeout,
+		HeartbeatInterval: spec.HeartbeatInterval,
+		RetryTimeout:      spec.RetryTimeout,
+		CompactEvery:      4096,
+	}
+	switch spec.Protocol {
+	case "", "paxos":
+		return paxos.New(ctx, base, nil), nil
+	case "pigpaxos":
+		return pigpaxos.New(ctx, pigpaxos.Config{
+			Paxos:        base,
+			NumGroups:    spec.Groups,
+			RelayTimeout: spec.RelayTimeout,
+		}), nil
+	case "epaxos":
+		return epaxos.New(ctx, epaxos.Config{Cluster: cc, ID: id}), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown protocol %q", spec.Protocol)
+	}
+}
+
+// Node exposes a member's transport (tests drain or kill it directly).
+func (c *InProc) Node(id ids.ID) *transport.TCPNode { return c.nodes[id] }
+
+// Stop kills one member: its listener and connections close and its event
+// loop halts, exactly what the rest of the cluster observes when a process
+// dies. The member cannot be restarted.
+func (c *InProc) Stop(id ids.ID) {
+	if tn := c.nodes[id]; tn != nil {
+		tn.Close()
+		delete(c.nodes, id)
+	}
+}
+
+// Close stops every member.
+func (c *InProc) Close() {
+	for id := range c.nodes {
+		c.Stop(id)
+	}
+}
+
+// ------------------------------------------------------------ sync client --
+
+// SyncClient issues one command at a time against a live cluster over raw
+// framed TCP, following leader redirects (bounded) and rotating targets on
+// connection errors. It is the readiness probe, the integration tests'
+// client path, and deliberately NOT the load generator (loadgen pipelines).
+type SyncClient struct {
+	addrs    map[ids.ID]string
+	members  []ids.ID
+	sender   ids.ID
+	clientID uint64
+	target   ids.ID
+	timeout  time.Duration
+	seq      uint64
+	conns    map[ids.ID]*syncConn
+	// Redirects counts redirect hops followed (tests assert the path).
+	Redirects int
+}
+
+type syncConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+// NewSyncClient builds a client that first contacts target. clientID must
+// be unique per concurrent client (it keys the at-most-once session).
+func NewSyncClient(addrs map[ids.ID]string, target ids.ID, clientID uint64, timeout time.Duration) *SyncClient {
+	members := make([]ids.ID, 0, len(addrs))
+	for id := range addrs {
+		members = append(members, id)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &SyncClient{
+		addrs:    addrs,
+		members:  members,
+		sender:   ids.NewID(997, int(clientID%0xffff)+1),
+		clientID: clientID,
+		target:   target,
+		timeout:  timeout,
+		conns:    make(map[ids.ID]*syncConn),
+	}
+}
+
+// Target returns the node the client currently believes leads.
+func (c *SyncClient) Target() ids.ID { return c.target }
+
+// Close drops every connection.
+func (c *SyncClient) Close() {
+	for id, sc := range c.conns {
+		sc.c.Close()
+		delete(c.conns, id)
+	}
+}
+
+// Put writes value under key and reports the committed slot.
+func (c *SyncClient) Put(key uint64, value []byte) (wire.Reply, error) {
+	return c.Do(kvstore.Command{Op: kvstore.Put, Key: key, Value: value})
+}
+
+// Get reads key.
+func (c *SyncClient) Get(key uint64) (wire.Reply, error) {
+	return c.Do(kvstore.Command{Op: kvstore.Get, Key: key})
+}
+
+// Delete removes key.
+func (c *SyncClient) Delete(key uint64) (wire.Reply, error) {
+	return c.Do(kvstore.Command{Op: kvstore.Delete, Key: key})
+}
+
+// Do runs one command to completion: send, await the matching reply,
+// follow redirects up to 8 hops, rotate to the next member on connection
+// errors. A reply with OK=false and no usable leader hint is returned to
+// the caller (the cluster is leaderless right now).
+func (c *SyncClient) Do(cmd kvstore.Command) (wire.Reply, error) {
+	c.seq++
+	cmd.ClientID, cmd.Seq = c.clientID, c.seq
+	target := c.target
+	var lastErr error
+	for hop := 0; hop < 8; hop++ {
+		rep, err := c.roundTrip(target, cmd)
+		if err != nil {
+			lastErr = err
+			target = c.nextMember(target)
+			continue
+		}
+		if !rep.OK && !rep.Leader.IsZero() && rep.Leader != target {
+			if _, known := c.addrs[rep.Leader]; known {
+				c.Redirects++
+				target = rep.Leader
+				continue
+			}
+		}
+		c.target = target // stick with whoever answered
+		return rep, nil
+	}
+	if lastErr != nil {
+		return wire.Reply{}, fmt.Errorf("cluster: command failed after retries: %w", lastErr)
+	}
+	return wire.Reply{}, fmt.Errorf("cluster: redirect chain exceeded 8 hops")
+}
+
+func (c *SyncClient) nextMember(after ids.ID) ids.ID {
+	for i, id := range c.members {
+		if id == after {
+			return c.members[(i+1)%len(c.members)]
+		}
+	}
+	return c.members[0]
+}
+
+func (c *SyncClient) conn(to ids.ID) (*syncConn, error) {
+	if sc, ok := c.conns[to]; ok {
+		return sc, nil
+	}
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no address for %v", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	sc := &syncConn{c: conn, br: bufio.NewReader(conn)}
+	c.conns[to] = sc
+	return sc, nil
+}
+
+func (c *SyncClient) drop(to ids.ID) {
+	if sc, ok := c.conns[to]; ok {
+		sc.c.Close()
+		delete(c.conns, to)
+	}
+}
+
+func (c *SyncClient) roundTrip(to ids.ID, cmd kvstore.Command) (wire.Reply, error) {
+	sc, err := c.conn(to)
+	if err != nil {
+		return wire.Reply{}, err
+	}
+	sc.c.SetDeadline(time.Now().Add(c.timeout))
+	if err := transport.WriteFrame(sc.c, c.sender, wire.Request{Cmd: cmd}); err != nil {
+		c.drop(to)
+		return wire.Reply{}, err
+	}
+	for {
+		_, m, err := transport.ReadFrame(sc.br)
+		if err != nil {
+			c.drop(to)
+			return wire.Reply{}, err
+		}
+		rep, ok := m.(wire.Reply)
+		if !ok || rep.Seq != cmd.Seq || rep.ClientID != cmd.ClientID {
+			continue // stale reply from an earlier attempt
+		}
+		sc.c.SetDeadline(time.Time{})
+		return rep, nil
+	}
+}
+
+// -------------------------------------------------------------- readiness --
+
+// WaitReady blocks until every member answers the client path and a Get
+// completes OK through redirect following (a leader is elected and
+// committing), or the deadline passes. Probe commands run under throwaway
+// client IDs high above any load generator's range.
+func WaitReady(addrs map[ids.ID]string, members []ids.ID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, id := range members {
+		// A fresh client ID per probe: reusing one across WaitReady calls
+		// would collide with the at-most-once session the last call left.
+		probe := NewSyncClient(addrs, id, probeClientBase+probeCounter.Add(1), 500*time.Millisecond)
+		for {
+			rep, err := probe.Do(kvstore.Command{Op: kvstore.Get, Key: readinessKey})
+			if err == nil && rep.OK {
+				break
+			}
+			if time.Now().After(deadline) {
+				probe.Close()
+				if err == nil {
+					err = fmt.Errorf("node answered but no leader is serving (reply %+v)", rep)
+				}
+				return fmt.Errorf("cluster: %v not ready: %w", id, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		probe.Close()
+	}
+	return nil
+}
+
+const (
+	probeClientBase = uint64(1) << 62
+	readinessKey    = ^uint64(0) // far outside any workload's key space
+)
+
+var probeCounter atomic.Uint64
+
+// ------------------------------------------------------------- subprocess --
+
+// ProcSpec configures a spawned multi-process cluster.
+type ProcSpec struct {
+	// N is the member count.
+	N int
+	// Protocol is paxos | pigpaxos | epaxos (forwarded to pigserver).
+	Protocol string
+	// Groups is the PigPaxos relay group count.
+	Groups int
+	// ServerBin is the pigserver binary to fork.
+	ServerBin string
+	// BasePort, when positive, assigns ports BasePort…BasePort+N-1;
+	// otherwise free ephemeral ports are reserved.
+	BasePort int
+	// WALDir, when set, gives node i a durable journal in WALDir/node-i.
+	WALDir string
+	// ExtraArgs are appended to every pigserver command line.
+	ExtraArgs []string
+	// Output receives child stdout/stderr (default: inherit this
+	// process's stderr).
+	Output *os.File
+}
+
+// Procs is a running set of pigserver processes.
+type Procs struct {
+	Members []ids.ID
+	Addrs   map[ids.ID]string
+	cmds    map[ids.ID]*exec.Cmd
+}
+
+// Launch forks one pigserver per member and returns without waiting for
+// readiness (call WaitReady). On any spawn error the already-started
+// children are killed.
+func Launch(spec ProcSpec) (*Procs, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", spec.N)
+	}
+	if spec.ServerBin == "" {
+		return nil, fmt.Errorf("cluster: ProcSpec.ServerBin is required")
+	}
+	members := Members(spec.N)
+	addrs := make(map[ids.ID]string, spec.N)
+	if spec.BasePort > 0 {
+		for i, id := range members {
+			addrs[id] = fmt.Sprintf("127.0.0.1:%d", spec.BasePort+i)
+		}
+	} else {
+		ports, err := FreePorts(spec.N)
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range members {
+			addrs[id] = fmt.Sprintf("127.0.0.1:%d", ports[i])
+		}
+	}
+	p := &Procs{Members: members, Addrs: addrs, cmds: make(map[ids.ID]*exec.Cmd)}
+	clusterArg := FormatAddrs(addrs)
+	for i, id := range members {
+		args := []string{
+			"-id", id.String(),
+			"-cluster", clusterArg,
+			"-protocol", orDefault(spec.Protocol, "pigpaxos"),
+		}
+		if spec.Groups > 0 {
+			args = append(args, "-groups", fmt.Sprint(spec.Groups))
+		}
+		if spec.WALDir != "" {
+			args = append(args, "-wal-dir", fmt.Sprintf("%s/node-%d", spec.WALDir, i+1))
+		}
+		args = append(args, spec.ExtraArgs...)
+		cmd := exec.Command(spec.ServerBin, args...)
+		out := spec.Output
+		if out == nil {
+			out = os.Stderr
+		}
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			p.StopAll(0)
+			return nil, fmt.Errorf("cluster: spawn %v: %w", id, err)
+		}
+		p.cmds[id] = cmd
+	}
+	return p, nil
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+// Kill hard-kills one member (SIGKILL) and reaps it — the leader-crash
+// experiment's hammer. The member stays in Addrs so clients keep probing
+// its dead port, exactly as real clients would.
+func (p *Procs) Kill(id ids.ID) error {
+	cmd, ok := p.cmds[id]
+	if !ok {
+		return fmt.Errorf("cluster: no process for %v", id)
+	}
+	delete(p.cmds, id)
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait()
+	return nil
+}
+
+// Terminate sends SIGTERM to one member (graceful drain path) without
+// waiting.
+func (p *Procs) Terminate(id ids.ID) error {
+	cmd, ok := p.cmds[id]
+	if !ok {
+		return fmt.Errorf("cluster: no process for %v", id)
+	}
+	return cmd.Process.Signal(syscall.SIGTERM)
+}
+
+// StopAll SIGTERMs every child, waits up to grace for clean exits, then
+// SIGKILLs stragglers. Always reaps.
+func (p *Procs) StopAll(grace time.Duration) {
+	for _, cmd := range p.cmds {
+		cmd.Process.Signal(syscall.SIGTERM)
+	}
+	done := make(chan ids.ID, len(p.cmds))
+	for id, cmd := range p.cmds {
+		go func(id ids.ID, cmd *exec.Cmd) {
+			cmd.Wait()
+			done <- id
+		}(id, cmd)
+	}
+	deadline := time.After(grace)
+	remaining := len(p.cmds)
+	for remaining > 0 {
+		select {
+		case <-done:
+			remaining--
+		case <-deadline:
+			for _, cmd := range p.cmds {
+				cmd.Process.Kill()
+			}
+			deadline = time.After(time.Minute) // reap after kill; never spin
+		}
+	}
+	p.cmds = make(map[ids.ID]*exec.Cmd)
+}

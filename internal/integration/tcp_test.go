@@ -1,0 +1,184 @@
+// End-to-end tests for the real stack: actual TCPNodes on ephemeral
+// localhost ports, the framed wire protocol, per-peer writer goroutines —
+// everything the simulator abstracts away. Skipped under -short; CI runs
+// them with -race in the bench-tcp job.
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/cluster"
+	"pigpaxos/internal/loadgen"
+	"pigpaxos/internal/workload"
+)
+
+// TestTCPClusterEndToEnd brings up a real 3-node cluster per protocol and
+// runs the full client path over sockets: put, get, delete, and a
+// follower-first op that must traverse a leader redirect.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster")
+	}
+	for _, proto := range []string{"paxos", "pigpaxos"} {
+		t.Run(proto, func(t *testing.T) {
+			c, err := cluster.StartInProc(cluster.InProcSpec{N: 3, Protocol: proto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := cluster.WaitReady(c.Addrs, c.Members, 10*time.Second); err != nil {
+				t.Fatal(err)
+			}
+
+			// Leader-directed traffic.
+			cl := cluster.NewSyncClient(c.Addrs, c.Members[0], 1, 5*time.Second)
+			defer cl.Close()
+			for k := uint64(0); k < 20; k++ {
+				rep, err := cl.Put(k, []byte{byte(k)})
+				if err != nil || !rep.OK {
+					t.Fatalf("put %d: %v %+v", k, err, rep)
+				}
+			}
+			for k := uint64(0); k < 20; k++ {
+				rep, err := cl.Get(k)
+				if err != nil || !rep.OK || !rep.Exists || rep.Value[0] != byte(k) {
+					t.Fatalf("get %d: %v %+v", k, err, rep)
+				}
+			}
+			rep, err := cl.Delete(7)
+			if err != nil || !rep.OK {
+				t.Fatalf("delete: %v %+v", err, rep)
+			}
+			if rep, err = cl.Get(7); err != nil || !rep.OK || rep.Exists {
+				t.Fatalf("get after delete: %v %+v", err, rep)
+			}
+
+			// Follower-directed traffic must redirect, then stick.
+			fc := cluster.NewSyncClient(c.Addrs, c.Members[2], 2, 5*time.Second)
+			defer fc.Close()
+			if rep, err = fc.Get(3); err != nil || !rep.OK || !rep.Exists {
+				t.Fatalf("follower get: %v %+v", err, rep)
+			}
+			if fc.Redirects == 0 {
+				t.Error("follower-first op served without a redirect")
+			}
+			if fc.Target() != c.Members[0] {
+				t.Errorf("client should stick to leader, targets %v", fc.Target())
+			}
+		})
+	}
+}
+
+// TestTCPLeaderKillFailover runs open-loop load against a real cluster,
+// kills the leader's transport mid-window, and asserts the cluster fails
+// over: load keeps completing afterwards and the availability gap stays
+// bounded by a few election timeouts.
+func TestTCPLeaderKillFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster")
+	}
+	const electTO = 400 * time.Millisecond
+	c, err := cluster.StartInProc(cluster.InProcSpec{
+		N:                 3,
+		Protocol:          "paxos",
+		ElectionTimeout:   electTO,
+		HeartbeatInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := cluster.WaitReady(c.Addrs, c.Members, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	leader := c.Members[0]
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(1500 * time.Millisecond) // warmup + 0.5s of steady state
+		c.Stop(leader)
+		close(killed)
+	}()
+	res, err := loadgen.Run(loadgen.Options{
+		Addrs:    c.Addrs,
+		Members:  c.Members,
+		Clients:  4,
+		Rate:     400,
+		Warmup:   time.Second,
+		Duration: 4 * time.Second,
+		Timeout:  2 * time.Second,
+		Workload: workload.Config{Keys: 64},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+	t.Logf("failover run: %v", res)
+	if res.Completed == 0 {
+		t.Fatal("no completions at all")
+	}
+	// The window is 4s and the leader dies 0.5s in; substantial traffic
+	// must complete AFTER failover, not just before the kill.
+	if float64(res.Completed) < 0.5*float64(res.Offered) {
+		t.Errorf("only %d/%d ops completed; failover did not restore service",
+			res.Completed, res.Offered)
+	}
+	// Bounded gap: election (randomized ×[1,2)) + client retry sweeps.
+	// 6× election timeout + 1s of retry slack is generous but still
+	// catches a cluster that never re-elects (gap would be ≈ 3.5s).
+	if maxAllowed := 6*electTO + time.Second; res.MaxGap > maxAllowed {
+		t.Errorf("availability gap %v exceeds %v", res.MaxGap, maxAllowed)
+	}
+}
+
+// TestTCPGracefulLeaderDrain covers the SIGTERM path pigserver takes:
+// Drain flushes what the dying leader already queued, the remaining nodes
+// elect, and a fresh client commits against the new leader.
+func TestTCPGracefulLeaderDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster")
+	}
+	c, err := cluster.StartInProc(cluster.InProcSpec{
+		N:                 3,
+		Protocol:          "paxos",
+		ElectionTimeout:   400 * time.Millisecond,
+		HeartbeatInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := cluster.WaitReady(c.Addrs, c.Members, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.NewSyncClient(c.Addrs, c.Members[0], 1, 5*time.Second)
+	defer cl.Close()
+	if rep, err := cl.Put(1, []byte("before")); err != nil || !rep.OK {
+		t.Fatalf("put before drain: %v %+v", err, rep)
+	}
+
+	leader := c.Members[0]
+	ln := c.Node(leader)
+	if !ln.Drain(2 * time.Second) {
+		t.Error("leader transport did not drain while idle")
+	}
+	c.Stop(leader)
+
+	// A new client (fresh session, no stale conn) must find the new
+	// leader and commit; readiness on the survivors proves the election.
+	survivors := c.Members[1:]
+	if err := cluster.WaitReady(c.Addrs, survivors, 10*time.Second); err != nil {
+		t.Fatalf("survivors never elected: %v", err)
+	}
+	nc := cluster.NewSyncClient(c.Addrs, survivors[0], 9, 5*time.Second)
+	defer nc.Close()
+	rep, err := nc.Get(1)
+	if err != nil || !rep.OK || !rep.Exists || string(rep.Value) != "before" {
+		t.Fatalf("pre-drain write lost after leader handoff: %v %+v", err, rep)
+	}
+	if rep, err = nc.Put(2, []byte("after")); err != nil || !rep.OK {
+		t.Fatalf("put after handoff: %v %+v", err, rep)
+	}
+}

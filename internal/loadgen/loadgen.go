@@ -1,0 +1,451 @@
+// Package loadgen is the open-loop load engine behind cmd/pigload. It
+// drives a real TCP cluster with Poisson arrivals at a fixed aggregate
+// rate: requests launch on their scheduled arrival instants whether or not
+// earlier ones have completed, so queueing delay shows up in the measured
+// latency instead of silently throttling the offered load (no coordinated
+// omission). That is the arrival model under which the paper's §5.4
+// saturation curves — throughput flattening while latency diverges — are
+// defined.
+//
+// Each worker is one at-most-once client session: its own client ID, its
+// own Poisson clock at rate/W (superposition keeps the aggregate exact),
+// one framed TCP connection at a time. Workers follow leader redirects,
+// rotate targets when connections die, and retransmit stragglers, so a
+// leader crash mid-run costs a bounded completion gap rather than the
+// run. Past the in-flight cap a worker sheds new arrivals — the open
+// loop's stand-in for an overloaded client machine — and the shed count
+// is reported so saturation is visible in the output, not hidden.
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/metrics"
+	"pigpaxos/internal/transport"
+	"pigpaxos/internal/wire"
+	"pigpaxos/internal/workload"
+)
+
+// Options configures a load run.
+type Options struct {
+	// Addrs maps every member to its TCP address.
+	Addrs map[ids.ID]string
+	// Members lists the cluster, ascending; the first entry is the
+	// presumed initial leader and every worker's first target.
+	Members []ids.ID
+	// Clients is the worker count (default 8).
+	Clients int
+	// Rate is the aggregate offered load in ops/sec (required).
+	Rate float64
+	// Warmup runs load without recording (default 1s).
+	Warmup time.Duration
+	// Duration is the measurement window (default 5s).
+	Duration time.Duration
+	// Workload shapes keys, read ratio, and payloads.
+	Workload workload.Config
+	// Timeout abandons an op this long after its scheduled arrival
+	// (default 2s). Abandoned ops count as timeouts, including retried
+	// ops whose first execution was swallowed by the at-most-once
+	// session window — bounded noise under failover.
+	Timeout time.Duration
+	// MaxInFlight caps one worker's outstanding ops; arrivals beyond it
+	// are shed (default 1024).
+	MaxInFlight int
+	// RetryInterval is the straggler sweep period (default 250ms).
+	// Every third attempt for the same op rotates to the next member.
+	RetryInterval time.Duration
+	// Seed makes arrival times and key draws reproducible.
+	Seed int64
+	// ClientIDBase offsets worker client IDs (worker i uses base+i) so
+	// repeated runs against one cluster get fresh sessions.
+	ClientIDBase uint64
+}
+
+func (o *Options) defaults() error {
+	if o.Rate <= 0 {
+		return fmt.Errorf("loadgen: non-positive rate %v", o.Rate)
+	}
+	if len(o.Members) == 0 || len(o.Addrs) == 0 {
+		return fmt.Errorf("loadgen: empty cluster")
+	}
+	if o.Clients == 0 {
+		o.Clients = 8
+	}
+	if o.Clients < 0 {
+		return fmt.Errorf("loadgen: negative client count")
+	}
+	if o.Warmup == 0 {
+		o.Warmup = time.Second
+	}
+	if o.Duration == 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 1024
+	}
+	if o.RetryInterval == 0 {
+		o.RetryInterval = 250 * time.Millisecond
+	}
+	if o.ClientIDBase == 0 {
+		o.ClientIDBase = 1
+	}
+	return nil
+}
+
+// Result aggregates a run. Offered/Completed/Shed/Timeouts count only ops
+// whose scheduled arrival fell inside the measurement window; goodput is
+// completions inside the window per second of window.
+type Result struct {
+	Offered   uint64
+	Completed uint64
+	Shed      uint64
+	Timeouts  uint64
+	Redirects uint64
+	Resends   uint64
+	// Latency digests scheduled-arrival→completion times (queueing
+	// included — the open-loop latency).
+	Latency metrics.Summary
+	// Goodput is committed ops/sec over the measurement window.
+	Goodput float64
+	// OfferedRate is the realized arrival rate over the window.
+	OfferedRate float64
+	// MaxGap is the longest interval between consecutive completions
+	// inside the window — the availability hole a mid-run fault opens.
+	MaxGap time.Duration
+	// Elapsed is the measurement window length.
+	Elapsed time.Duration
+}
+
+// String renders the one-line human summary pigload prints to stderr.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"offered %.0f/s goodput %.0f/s (completed %d shed %d timeout %d redirect %d resend %d) lat %v maxgap %v",
+		r.OfferedRate, r.Goodput, r.Completed, r.Shed, r.Timeouts,
+		r.Redirects, r.Resends, r.Latency, r.MaxGap)
+}
+
+// Run drives the cluster and blocks until the measurement window plus a
+// drain grace (one Timeout) has passed and every worker has wound down.
+func Run(opts Options) (*Result, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	hist := metrics.NewHistogram()
+	// A shared epoch slightly in the future aligns every worker's
+	// Poisson clock and measurement window.
+	start := time.Now().Add(20 * time.Millisecond)
+	measStart := start.Add(opts.Warmup)
+	measEnd := measStart.Add(opts.Duration)
+	workers := make([]*worker, opts.Clients)
+	perRate := opts.Rate / float64(opts.Clients)
+	for i := range workers {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)*7919))
+		workers[i] = &worker{
+			opts:      &opts,
+			clientID:  opts.ClientIDBase + uint64(i),
+			sender:    ids.NewID(998, i+1),
+			gen:       workload.New(opts.Workload, rng),
+			arrivals:  workload.NewArrivals(perRate, rng),
+			target:    opts.Members[0],
+			pending:   make(map[uint64]*op),
+			rx:        make(chan rxEvent, opts.MaxInFlight+16),
+			done:      make(chan struct{}),
+			hist:      hist,
+			measStart: measStart,
+			measEnd:   measEnd,
+		}
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(start, measEnd)
+		}(w)
+	}
+	wg.Wait()
+	res := &Result{Elapsed: opts.Duration}
+	var completions []time.Duration
+	for _, w := range workers {
+		res.Offered += w.offered
+		res.Completed += w.completed
+		res.Shed += w.shed
+		res.Timeouts += w.timeouts
+		res.Redirects += w.redirects
+		res.Resends += w.resends
+		completions = append(completions, w.completions...)
+	}
+	res.Latency = hist.Snapshot()
+	sec := opts.Duration.Seconds()
+	res.Goodput = float64(res.Completed) / sec
+	res.OfferedRate = float64(res.Offered) / sec
+	sort.Slice(completions, func(i, j int) bool { return completions[i] < completions[j] })
+	for i := 1; i < len(completions); i++ {
+		if d := completions[i] - completions[i-1]; d > res.MaxGap {
+			res.MaxGap = d
+		}
+	}
+	return res, nil
+}
+
+type op struct {
+	cmd       wire.Request
+	scheduled time.Time
+	lastSent  time.Time
+	attempts  int
+	inWindow  bool
+}
+
+type rxEvent struct {
+	gen int
+	rep wire.Reply
+	err error
+}
+
+type worker struct {
+	opts     *Options
+	clientID uint64
+	sender   ids.ID
+	gen      *workload.Generator
+	arrivals *workload.Arrivals
+
+	target  ids.ID
+	conn    net.Conn
+	connGen int
+	readers sync.WaitGroup
+	rx      chan rxEvent
+	done    chan struct{}
+
+	seq     uint64
+	pending map[uint64]*op
+
+	hist               *metrics.Histogram
+	measStart, measEnd time.Time
+	completions        []time.Duration // since measStart, unsorted per worker
+	offered, completed uint64
+	shed, timeouts     uint64
+	redirects, resends uint64
+}
+
+func (w *worker) run(start, end time.Time) {
+	defer w.teardown()
+	next := start.Add(w.arrivals.Next())
+	sweep := time.NewTicker(w.opts.RetryInterval)
+	defer sweep.Stop()
+	arrival := time.NewTimer(time.Until(next))
+	defer arrival.Stop()
+	hardStop := end.Add(w.opts.Timeout) // drain grace
+	for {
+		now := time.Now()
+		if now.After(hardStop) || (now.After(end) && len(w.pending) == 0) {
+			return
+		}
+		var arrivalC <-chan time.Time
+		if !now.After(end) {
+			arrival.Reset(time.Until(next))
+			arrivalC = arrival.C
+		} else {
+			arrival.Reset(time.Until(hardStop))
+			arrivalC = nil
+		}
+		select {
+		case <-arrivalC:
+			w.launch(next)
+			next = next.Add(w.arrivals.Next())
+		case ev := <-w.rx:
+			w.onRx(ev)
+		case <-sweep.C:
+			w.sweepPending()
+		}
+	}
+}
+
+func (w *worker) teardown() {
+	close(w.done)
+	w.dropConn()
+	w.readers.Wait()
+}
+
+// launch fires the arrival scheduled for t: shed past the cap, otherwise
+// register and send. Latency is measured from t, not from the actual send,
+// so a backed-up worker reports the queueing it caused.
+func (w *worker) launch(t time.Time) {
+	inWin := !t.Before(w.measStart) && t.Before(w.measEnd)
+	if inWin {
+		w.offered++
+	}
+	if len(w.pending) >= w.opts.MaxInFlight {
+		if inWin {
+			w.shed++
+		}
+		return
+	}
+	w.seq++
+	o := &op{
+		cmd:       wire.Request{Cmd: w.gen.Next(w.clientID, w.seq)},
+		scheduled: t,
+		inWindow:  inWin,
+	}
+	w.pending[w.seq] = o
+	w.send(o)
+}
+
+func (w *worker) send(o *op) {
+	o.attempts++
+	o.lastSent = time.Now()
+	c := w.ensureConn()
+	if c == nil {
+		return // sweep retries once a connection comes back
+	}
+	if err := transport.WriteFrame(c, w.sender, o.cmd); err != nil {
+		w.dropConn()
+		w.rotate()
+	}
+}
+
+// ensureConn dials the current target if needed, spawning a reader that
+// feeds w.rx until the connection dies. On dial failure the worker rotates
+// so the next attempt tries another member.
+func (w *worker) ensureConn() net.Conn {
+	if w.conn != nil {
+		return w.conn
+	}
+	addr, ok := w.opts.Addrs[w.target]
+	if !ok {
+		w.rotate()
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", addr, w.opts.RetryInterval)
+	if err != nil {
+		w.rotate()
+		return nil
+	}
+	w.conn = c
+	w.connGen++
+	gen := w.connGen
+	w.readers.Add(1)
+	go func() {
+		defer w.readers.Done()
+		br := bufio.NewReader(c)
+		for {
+			_, m, err := transport.ReadFrame(br)
+			if err != nil {
+				select {
+				case w.rx <- rxEvent{gen: gen, err: err}:
+				case <-w.done:
+				}
+				return
+			}
+			if rep, ok := m.(wire.Reply); ok {
+				select {
+				case w.rx <- rxEvent{gen: gen, rep: rep}:
+				case <-w.done:
+					return
+				}
+			}
+		}
+	}()
+	return c
+}
+
+func (w *worker) dropConn() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+}
+
+func (w *worker) rotate() {
+	for i, id := range w.opts.Members {
+		if id == w.target {
+			w.target = w.opts.Members[(i+1)%len(w.opts.Members)]
+			return
+		}
+	}
+	w.target = w.opts.Members[0]
+}
+
+func (w *worker) onRx(ev rxEvent) {
+	if ev.gen != w.connGen {
+		return // reader of an already-replaced connection
+	}
+	if ev.err != nil {
+		w.dropConn()
+		w.rotate()
+		return
+	}
+	rep := ev.rep
+	o, ok := w.pending[rep.Seq]
+	if !ok || rep.ClientID != w.clientID {
+		return // already timed out, or a stale duplicate
+	}
+	if !rep.OK {
+		if !rep.Leader.IsZero() && rep.Leader != w.target {
+			if _, known := w.opts.Addrs[rep.Leader]; known {
+				w.redirects++
+				w.target = rep.Leader
+				w.dropConn()
+				w.resendAll()
+			}
+		}
+		// No usable hint: leaderless right now; the sweep retries.
+		return
+	}
+	delete(w.pending, rep.Seq)
+	now := time.Now()
+	if o.inWindow && !now.After(w.measEnd.Add(w.opts.Timeout)) {
+		w.completed++
+		w.hist.Observe(now.Sub(o.scheduled))
+		w.completions = append(w.completions, now.Sub(w.measStart))
+	}
+}
+
+// resendAll replays every pending op after a retarget: the old conn is
+// gone, so replies in flight on it are lost and the ops must go again.
+// Safe under at-most-once sessions — duplicates are answered from the
+// session window, not re-executed.
+func (w *worker) resendAll() {
+	for _, o := range w.pending {
+		if o.attempts > 0 {
+			w.resends++
+		}
+		w.send(o)
+	}
+}
+
+// sweepPending expires ops past Timeout and retransmits stragglers. Every
+// third attempt for an op rotates targets first, so a run never wedges on
+// one dead or stale member.
+func (w *worker) sweepPending() {
+	now := time.Now()
+	rotated := false
+	for seq, o := range w.pending {
+		if now.Sub(o.scheduled) > w.opts.Timeout {
+			delete(w.pending, seq)
+			if o.inWindow {
+				w.timeouts++
+			}
+			continue
+		}
+		if now.Sub(o.lastSent) < w.opts.RetryInterval {
+			continue
+		}
+		if o.attempts%3 == 0 && !rotated {
+			rotated = true
+			w.dropConn()
+			w.rotate()
+		}
+		w.resends++
+		w.send(o)
+	}
+}

@@ -1,0 +1,108 @@
+package loadgen_test
+
+import (
+	"testing"
+	"time"
+
+	"pigpaxos/internal/cluster"
+	"pigpaxos/internal/loadgen"
+	"pigpaxos/internal/workload"
+)
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := loadgen.Run(loadgen.Options{}); err == nil {
+		t.Fatal("zero rate must be rejected")
+	}
+	if _, err := loadgen.Run(loadgen.Options{Rate: 100}); err == nil {
+		t.Fatal("empty cluster must be rejected")
+	}
+}
+
+// TestOpenLoopAgainstRealCluster drives a real 3-node TCP paxos cluster at
+// a comfortable rate and checks the accounting: goodput tracks offered
+// load, latency percentiles are populated, and nothing times out.
+func TestOpenLoopAgainstRealCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster")
+	}
+	c, err := cluster.StartInProc(cluster.InProcSpec{N: 3, Protocol: "paxos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := cluster.WaitReady(c.Addrs, c.Members, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadgen.Run(loadgen.Options{
+		Addrs:    c.Addrs,
+		Members:  c.Members,
+		Clients:  4,
+		Rate:     400,
+		Warmup:   300 * time.Millisecond,
+		Duration: 1500 * time.Millisecond,
+		Workload: workload.Config{Keys: 64},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result: %v", res)
+	if res.Offered == 0 || res.Completed == 0 {
+		t.Fatalf("no traffic measured: %+v", res)
+	}
+	// Poisson at 400/s over 1.5s: offered ≈ 600 with stddev ≈ 24.5; a
+	// ±25% band is ~6 sigma on a seeded run.
+	if res.Offered < 450 || res.Offered > 750 {
+		t.Errorf("offered %d, want ≈ 600", res.Offered)
+	}
+	if res.Timeouts > 0 {
+		t.Errorf("healthy cluster timed out %d ops", res.Timeouts)
+	}
+	if got := float64(res.Completed) / float64(res.Offered); got < 0.95 {
+		t.Errorf("goodput/offered = %.2f, want ≥ 0.95", got)
+	}
+	if res.Latency.P50 <= 0 || res.Latency.P99 < res.Latency.P50 ||
+		res.Latency.P999 < res.Latency.P99 {
+		t.Errorf("implausible latency digest: %v", res.Latency)
+	}
+}
+
+// TestOpenLoopShedsAtInFlightCap pins MaxInFlight low against an offered
+// rate the cap cannot carry, and checks the engine sheds instead of
+// blocking the arrival clock (the open-loop property).
+func TestOpenLoopShedsAtInFlightCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP cluster")
+	}
+	c, err := cluster.StartInProc(cluster.InProcSpec{N: 3, Protocol: "paxos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := cluster.WaitReady(c.Addrs, c.Members, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadgen.Run(loadgen.Options{
+		Addrs:       c.Addrs,
+		Members:     c.Members,
+		Clients:     2,
+		Rate:        4000,
+		Warmup:      200 * time.Millisecond,
+		Duration:    time.Second,
+		MaxInFlight: 8,
+		Timeout:     time.Second,
+		Workload:    workload.Config{Keys: 64},
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result: %v", res)
+	if res.Shed == 0 {
+		t.Errorf("rate 4000 against in-flight cap 16 must shed, got %+v", res)
+	}
+	// The run must still have made real progress under overload.
+	if res.Completed == 0 {
+		t.Errorf("no completions under overload: %+v", res)
+	}
+}

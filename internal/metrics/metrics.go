@@ -114,7 +114,9 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		s := make([]time.Duration, len(h.raw))
 		copy(s, h.raw)
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+		// The epsilon absorbs float error in p/100 (99.9/100*10000 computes
+		// to 9990.0000000000018; the nearest rank is 9990, not 9991).
+		idx := int(math.Ceil(p/100*float64(len(s))-1e-9)) - 1
 		if idx < 0 {
 			idx = 0
 		}
@@ -123,7 +125,7 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		}
 		return s[idx]
 	}
-	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	target := uint64(math.Ceil(p/100*float64(h.count) - 1e-9))
 	var cum uint64
 	for i, c := range h.buckets {
 		cum += c
@@ -143,6 +145,7 @@ func (h *Histogram) Snapshot() Summary {
 		Max:   h.Max(),
 		P50:   h.Percentile(50),
 		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
 	}
 }
 
@@ -152,12 +155,15 @@ type Summary struct {
 	Mean     time.Duration
 	Min, Max time.Duration
 	P50, P99 time.Duration
+	// P999 is the 99.9th percentile, the tail the open-loop TCP load
+	// tester reports alongside p50/p99.
+	P999 time.Duration
 }
 
 // String implements fmt.Stringer.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v min=%v max=%v",
-		s.Count, s.Mean, s.P50, s.P99, s.Min, s.Max)
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p99.9=%v min=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P99, s.P999, s.Min, s.Max)
 }
 
 // Counter is a monotonically increasing counter safe for concurrent use.

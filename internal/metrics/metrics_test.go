@@ -236,3 +236,35 @@ func TestGapTrackerGapsOver(t *testing.T) {
 		t.Errorf("empty tracker GapsOver = %d", n)
 	}
 }
+
+// Golden quantiles for the load tester's reporting path: a known input set
+// must produce exact p50/p99/p99.9 while raw samples are retained.
+func TestHistogramGoldenQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 10000 samples 1..10000µs in a scrambled insertion order (order must
+	// not matter).
+	for i := 0; i < 10000; i++ {
+		v := (i*7919)%10000 + 1 // 7919 coprime with 10000: a permutation
+		h.Observe(time.Duration(v) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 10000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	for _, c := range []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"p50", s.P50, 5000 * time.Microsecond},
+		{"p99", s.P99, 9900 * time.Microsecond},
+		{"p99.9", s.P999, 9990 * time.Microsecond},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if !strings.Contains(s.String(), "p99.9=9.99ms") {
+		t.Errorf("summary string missing p99.9: %q", s.String())
+	}
+}

@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pigpaxos/internal/ids"
+	"pigpaxos/internal/kvstore"
+	"pigpaxos/internal/wire"
+)
+
+// transportGoroutines returns the stacks of live goroutines running inside
+// this package — a dependency-free goleak: after every node is closed, none
+// may remain.
+func transportGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var got []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "internal/transport.") &&
+			!strings.Contains(g, "transportGoroutines") &&
+			!strings.Contains(g, "testing.tRunner") {
+			got = append(got, g)
+		}
+	}
+	return got
+}
+
+func waitNoTransportGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leaked := transportGoroutines()
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d transport goroutines leaked after Close:\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCloseReapsAllGoroutines drives a 3-node mesh plus an ephemeral client
+// through real traffic, closes everything, and asserts no event-loop,
+// writer, reader or accept goroutine survives.
+func TestCloseReapsAllGoroutines(t *testing.T) {
+	members := []ids.ID{ids.NewID(1, 1), ids.NewID(1, 2), ids.NewID(1, 3)}
+	addrs := make(map[ids.ID]string)
+	nodes := make(map[ids.ID]*TCPNode)
+	for _, id := range members {
+		n, err := ListenTCP(id, "127.0.0.1:0", addrs, &collector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = n
+		addrs[id] = n.Addr()
+	}
+	for _, n := range nodes {
+		for id, a := range addrs {
+			n.RegisterAddr(id, a)
+		}
+	}
+	cl := &collector{}
+	client, err := ListenTCP(ids.NewID(999, 1), "127.0.0.1:0", addrs, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		nodes[members[0]].Broadcast(members, wire.P2a{Ballot: 1, Slot: uint64(i)})
+		client.Send(members[i%3], wire.Request{Cmd: kvstore.Command{Op: kvstore.Put, Key: 1, ClientID: 1, Seq: uint64(i)}})
+	}
+	time.Sleep(50 * time.Millisecond)
+	client.Close()
+	for _, n := range nodes {
+		n.Close()
+	}
+	waitNoTransportGoroutines(t)
+}
+
+// TestCloseWithSilentInboundConn is the regression for a real shutdown
+// hang: a connection that was accepted but never sent a frame is not in any
+// peer record, so before conn tracking Close never closed it and wg.Wait
+// blocked on its readLoop forever.
+func TestCloseWithSilentInboundConn(t *testing.T) {
+	n, err := ListenTCP(ids.NewID(1, 1), "127.0.0.1:0", nil, &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	time.Sleep(20 * time.Millisecond) // let acceptLoop hand the conn to a readLoop
+	done := make(chan struct{})
+	go func() {
+		n.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung on a silent inbound connection")
+	}
+	waitNoTransportGoroutines(t)
+}
+
+// TestDrainFlushesQueuedFrames: frames enqueued right before shutdown must
+// reach the peer when the sender drains first — the graceful-shutdown path
+// pigserver takes on SIGTERM.
+func TestDrainFlushesQueuedFrames(t *testing.T) {
+	dst := &collector{}
+	rx, err := ListenTCP(ids.NewID(1, 2), "127.0.0.1:0", nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := ListenTCP(ids.NewID(1, 1), "127.0.0.1:0", map[ids.ID]string{rx.ID(): rx.Addr()}, &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	for i := 1; i <= total; i++ {
+		tx.Send(rx.ID(), wire.P3{Ballot: 1, Slot: uint64(i)})
+	}
+	if !tx.Drain(5 * time.Second) {
+		t.Fatal("Drain did not settle")
+	}
+	tx.Close()
+	waitFor(t, func() bool { return dst.count() == total }, "drained frames lost")
+}
+
+// TestDrainTimesOutAgainstDeadPeer: with a peer that never reads, Drain
+// must give up at its deadline instead of hanging shutdown.
+func TestDrainTimesOutAgainstDeadPeer(t *testing.T) {
+	deadAddr, stopDead := blackholeListener(t)
+	defer stopDead()
+	deadID := ids.NewID(7, 7)
+	tx, err := ListenTCP(ids.NewID(1, 1), "127.0.0.1:0", map[ids.ID]string{deadID: deadAddr}, &collector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	big := wire.P2a{Ballot: 1, Slot: 1, Cmds: []kvstore.Command{{Op: kvstore.Put, Key: 1, Value: make([]byte, 1<<20)}}}
+	for i := 0; i < 64; i++ { // far beyond any socket buffer
+		tx.Send(deadID, big)
+	}
+	start := time.Now()
+	drained := tx.Drain(200 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Drain took %v; must respect its deadline", elapsed)
+	}
+	_ = drained // either outcome is legal; the deadline is the contract
+}

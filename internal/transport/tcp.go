@@ -137,6 +137,7 @@ type TCPNode struct {
 
 	connMu sync.Mutex
 	peers  map[ids.ID]*peer
+	conns  map[net.Conn]struct{} // every live conn (accepted or dialed)
 
 	start time.Time
 	rng   *rand.Rand
@@ -151,6 +152,9 @@ type peer struct {
 	id    ids.ID
 	queue chan *frame
 	stop  chan struct{} // closed when the peer record is reaped
+
+	busy     atomic.Bool  // writer is mid-write/flush (Drain waits on it)
+	inflight atomic.Int32 // frames enqueued but not yet disposed by the writer
 
 	mu     sync.Mutex
 	c      net.Conn
@@ -177,6 +181,7 @@ func ListenTCP(id ids.ID, addr string, addrs map[ids.ID]string, h node.Handler) 
 		ctx:     ctx,
 		cancel:  cancel,
 		peers:   make(map[ids.ID]*peer),
+		conns:   make(map[net.Conn]struct{}),
 		start:   time.Now(),
 		rng:     rand.New(rand.NewSource(int64(id) ^ time.Now().UnixNano())),
 	}
@@ -189,24 +194,75 @@ func ListenTCP(id ids.ID, addr string, addrs map[ids.ID]string, h node.Handler) 
 // Addr returns the listener's bound address (useful with ":0").
 func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
 
-// Close shuts the node down and waits for its goroutines.
+// Close shuts the node down and waits for its goroutines. Queued outbound
+// frames are dropped; call Drain first for a graceful shutdown that flushes
+// them.
 func (n *TCPNode) Close() {
 	n.once.Do(func() {
 		n.closing.Store(true)
 		close(n.done)
 		n.cancel()
 		n.ln.Close()
+		// Sweep every live connection — accepted or dialed — so every
+		// readLoop unblocks. Peers' installed conns are a subset of this
+		// set; a freshly accepted conn that never sent a frame is not in
+		// any peer record but still holds a readLoop.
 		n.connMu.Lock()
-		for _, p := range n.peers {
-			p.mu.Lock()
-			if p.c != nil {
-				p.c.Close()
-			}
-			p.mu.Unlock()
+		for c := range n.conns {
+			c.Close()
 		}
 		n.connMu.Unlock()
 	})
 	n.wg.Wait()
+}
+
+// Drain waits up to timeout for every peer's outbound queue to empty and
+// its writer to fall idle, so frames already enqueued (replies to clients,
+// final protocol messages) are flushed before Close drops the connections.
+// It reports whether the queues drained within the deadline. New sends
+// during a drain keep it honest: Drain observes live state, it does not
+// freeze it.
+func (n *TCPNode) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		idle := true
+		n.connMu.Lock()
+		for _, p := range n.peers {
+			if p.inflight.Load() > 0 || p.busy.Load() {
+				idle = false
+				break
+			}
+		}
+		n.connMu.Unlock()
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// trackConn registers a live connection for Close's sweep. It reports false
+// when the node is already closing — the caller must close the conn and
+// not start a readLoop for it. A true return guarantees Close's sweep will
+// see the conn: closing is set before the sweep takes connMu, so a track
+// that observed closing==false is ordered before the sweep.
+func (n *TCPNode) trackConn(c net.Conn) bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.closing.Load() {
+		return false
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+func (n *TCPNode) untrackConn(c net.Conn) {
+	n.connMu.Lock()
+	delete(n.conns, c)
+	n.connMu.Unlock()
 }
 
 func (n *TCPNode) acceptLoop() {
@@ -221,14 +277,22 @@ func (n *TCPNode) acceptLoop() {
 				continue
 			}
 		}
+		if !n.trackConn(c) {
+			c.Close()
+			continue
+		}
 		n.wg.Add(1)
 		go n.readLoop(c)
 	}
 }
 
+// readLoop consumes frames from one tracked connection until it dies.
 func (n *TCPNode) readLoop(c net.Conn) {
 	defer n.wg.Done()
-	defer c.Close()
+	defer func() {
+		c.Close()
+		n.untrackConn(c)
+	}()
 	br := bufio.NewReader(c)
 	var buf []byte // reusable frame scratch; grows to the stream's largest frame
 	var regID ids.ID
@@ -404,11 +468,20 @@ func (n *TCPNode) Broadcast(to []ids.ID, m wire.Msg) {
 }
 
 func (p *peer) enqueue(f *frame) {
+	p.inflight.Add(1)
 	select {
 	case p.queue <- f:
 	default:
+		p.inflight.Add(-1)
 		f.release() // bounded queue full: drop, like a congested network
 	}
+}
+
+// dispose releases a queue-obtained frame and retires it from the inflight
+// count Drain watches.
+func (p *peer) dispose(f *frame) {
+	f.release()
+	p.inflight.Add(-1)
 }
 
 func (p *peer) writeLoop() {
@@ -422,7 +495,9 @@ func (p *peer) writeLoop() {
 			p.drainQueue()
 			return
 		case f := <-p.queue:
+			p.busy.Store(true)
 			p.write(f)
+			p.busy.Store(false)
 		}
 	}
 }
@@ -435,17 +510,17 @@ func (p *peer) write(first *frame) {
 	if w == nil {
 		// Unreachable: drop this frame and everything queued behind it,
 		// so a flood at a dead peer does not serialize dial timeouts.
-		first.release()
+		p.dispose(first)
 		p.drainQueue()
 		return
 	}
 	_, err := w.Write(first.buf)
-	first.release()
+	p.dispose(first)
 	for err == nil {
 		select {
 		case f := <-p.queue:
 			_, err = w.Write(f.buf)
-			f.release()
+			p.dispose(f)
 		default:
 			err = w.Flush()
 			if err == nil {
@@ -479,23 +554,21 @@ func (p *peer) ensureConn() (net.Conn, *bufio.Writer) {
 	if err != nil {
 		return nil, nil
 	}
+	if !p.n.trackConn(c) {
+		// Close ran while we were dialing; installing now would leak a
+		// conn (and its readLoop) that the sweep never closes, hanging
+		// wg.Wait. Tracking before install guarantees the sweep sees it.
+		c.Close()
+		return nil, nil
+	}
 	p.mu.Lock()
 	if p.c != nil {
 		// A reverse route arrived while we dialed; prefer it.
 		existing, w := p.c, p.w
 		p.mu.Unlock()
 		c.Close()
+		p.n.untrackConn(c)
 		return existing, w
-	}
-	if p.n.closing.Load() {
-		// Close swept connections while we were dialing; installing now
-		// would leak a conn (and its readLoop) that Close never closes,
-		// hanging wg.Wait. The store of closing happens before the sweep
-		// takes p.mu, so seeing it false here means the sweep will see
-		// our installed conn.
-		p.mu.Unlock()
-		c.Close()
-		return nil, nil
 	}
 	p.c = c
 	p.w = bufio.NewWriter(c)
@@ -525,7 +598,7 @@ func (p *peer) drainQueue() {
 	for {
 		select {
 		case f := <-p.queue:
-			f.release()
+			p.dispose(f)
 		default:
 			return
 		}

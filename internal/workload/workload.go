@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"pigpaxos/internal/kvstore"
 )
@@ -133,6 +134,33 @@ func (g *Generator) key() uint64 {
 		return g.zipf.next()
 	}
 	return uint64(g.rng.Intn(g.cfg.Keys))
+}
+
+// Arrivals generates a Poisson arrival process at a fixed aggregate rate:
+// successive Next calls return independent exponentially distributed
+// inter-arrival gaps with mean 1/rate. An open-loop load tester schedules
+// request number k at the sum of the first k gaps, regardless of how many
+// earlier requests have completed — the arrival process the paper's §5.4
+// overload experiments assume. Superposition makes the per-worker split
+// exact: W independent Arrivals at rate/W each form a Poisson process at
+// the full rate.
+type Arrivals struct {
+	rng  *rand.Rand
+	mean float64 // seconds between arrivals
+}
+
+// NewArrivals creates a Poisson arrival generator at rate events/second
+// drawing from rng. It panics on a non-positive rate.
+func NewArrivals(rate float64, rng *rand.Rand) *Arrivals {
+	if rate <= 0 {
+		panic(fmt.Sprintf("workload: non-positive arrival rate %v", rate))
+	}
+	return &Arrivals{rng: rng, mean: 1 / rate}
+}
+
+// Next returns the gap until the next arrival.
+func (a *Arrivals) Next() time.Duration {
+	return time.Duration(a.rng.ExpFloat64() * a.mean * float64(time.Second))
 }
 
 // zipf implements the Gray et al. quick zipf sampler (the same construction

@@ -3,6 +3,7 @@ package workload
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"pigpaxos/internal/kvstore"
 )
@@ -151,4 +152,45 @@ func TestDistributionString(t *testing.T) {
 			t.Fatalf("round trip of %v failed: %v, %v", d, got, err)
 		}
 	}
+}
+
+func TestArrivalsMeanWithinTolerance(t *testing.T) {
+	for _, rate := range []float64{100, 2000, 50000} {
+		a := NewArrivals(rate, rand.New(rand.NewSource(7)))
+		const n = 200000
+		var sum time.Duration
+		for i := 0; i < n; i++ {
+			d := a.Next()
+			if d < 0 {
+				t.Fatalf("rate %v: negative inter-arrival %v", rate, d)
+			}
+			sum += d
+		}
+		mean := sum.Seconds() / n
+		want := 1 / rate
+		// ±2% at n=200k: the sample mean's relative stddev is 1/sqrt(n) ≈
+		// 0.22%, so this bound is ~9 sigma — deterministic seed, no flakes.
+		if mean < want*0.98 || mean > want*1.02 {
+			t.Errorf("rate %v: mean inter-arrival %.6fs, want %.6fs ±2%%", rate, mean, want)
+		}
+	}
+}
+
+func TestArrivalsSeededDeterminism(t *testing.T) {
+	a1 := NewArrivals(1000, rand.New(rand.NewSource(42)))
+	a2 := NewArrivals(1000, rand.New(rand.NewSource(42)))
+	for i := 0; i < 1000; i++ {
+		if d1, d2 := a1.Next(), a2.Next(); d1 != d2 {
+			t.Fatalf("draw %d diverged: %v vs %v", i, d1, d2)
+		}
+	}
+}
+
+func TestArrivalsRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewArrivals(0) must panic")
+		}
+	}()
+	NewArrivals(0, rand.New(rand.NewSource(1)))
 }

@@ -39,7 +39,7 @@ import (
 var scenarioNames = []string{
 	"leader", "relay", "explore", "faultcurve", "epaxoschaos",
 	"wan", "regionpartition", "placement", "wanexplore", "epaxoswan",
-	"shard", "restart", "sweep",
+	"shard", "restart", "sweep", "overload",
 }
 
 func main() {
@@ -220,6 +220,41 @@ func printRegions(name string, r harness.ScenarioResult, benchfmt bool) {
 	for _, a := range r.FaultLog {
 		fmt.Printf("    fault: %v\n", a)
 	}
+}
+
+// overloadBase configures the shared overload-sweep cluster: 25 nodes (the
+// paper's headline size), batch 16 with the default window so the derived
+// MaxPending = 4×4×16 = 256 bounds the leader's ingress queue, 64 open-loop
+// clients. QueueTTL trims work that already exceeded the clients' patience,
+// so a saturated leader never replicates dead commands.
+func overloadBase(p harness.Protocol, suite harness.Suite) harness.OverloadOptions {
+	o := harness.OverloadOptions{}
+	o.Protocol = p
+	o.N = 25
+	o.NumGroups = 3
+	o.Clients = 64
+	o.BatchSize = 16
+	o.Warmup = suite.Warmup
+	o.Measure = suite.Measure
+	o.Seed = suite.Seed
+	o.OpTimeout = time.Second
+	o.QueueTTL = time.Second
+	return o
+}
+
+// printOverload renders one overload rung, as a table row or as a benchmark
+// line for cmd/benchjson.
+func printOverload(p harness.Protocol, r harness.OverloadResult, bound int, deterministic, benchfmt bool) {
+	if benchfmt {
+		fmt.Printf("BenchmarkOverload/%s/rate%.0f 1 %.1f goodput-ops/sec %.1f offered-ops/sec %.3f p50-ms %.3f p99-ms %d busy-ops %d shed-ops %d timeout-ops %d dropped-expired %d max-queue-depth %d queue-bound %d deterministic\n",
+			p, r.Rate, r.Goodput, r.OfferedRate,
+			float64(r.Latency.P50.Microseconds())/1000,
+			float64(r.Latency.P99.Microseconds())/1000,
+			r.Busy, r.Shed, r.Timeouts, r.DroppedExpired,
+			r.MaxQueueDepth, bound, b2i(deterministic))
+		return
+	}
+	fmt.Printf("%-10s %v qdepth=%d/%d deterministic=%v\n", p, r, r.MaxQueueDepth, bound, deterministic)
 }
 
 // shardBase configures the shared sharded cluster: 12 nodes (so four
@@ -473,6 +508,40 @@ func runScenarios(name string, suite harness.Suite, benchfmt bool, runs, jobs in
 		// protocol across jobs workers, classifies failures, auto-shrinks
 		// each one, and persists the minimized schedules in corpus format.
 		return runSweep(suite, benchfmt, runs, jobs)
+	case "overload":
+		// The §5.4 saturation sweep under admission control: an open-loop
+		// Poisson rate ladder pushed ~8× past the knee for both
+		// leader-based protocols. Gated on what the bounded-ingress change
+		// promises: leader queue depth never exceeds the derived
+		// MaxPending, the top rung's goodput holds ≥80% of the peak
+		// rung's, and two sweeps at one seed are bit-identical.
+		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
+			o := overloadBase(p, suite)
+			rates := []float64{5000, 10000, 20000, 40000, 80000, 160000}
+			results := harness.OverloadSweep(o, rates)
+			again := harness.OverloadSweep(o, rates)
+			det := reflect.DeepEqual(results, again)
+			bound := 4 * 4 * 16 // the derived MaxPending: 4 × window × batch
+			peak, last := 0.0, 0.0
+			for _, r := range results {
+				if r.Goodput > peak {
+					peak = r.Goodput
+				}
+				last = r.Goodput
+				printOverload(p, r, bound, det, benchfmt)
+				if r.MaxQueueDepth > uint64(bound) {
+					return fmt.Errorf("overload: %s queue depth %d exceeds MaxPending %d",
+						p, r.MaxQueueDepth, bound)
+				}
+			}
+			if last < 0.8*peak {
+				return fmt.Errorf("overload: %s top-rung goodput %.0f/s < 80%% of peak %.0f/s",
+					p, last, peak)
+			}
+			if !det {
+				return fmt.Errorf("overload: two sweeps at seed %d are not bit-identical", o.Seed)
+			}
+		}
 	case "faultcurve":
 		for _, p := range []harness.Protocol{harness.Paxos, harness.PigPaxos} {
 			o := scenarioBase(p, suite)

@@ -43,13 +43,18 @@ type client struct {
 	// instead of executing.
 	id        uint64
 	replies   chan wire.Reply
+	busy      chan wire.Busy
 	seq       uint64
 	redirects int
+	retries   int
 }
 
 func (c *client) OnMessage(from ids.ID, m wire.Msg) {
-	if rep, ok := m.(wire.Reply); ok {
-		c.replies <- rep
+	switch v := m.(type) {
+	case wire.Reply:
+		c.replies <- v
+	case wire.Busy:
+		c.busy <- v
 	}
 }
 
@@ -85,6 +90,15 @@ func (c *client) do(cmd kvstore.Command) (wire.Reply, error) {
 			// Stick with whoever answered so later ops skip the redirect.
 			c.server = target
 			return rep, nil
+		case b := <-c.busy:
+			if b.Seq != c.seq {
+				continue // stale rejection from an earlier op
+			}
+			// The leader shed us under overload: wait out its hint and
+			// retry the same seq (the rejection did not consume it).
+			c.retries++
+			time.Sleep(b.RetryAfter)
+			c.tn.Send(target, wire.Request{Cmd: cmd})
 		case <-deadline:
 			return wire.Reply{}, fmt.Errorf("timed out")
 		}
@@ -124,6 +138,7 @@ func main() {
 		addrs:   addrs,
 		id:      uint64(time.Now().UnixNano())<<8 | uint64(os.Getpid()&0xff),
 		replies: make(chan wire.Reply, 16),
+		busy:    make(chan wire.Busy, 16),
 	}
 	tn, err := transport.ListenTCP(ids.NewID(999, 1), "127.0.0.1:0", addrs, cl)
 	if err != nil {

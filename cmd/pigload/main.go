@@ -68,6 +68,17 @@ func main() {
 		theta     = flag.Float64("theta", 0.99, "zipfian skew")
 
 		killAfter = flag.Duration("kill-leader-after", 0, "with -spawn: SIGKILL the leader this long into the measurement window")
+
+		clientBaseF = flag.Uint64("client-base", 0, "first worker client ID (0 = derive a per-invocation base so warm-cluster reruns get fresh at-most-once sessions)")
+
+		batch       = flag.Int("batch", 0, "forward to spawned servers: leader batch size (0 = unbatched)")
+		batchDelay  = flag.Duration("batch-delay", 0, "forward to spawned servers: max under-full batch wait")
+		srvInflight = flag.Int("server-inflight", 0, "forward to spawned servers: leader pipelining window")
+		maxPending  = flag.Int("max-pending", 0, "forward to spawned servers: leader ingress bound (0 derives, negative = unbounded)")
+		queueTTL    = flag.Duration("queue-ttl", 0, "forward to spawned servers: drop queued commands older than this")
+		overloadLat = flag.Duration("overload-latency", 0, "forward to spawned servers: Busy-shed when commit EWMA exceeds this")
+
+		gateFrac = flag.Float64("gate-goodput-frac", 0, "with -sweep: exit 1 unless the final rung's goodput is at least this fraction of the peak rung's (0 disables)")
 	)
 	flag.Parse()
 
@@ -78,6 +89,20 @@ func main() {
 	rates, err := parseSweep(*sweepStr, *rate)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Reject impossible flag combinations up front, before any cluster is
+	// spawned or load is offered — failing mid-sweep wastes the whole run.
+	if *killAfter > 0 {
+		if *spawn == 0 {
+			log.Fatal("-kill-leader-after needs -spawn")
+		}
+		if len(rates) > 1 {
+			log.Fatal("-kill-leader-after cannot combine with -sweep (the leader only dies once)")
+		}
+	}
+	if *gateFrac < 0 || *gateFrac > 1 {
+		log.Fatalf("-gate-goodput-frac %v outside [0,1]", *gateFrac)
 	}
 
 	var (
@@ -92,6 +117,24 @@ func main() {
 		extra := []string{"-election-timeout", electTO.String()}
 		if *hb > 0 {
 			extra = append(extra, "-hb", hb.String())
+		}
+		if *batch > 0 {
+			extra = append(extra, "-batch", strconv.Itoa(*batch))
+		}
+		if *batchDelay > 0 {
+			extra = append(extra, "-batch-delay", batchDelay.String())
+		}
+		if *srvInflight > 0 {
+			extra = append(extra, "-inflight", strconv.Itoa(*srvInflight))
+		}
+		if *maxPending != 0 {
+			extra = append(extra, "-max-pending", strconv.Itoa(*maxPending))
+		}
+		if *queueTTL > 0 {
+			extra = append(extra, "-queue-ttl", queueTTL.String())
+		}
+		if *overloadLat > 0 {
+			extra = append(extra, "-overload-latency", overloadLat.String())
 		}
 		procs, err = cluster.Launch(cluster.ProcSpec{
 			N:         *spawn,
@@ -125,16 +168,20 @@ func main() {
 	}
 	log.Printf("cluster ready (%d members)", len(members))
 
-	if *killAfter > 0 && procs == nil {
-		log.Fatal("-kill-leader-after needs -spawn")
+	// A fresh client-ID base per invocation: pigload used to start every
+	// run at 1, so a second run against a still-warm cluster reused the
+	// first run's (ClientID, Seq) pairs and was answered from the
+	// at-most-once session cache instead of executing. Derive a
+	// time/PID-seeded base unless the caller pins one for reproduction.
+	clientBase := *clientBaseF
+	if clientBase == 0 {
+		clientBase = uint64(time.Now().UnixNano())<<12 | uint64(os.Getpid()&0xfff)
 	}
+	log.Printf("client IDs start at %d", clientBase)
 
-	clientBase := uint64(1)
 	exitCode := 0
+	goodputs := make([]float64, 0, len(rates))
 	for step, r := range rates {
-		if *killAfter > 0 && step > 0 {
-			log.Fatal("-kill-leader-after cannot combine with -sweep (the leader only dies once)")
-		}
 		if *killAfter > 0 {
 			leader := members[0]
 			go func() {
@@ -154,8 +201,9 @@ func main() {
 			Duration:     *duration,
 			Timeout:      *timeout,
 			MaxInFlight:  *inflight,
-			Seed:         *seed + int64(step),
-			ClientIDBase: clientBase,
+			Seed:            *seed + int64(step),
+			ClientIDBase:    clientBase,
+			ClientIDBaseSet: true,
 			Workload: workload.Config{
 				Keys:        *keys,
 				ReadRatio:   *readRatio,
@@ -172,8 +220,29 @@ func main() {
 		clientBase += uint64(*clients)
 		log.Printf("rate %.0f: %v", r, res)
 		fmt.Println(benchLine(*protocol, len(members), *clients, r, res))
+		goodputs = append(goodputs, res.Goodput)
 		if res.Completed == 0 {
 			exitCode = 1 // the run produced nothing; fail loudly in CI
+		}
+	}
+	// The §5.4 flat-goodput gate: with admission control a sweep's final
+	// (most oversubscribed) rung must hold near the peak rung's goodput
+	// instead of collapsing under queueing.
+	if *gateFrac > 0 && len(goodputs) > 1 {
+		peak := 0.0
+		for _, g := range goodputs {
+			if g > peak {
+				peak = g
+			}
+		}
+		last := goodputs[len(goodputs)-1]
+		if last < *gateFrac*peak {
+			log.Printf("goodput gate FAILED: final rung %.0f/s < %.0f%% of peak %.0f/s",
+				last, *gateFrac*100, peak)
+			exitCode = 1
+		} else {
+			log.Printf("goodput gate ok: final rung %.0f/s ≥ %.0f%% of peak %.0f/s",
+				last, *gateFrac*100, peak)
 		}
 	}
 	if procs != nil {
@@ -203,9 +272,9 @@ func parseSweep(s string, fallback float64) ([]float64, error) {
 // metrics as (value, unit) pairs.
 func benchLine(proto string, n, clients int, rate float64, res *loadgen.Result) string {
 	name := fmt.Sprintf("BenchmarkTCPLoad/proto=%s/n=%d/clients=%d/rate=%.0f", proto, n, clients, rate)
-	return fmt.Sprintf("%s %d %d ns/op %.1f goodput-ops/sec %.1f offered-ops/sec %d p50-ns %d p99-ns %d p999-ns %d maxgap-ns %d shed-ops %d timeout-ops %d redirect-ops",
+	return fmt.Sprintf("%s %d %d ns/op %.1f goodput-ops/sec %.1f offered-ops/sec %d p50-ns %d p99-ns %d p999-ns %d maxgap-ns %d shed-ops %d busy-ops %d timeout-ops %d redirect-ops",
 		name, res.Completed, res.Latency.Mean.Nanoseconds(),
 		res.Goodput, res.OfferedRate,
 		res.Latency.P50.Nanoseconds(), res.Latency.P99.Nanoseconds(), res.Latency.P999.Nanoseconds(),
-		res.MaxGap.Nanoseconds(), res.Shed, res.Timeouts, res.Redirects)
+		res.MaxGap.Nanoseconds(), res.Shed, res.Busy, res.Timeouts, res.Redirects)
 }

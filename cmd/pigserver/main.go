@@ -59,6 +59,13 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "directory for a durable write-ahead log (empty = in-memory only)")
 		snapEvery  = flag.Int("snapshot-every", 4096, "with -wal-dir, checkpoint the state machine every N commits")
 		drainTO    = flag.Duration("drain-timeout", time.Second, "graceful-shutdown budget for flushing outbound frames")
+
+		batch      = flag.Int("batch", 0, "leader batch size (commands per slot, 0 = unbatched)")
+		batchDelay = flag.Duration("batch-delay", 0, "max wait for an under-full batch (0 = flush immediately)")
+		inflight   = flag.Int("inflight", 0, "leader pipelining window in slots (0 = unbounded)")
+		maxPending = flag.Int("max-pending", 0, "leader ingress queue bound; excess requests get Busy (0 derives 4*inflight*batch, negative = unbounded)")
+		queueTTL   = flag.Duration("queue-ttl", 0, "drop queued commands older than this at flush time (0 = never)")
+		overloadLat = flag.Duration("overload-latency", 0, "shed with Busy while the commit-latency EWMA exceeds this (0 disables)")
 	)
 	flag.Parse()
 	if *idStr == "" || *clusterStr == "" {
@@ -109,6 +116,12 @@ func main() {
 		CompactEvery:      4096, // bound memory on long-running servers
 		Storage:           st,
 		SnapshotEvery:     *snapEvery,
+		MaxBatchSize:      *batch,
+		BatchDelay:        *batchDelay,
+		MaxInFlight:       *inflight,
+		MaxPending:        *maxPending,
+		QueueTTL:          *queueTTL,
+		OverloadLatency:   *overloadLat,
 	}
 
 	proxy := &handlerProxy{}

@@ -272,6 +272,9 @@ type SyncClient struct {
 	conns    map[ids.ID]*syncConn
 	// Redirects counts redirect hops followed (tests assert the path).
 	Redirects int
+	// Busy counts leader admission rejections waited out (tests assert
+	// the backpressure path).
+	Busy int
 }
 
 type syncConn struct {
@@ -407,6 +410,21 @@ func (c *SyncClient) roundTrip(to ids.ID, cmd kvstore.Command) (wire.Reply, erro
 		if err != nil {
 			c.drop(to)
 			return wire.Reply{}, err
+		}
+		if b, ok := m.(wire.Busy); ok && b.Seq == cmd.Seq && b.ClientID == cmd.ClientID {
+			// The leader shed us under overload: wait out its hint and
+			// retry the same seq on the same connection (the rejection
+			// did not consume the seq). The conn deadline still bounds
+			// the whole exchange.
+			c.Busy++
+			if d := b.RetryAfter; d > 0 && d < c.timeout {
+				time.Sleep(d)
+			}
+			if err := transport.WriteFrame(sc.c, c.sender, wire.Request{Cmd: cmd}); err != nil {
+				c.drop(to)
+				return wire.Reply{}, err
+			}
+			continue
 		}
 		rep, ok := m.(wire.Reply)
 		if !ok || rep.Seq != cmd.Seq || rep.ClientID != cmd.ClientID {

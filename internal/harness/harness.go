@@ -156,6 +156,11 @@ func (o *Options) paxosBatching(cfg *paxos.Config) {
 	}
 	cfg.BatchDelay = o.BatchDelay
 	cfg.MaxInFlight = o.MaxInFlight
+	// Closed-loop benchmark clients self-limit (one op in flight each), so
+	// ingress admission control would only add Busy/retry latency noise to
+	// the capacity curves Run measures. Lift the window-derived bound here;
+	// overload experiments opt back in explicitly via MutPaxos/MutPig.
+	cfg.MaxPending = -1
 }
 
 // Result is one experiment's measurement.
@@ -236,6 +241,21 @@ func (c *client) next() {
 
 // OnMessage handles replies (and redirects) for the client.
 func (c *client) OnMessage(from ids.ID, m wire.Msg) {
+	if busy, ok := m.(wire.Busy); ok {
+		// Overloaded leader shed us: back off for the hinted interval, then
+		// retry the same command (the rejected sequence number was not
+		// consumed, so a retry is admitted as new).
+		if busy.Seq != c.seq || c.stop {
+			return
+		}
+		c.ep.After(busy.RetryAfter, func() {
+			if busy.Seq != c.seq || c.stop {
+				return
+			}
+			c.ep.Send(busy.Leader, wire.Request{Cmd: c.lastCmd})
+		})
+		return
+	}
 	rep, ok := m.(wire.Reply)
 	if !ok || rep.Seq != c.seq {
 		return // stale reply from a retried request

@@ -187,6 +187,15 @@ type ScenarioResult struct {
 	MaxLogLen   int
 	MaxWALBytes int
 
+	// Overload telemetry. Busy counts wire.Busy rejections clients received
+	// (each retried after the hinted backoff); DroppedExpired sums commands
+	// the leaders dropped from their queues after QueueTTL; MaxQueueDepth is
+	// the largest leader ingress queue observed across replicas — bounded by
+	// paxos.Config.MaxPending when admission control is on.
+	Busy           int
+	DroppedExpired uint64
+	MaxQueueDepth  uint64
+
 	// Regions breaks the measurement down by client region (ascending
 	// zone), populated when RegionClients is set on a multi-zone cluster.
 	Regions []RegionResult
@@ -259,6 +268,7 @@ type scenClient struct {
 	gaps      *metrics.GapTracker
 	lat       *metrics.Histogram
 	inWindow  *metrics.Counter
+	busy      *metrics.Counter
 	warmupEnd time.Duration
 	windowEnd time.Duration
 
@@ -312,9 +322,27 @@ func (c *scenClient) next() {
 	c.armRetry()
 }
 
-// OnMessage handles replies: acks are recorded, redirects followed, silence
-// handled by the retry timer.
+// OnMessage handles replies: acks are recorded, redirects followed, Busy
+// backpressure honored with a paced retry, silence handled by the retry
+// timer.
 func (c *scenClient) OnMessage(from ids.ID, m wire.Msg) {
+	if busy, ok := m.(wire.Busy); ok {
+		if c.done || !c.awaiting || busy.Seq != c.seq {
+			return
+		}
+		c.busy.Inc()
+		// Back off for the hinted interval, then re-issue the same command
+		// at the (still-leading) rejecting node. The retry timer stays armed
+		// as the fallback if the leader changes meanwhile.
+		seq := c.seq
+		c.ep.After(busy.RetryAfter, func() {
+			if c.done || !c.awaiting || c.seq != seq {
+				return
+			}
+			c.ep.Send(busy.Leader, wire.Request{Cmd: c.script[c.pos]})
+		})
+		return
+	}
 	rep, ok := m.(wire.Reply)
 	if !ok || !c.awaiting || rep.Seq != c.seq || c.done {
 		// Stale seq, or a duplicate of an already-accepted ack: faulty
@@ -617,7 +645,7 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 	hist := &linearizability.History{}
 	gaps := &metrics.GapTracker{}
 	lat := metrics.NewHistogram()
-	var inWindow metrics.Counter
+	var inWindow, busyCount metrics.Counter
 	warmupEnd := opts.Warmup
 	windowEnd := opts.Warmup + opts.Measure
 
@@ -658,6 +686,7 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 			gaps:      gaps,
 			lat:       lat,
 			inWindow:  &inWindow,
+			busy:      &busyCount,
 			warmupEnd: warmupEnd,
 			windowEnd: windowEnd,
 			retry:     opts.ClientRetry,
@@ -759,6 +788,7 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 		Clients:    opts.Clients,
 		Acked:      gaps.Count(),
 		Throughput: float64(inWindow.Value()) / opts.Measure.Seconds(),
+		Busy:       int(busyCount.Value()),
 		Latency:    lat.Snapshot(),
 		Messages:   net.MessagesSent(),
 		Delivered:  net.MessagesDelivered(),
@@ -818,6 +848,10 @@ func RunScenario(opts ScenarioOptions, sched chaos.Schedule) ScenarioResult {
 		res.WALSyncs += st.WALSyncs
 		res.Snapshots += st.Snapshots
 		res.SnapRestores += st.SnapRestores
+		res.DroppedExpired += st.DroppedExpired
+		if st.MaxQueueDepth > res.MaxQueueDepth {
+			res.MaxQueueDepth = st.MaxQueueDepth
+		}
 		if logLen > res.MaxLogLen {
 			res.MaxLogLen = logLen
 		}

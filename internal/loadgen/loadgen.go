@@ -64,8 +64,13 @@ type Options struct {
 	// Seed makes arrival times and key draws reproducible.
 	Seed int64
 	// ClientIDBase offsets worker client IDs (worker i uses base+i) so
-	// repeated runs against one cluster get fresh sessions.
+	// repeated runs against one cluster get fresh sessions. Zero means
+	// unset (defaults to 1) unless ClientIDBaseSet is true, which makes an
+	// explicit zero base honored rather than silently rewritten.
 	ClientIDBase uint64
+	// ClientIDBaseSet marks ClientIDBase as deliberately chosen, lifting
+	// the zero-value "unset vs explicit 0" conflation.
+	ClientIDBaseSet bool
 }
 
 func (o *Options) defaults() error {
@@ -96,8 +101,11 @@ func (o *Options) defaults() error {
 	if o.RetryInterval == 0 {
 		o.RetryInterval = 250 * time.Millisecond
 	}
-	if o.ClientIDBase == 0 {
+	if o.ClientIDBase == 0 && !o.ClientIDBaseSet {
 		o.ClientIDBase = 1
+	}
+	if err := o.Workload.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -112,6 +120,10 @@ type Result struct {
 	Timeouts  uint64
 	Redirects uint64
 	Resends   uint64
+	// Busy counts leader admission rejections (wire.Busy) received for
+	// in-window ops — distinct from client-side sheds and timeouts, since
+	// a Busy op is retried after the leader's hint and usually completes.
+	Busy uint64
 	// Latency digests scheduled-arrival→completion times (queueing
 	// included — the open-loop latency).
 	Latency metrics.Summary
@@ -129,8 +141,8 @@ type Result struct {
 // String renders the one-line human summary pigload prints to stderr.
 func (r *Result) String() string {
 	return fmt.Sprintf(
-		"offered %.0f/s goodput %.0f/s (completed %d shed %d timeout %d redirect %d resend %d) lat %v maxgap %v",
-		r.OfferedRate, r.Goodput, r.Completed, r.Shed, r.Timeouts,
+		"offered %.0f/s goodput %.0f/s (completed %d shed %d busy %d timeout %d redirect %d resend %d) lat %v maxgap %v",
+		r.OfferedRate, r.Goodput, r.Completed, r.Shed, r.Busy, r.Timeouts,
 		r.Redirects, r.Resends, r.Latency, r.MaxGap)
 }
 
@@ -183,6 +195,7 @@ func Run(opts Options) (*Result, error) {
 		res.Timeouts += w.timeouts
 		res.Redirects += w.redirects
 		res.Resends += w.resends
+		res.Busy += w.busy
 		completions = append(completions, w.completions...)
 	}
 	res.Latency = hist.Snapshot()
@@ -204,13 +217,31 @@ type op struct {
 	lastSent  time.Time
 	attempts  int
 	inWindow  bool
+	// busyN counts consecutive Busy rejections; the retry-after hint is
+	// doubled per rejection so a persistently overloaded leader is not
+	// livelocked issuing rejections to the same retry storm.
+	busyN int
 }
 
 type rxEvent struct {
-	gen int
-	rep wire.Reply
-	err error
+	gen  int
+	rep  wire.Reply
+	busy wire.Busy
+	kind rxKind
+	err  error
+	// retrySeq is the op a Busy retry-after timer just expired for
+	// (kind == rxRetry); connection-independent, so gen is ignored.
+	retrySeq uint64
 }
+
+type rxKind uint8
+
+const (
+	rxReply rxKind = iota
+	rxBusy
+	rxRetry
+	rxErr
+)
 
 type worker struct {
 	opts     *Options
@@ -235,6 +266,7 @@ type worker struct {
 	offered, completed uint64
 	shed, timeouts     uint64
 	redirects, resends uint64
+	busy               uint64
 }
 
 func (w *worker) run(start, end time.Time) {
@@ -341,14 +373,21 @@ func (w *worker) ensureConn() net.Conn {
 			_, m, err := transport.ReadFrame(br)
 			if err != nil {
 				select {
-				case w.rx <- rxEvent{gen: gen, err: err}:
+				case w.rx <- rxEvent{gen: gen, kind: rxErr, err: err}:
 				case <-w.done:
 				}
 				return
 			}
-			if rep, ok := m.(wire.Reply); ok {
+			switch v := m.(type) {
+			case wire.Reply:
 				select {
-				case w.rx <- rxEvent{gen: gen, rep: rep}:
+				case w.rx <- rxEvent{gen: gen, kind: rxReply, rep: v}:
+				case <-w.done:
+					return
+				}
+			case wire.Busy:
+				select {
+				case w.rx <- rxEvent{gen: gen, kind: rxBusy, busy: v}:
 				case <-w.done:
 					return
 				}
@@ -376,12 +415,25 @@ func (w *worker) rotate() {
 }
 
 func (w *worker) onRx(ev rxEvent) {
+	if ev.kind == rxRetry {
+		// A Busy retry-after timer expired; the op may have completed or
+		// timed out in the meantime.
+		if o, ok := w.pending[ev.retrySeq]; ok {
+			w.resends++
+			w.send(o)
+		}
+		return
+	}
 	if ev.gen != w.connGen {
 		return // reader of an already-replaced connection
 	}
-	if ev.err != nil {
+	switch ev.kind {
+	case rxErr:
 		w.dropConn()
 		w.rotate()
+		return
+	case rxBusy:
+		w.onBusy(ev.busy)
 		return
 	}
 	rep := ev.rep
@@ -408,6 +460,42 @@ func (w *worker) onRx(ev rxEvent) {
 		w.hist.Observe(now.Sub(o.scheduled))
 		w.completions = append(w.completions, now.Sub(w.measStart))
 	}
+}
+
+// onBusy handles a leader admission rejection: the op stays pending and
+// is re-sent after the leader's retry-after hint instead of waiting for
+// the coarse straggler sweep. The hinted re-send is routed back through
+// the rx channel so the pending map stays single-goroutine.
+func (w *worker) onBusy(b wire.Busy) {
+	o, ok := w.pending[b.Seq]
+	if !ok || b.ClientID != w.clientID {
+		return // already timed out, or a stale duplicate
+	}
+	if o.inWindow {
+		w.busy++
+	}
+	o.busyN++
+	after := b.RetryAfter
+	if after <= 0 {
+		after = time.Millisecond
+	}
+	// Exponential backoff over consecutive rejections, capped at the sweep
+	// interval: the first retry honors the leader's hint, a still-busy
+	// leader sees geometrically less retry traffic per shed op.
+	for i := 1; i < o.busyN && after < w.opts.RetryInterval; i++ {
+		after *= 2
+	}
+	if after > w.opts.RetryInterval {
+		after = w.opts.RetryInterval
+	}
+	o.lastSent = time.Now() // hold the sweep off; the hinted retry is sooner
+	seq := b.Seq
+	time.AfterFunc(after, func() {
+		select {
+		case w.rx <- rxEvent{kind: rxRetry, retrySeq: seq}:
+		case <-w.done:
+		}
+	})
 }
 
 // resendAll replays every pending op after a retarget: the old conn is

@@ -1,11 +1,17 @@
 package loadgen_test
 
 import (
+	"bufio"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"pigpaxos/internal/cluster"
+	"pigpaxos/internal/ids"
 	"pigpaxos/internal/loadgen"
+	"pigpaxos/internal/transport"
+	"pigpaxos/internal/wire"
 	"pigpaxos/internal/workload"
 )
 
@@ -104,5 +110,97 @@ func TestOpenLoopShedsAtInFlightCap(t *testing.T) {
 	// The run must still have made real progress under overload.
 	if res.Completed == 0 {
 		t.Errorf("no completions under overload: %+v", res)
+	}
+}
+
+// TestBusyRetryAfterHonored runs the engine against a fake single-member
+// "cluster": a frame-speaking TCP server that rejects the first delivery of
+// every command with wire.Busy (retry-after 20ms) and serves the second.
+// Every op must complete exactly one hinted retry later — Busy counted per
+// in-window op, nothing shed, nothing timed out, and the 20ms pause visible
+// in the open-loop latency.
+func TestBusyRetryAfterHonored(t *testing.T) {
+	const hint = 20 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	member := ids.NewID(1, 1)
+	var mu sync.Mutex
+	seen := make(map[[2]uint64]bool)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					_, m, err := transport.ReadFrame(br)
+					if err != nil {
+						return
+					}
+					req, ok := m.(wire.Request)
+					if !ok {
+						continue
+					}
+					key := [2]uint64{req.Cmd.ClientID, req.Cmd.Seq}
+					mu.Lock()
+					first := !seen[key]
+					seen[key] = true
+					mu.Unlock()
+					var reply wire.Msg
+					if first {
+						reply = wire.Busy{
+							ClientID: req.Cmd.ClientID, Seq: req.Cmd.Seq,
+							Leader: member, RetryAfter: hint,
+						}
+					} else {
+						reply = wire.Reply{
+							ClientID: req.Cmd.ClientID, Seq: req.Cmd.Seq,
+							OK: true, Leader: member,
+						}
+					}
+					if err := transport.WriteFrame(conn, member, reply); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	res, err := loadgen.Run(loadgen.Options{
+		Addrs:    map[ids.ID]string{member: ln.Addr().String()},
+		Members:  []ids.ID{member},
+		Clients:  2,
+		Rate:     200,
+		Warmup:   200 * time.Millisecond,
+		Duration: time.Second,
+		Timeout:  2 * time.Second,
+		Workload: workload.Config{Keys: 16},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result: %v", res)
+	if res.Offered == 0 {
+		t.Fatal("no in-window arrivals")
+	}
+	if res.Busy != res.Offered {
+		t.Errorf("busy = %d, want one per offered op (%d)", res.Busy, res.Offered)
+	}
+	if res.Completed != res.Offered {
+		t.Errorf("completed = %d of %d — Busy is backpressure, every retry must land", res.Completed, res.Offered)
+	}
+	if res.Shed != 0 || res.Timeouts != 0 {
+		t.Errorf("busy ops leaked into shed (%d) or timeouts (%d)", res.Shed, res.Timeouts)
+	}
+	// Scheduled-arrival→completion latency includes the hinted pause.
+	if res.Latency.P50 < hint {
+		t.Errorf("p50 %v below the %v retry-after hint", res.Latency.P50, hint)
 	}
 }

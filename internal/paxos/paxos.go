@@ -132,6 +132,26 @@ type Config struct {
 	// proposes immediately, as in the seed. A small window creates the
 	// backpressure that lets batches accumulate under load.
 	MaxInFlight int
+	// MaxPending bounds the leader's ingress queue — the batch accumulator
+	// (and, symmetrically, the campaign-time request buffer). At the bound
+	// new commands are rejected with a wire.Busy carrying a retry-after
+	// hint instead of queueing without bound. Zero derives
+	// 4×MaxInFlight×MaxBatchSize when MaxInFlight is bounded — a few full
+	// pipelines' worth, deep enough that group commit never starves while
+	// shed clients sit in backoff, shallow enough that queueing delay stays
+	// within a handful of pipeline drains — and leaves ingress unbounded
+	// otherwise (the seed behaviour); negative forces unbounded even with
+	// a window.
+	MaxPending int
+	// OverloadLatency, when positive, sheds new commands with Busy while
+	// the leader's propose→commit latency EWMA exceeds it. Queue depth is
+	// a lagging overload signal; commit latency is the leading one.
+	OverloadLatency time.Duration
+	// QueueTTL, when positive, drops queued commands that waited longer
+	// than this at flush time instead of replicating work whose client has
+	// already timed out. A dropped command never consumed its sequence
+	// number's slot in the session table, so a retry is re-admitted.
+	QueueTTL time.Duration
 	// Storage, when non-nil, makes the replica durable: promises and
 	// accepts are journaled and fsynced before the corresponding protocol
 	// reply leaves (sync-before-vote), commits are journaled lazily, and a
@@ -195,6 +215,12 @@ func (c *Config) applyDefaults() {
 		// The wire format carries batch counts as uint16.
 		c.MaxBatchSize = math.MaxUint16
 	}
+	if c.MaxPending == 0 && c.MaxInFlight > 0 {
+		c.MaxPending = 4 * c.MaxInFlight * c.MaxBatchSize
+	}
+	if c.MaxPending < 0 {
+		c.MaxPending = 0
+	}
 	if c.ReadMode == ReadLease && c.ElectionTimeout > 0 && c.ElectionTimeout < 2*c.LeaseDuration {
 		// A follower must never campaign inside a window it promised to
 		// the leader.
@@ -228,6 +254,10 @@ type Stats struct {
 	Snapshots    uint64 // state-machine checkpoints saved locally
 	SnapSends    uint64 // snapshots shipped to laggards (SnapInstall)
 	SnapRestores uint64 // snapshots installed from a peer or at boot
+
+	Busy           uint64 // client requests shed with wire.Busy (overload)
+	DroppedExpired uint64 // queued commands dropped at flush after QueueTTL
+	MaxQueueDepth  uint64 // high-water mark of the ingress queue
 }
 
 // MeanBatchSize reports commands per proposed slot (1.0 when unbatched).
@@ -276,6 +306,11 @@ type Replica struct {
 	batchTimer node.Timer
 	batchDue   bool // BatchDelay expired; flush even under-full
 
+	// Overload state: when each in-flight slot was proposed, and the
+	// propose→commit latency EWMA fed by those samples (gain 1/8).
+	proposedAt map[uint64]time.Duration
+	commitEWMA time.Duration
+
 	// Follower state.
 	lastLeaderContact time.Duration
 	electionTimer     node.Timer
@@ -308,8 +343,9 @@ type pendingRequest struct {
 
 // pendingCmd is one command waiting in the leader's batch accumulator.
 type pendingCmd struct {
-	from ids.ID
-	cmd  kvstore.Command
+	from     ids.ID
+	cmd      kvstore.Command
+	enqueued time.Duration // admission time, for the QueueTTL expiry check
 }
 
 // New creates a replica. If diss is nil a Direct plane over the cluster's
@@ -322,11 +358,12 @@ func New(ctx node.Context, cfg Config, diss Disseminator) *Replica {
 		diss:     diss,
 		log:      rlog.New(),
 		store:    kvstore.New(),
-		p2qs:     make(map[uint64]*quorum.Threshold),
-		routes:   make(map[uint64][]route),
-		sessions: make(map[uint64]*session),
-		retries:  make(map[uint64]node.Timer),
-		ackTimes: make(map[ids.ID]time.Duration),
+		p2qs:       make(map[uint64]*quorum.Threshold),
+		routes:     make(map[uint64][]route),
+		sessions:   make(map[uint64]*session),
+		retries:    make(map[uint64]node.Timer),
+		ackTimes:   make(map[ids.ID]time.Duration),
+		proposedAt: make(map[uint64]time.Duration),
 	}
 	if r.diss == nil {
 		r.diss = &Direct{
@@ -381,6 +418,14 @@ func (r *Replica) Log() *rlog.Log { return r.log }
 // Stats returns a copy of the event counters.
 func (r *Replica) Stats() Stats { return r.stats }
 
+// QueueDepth is the current leader ingress queue occupancy (batch
+// accumulator plus campaign-time buffer).
+func (r *Replica) QueueDepth() int { return len(r.pending) + len(r.buffered) }
+
+// CommitLatencyEWMA is the smoothed propose→commit latency driving the
+// overload detector (zero until the first commit).
+func (r *Replica) CommitLatencyEWMA() time.Duration { return r.commitEWMA }
+
 // OnMessage dispatches a delivered message. It implements node.Handler.
 func (r *Replica) OnMessage(from ids.ID, m wire.Msg) {
 	switch v := m.(type) {
@@ -422,6 +467,7 @@ func (r *Replica) abortProposals() {
 		delete(r.retries, slot)
 	}
 	clear(r.p2qs)
+	clear(r.proposedAt)
 }
 
 // Campaign makes the replica bid for leadership now, regardless of its
@@ -649,8 +695,14 @@ func (r *Replica) OnRequest(from ids.ID, m wire.Request) {
 	}
 	if !r.active {
 		if r.cfg.InitialLeader == r.cfg.ID || (r.p1q != nil && r.ballot.ID() == r.cfg.ID) {
-			// Mid-campaign: buffer until elected.
+			// Mid-campaign: buffer until elected — bounded like the live
+			// ingress queue, so a slow election cannot hoard memory.
+			if r.cfg.MaxPending > 0 && len(r.buffered) >= r.cfg.MaxPending {
+				r.rejectBusy(from, m.Cmd)
+				return
+			}
 			r.buffered = append(r.buffered, pendingRequest{from: from, req: m})
+			r.noteQueueDepth()
 			return
 		}
 		r.stats.Redirects++
@@ -732,10 +784,59 @@ func (r *Replica) OnRequest(from ids.ID, m wire.Request) {
 		r.ctx.Send(from, sessReply)
 		return
 	}
+	// Admission control: shed before the sequence number is consumed, so
+	// the session table still treats a retry of this command as new.
+	if r.overloaded() {
+		r.rejectBusy(from, m.Cmd)
+		return
+	}
 	sess.pendingSeq = m.Cmd.Seq
 	r.stats.Requests++
-	r.pending = append(r.pending, pendingCmd{from: from, cmd: m.Cmd})
+	r.pending = append(r.pending, pendingCmd{from: from, cmd: m.Cmd, enqueued: r.ctx.Now()})
+	r.noteQueueDepth()
 	r.flushBatches()
+}
+
+// overloaded reports whether the leader must shed the next command: the
+// ingress queue is at MaxPending, or the commit-latency EWMA crossed the
+// configured overload threshold.
+func (r *Replica) overloaded() bool {
+	if r.cfg.MaxPending > 0 && len(r.pending) >= r.cfg.MaxPending {
+		return true
+	}
+	return r.cfg.OverloadLatency > 0 && r.commitEWMA > r.cfg.OverloadLatency
+}
+
+// rejectBusy sheds one command with a wire.Busy. The client should stay on
+// this leader and retry the same sequence number after RetryAfter.
+func (r *Replica) rejectBusy(from ids.ID, cmd kvstore.Command) {
+	r.stats.Busy++
+	r.ctx.Send(from, wire.Busy{
+		ClientID: cmd.ClientID, Seq: cmd.Seq, Leader: r.cfg.ID,
+		RetryAfter: r.retryAfterHint(),
+	})
+}
+
+// retryAfterHint suggests how long a shed client should back off: one
+// smoothed commit latency (the time for the queue to make real progress),
+// floored at 1ms and capped at 100ms so a latency spike cannot park the
+// client fleet indefinitely.
+func (r *Replica) retryAfterHint() time.Duration {
+	d := r.commitEWMA
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+// noteQueueDepth tracks the ingress-queue high-water mark.
+func (r *Replica) noteQueueDepth() {
+	if d := uint64(len(r.pending) + len(r.buffered)); d > r.stats.MaxQueueDepth {
+		r.stats.MaxQueueDepth = d
+	}
 }
 
 // findUncommitted scans the unexecuted log suffix for a command with the
@@ -767,6 +868,7 @@ func (r *Replica) windowOpen() bool {
 // — classic group commit. Called on request arrival, on commit (the window
 // may have opened), and when the batch timer fires.
 func (r *Replica) flushBatches() {
+	r.dropExpired()
 	for r.active && len(r.pending) > 0 && r.windowOpen() {
 		if len(r.pending) < r.cfg.MaxBatchSize && r.cfg.BatchDelay > 0 && !r.batchDue {
 			if r.batchTimer == nil {
@@ -800,6 +902,35 @@ func (r *Replica) flushBatches() {
 		r.stats.BatchedCmds += uint64(take)
 		r.ctx.Work(r.cfg.LeaderWork)
 		r.propose(slot, cmds)
+	}
+}
+
+// dropExpired discards queued commands that waited longer than QueueTTL:
+// their clients have already timed out, so proposing them would replicate
+// dead work. The queue is FIFO, so expired commands form a prefix. No reply
+// is sent — the client is gone — and the dropped sequence number stays
+// re-admittable via the session table's truly-gone retry path.
+func (r *Replica) dropExpired() {
+	if r.cfg.QueueTTL <= 0 || len(r.pending) == 0 {
+		return
+	}
+	cutoff := r.ctx.Now() - r.cfg.QueueTTL
+	n := 0
+	for n < len(r.pending) && r.pending[n].enqueued < cutoff {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	r.stats.DroppedExpired += uint64(n)
+	r.pending = r.pending[n:]
+	if len(r.pending) == 0 {
+		r.pending = nil
+		r.batchDue = false
+		if r.batchTimer != nil {
+			r.batchTimer.Stop()
+			r.batchTimer = nil
+		}
 	}
 }
 
@@ -837,6 +968,7 @@ func (r *Replica) propose(slot uint64, cmds []kvstore.Command) {
 	q := quorum.NewThreshold(r.cfg.Cluster.N(), r.cfg.Q2)
 	q.ACK(r.cfg.ID) // self-vote
 	r.p2qs[slot] = q
+	r.proposedAt[slot] = r.ctx.Now()
 	m := wire.P2a{Ballot: r.ballot, Slot: slot, Cmds: cmds, Commit: r.commitWatermark()}
 	r.announced = m.Commit
 	r.diss.FanOut(m)
@@ -951,6 +1083,17 @@ func (r *Replica) OnP2b(m wire.P2b) {
 
 func (r *Replica) commit(slot uint64) {
 	delete(r.p2qs, slot)
+	if at, ok := r.proposedAt[slot]; ok {
+		delete(r.proposedAt, slot)
+		// TCP-style smoothing (gain 1/8) of the propose→commit latency;
+		// OnRequest sheds with Busy while this exceeds OverloadLatency.
+		sample := r.ctx.Now() - at
+		if r.commitEWMA == 0 {
+			r.commitEWMA = sample
+		} else {
+			r.commitEWMA += (sample - r.commitEWMA) / 8
+		}
+	}
 	if t, ok := r.retries[slot]; ok {
 		t.Stop()
 		delete(r.retries, slot)
@@ -1180,7 +1323,7 @@ func (r *Replica) reclaimDoomed(slot uint64, anchored []kvstore.Command) {
 		if i >= len(rts) || rts[i].client.IsZero() || inAnchored(c) {
 			continue
 		}
-		r.pending = append(r.pending, pendingCmd{from: rts[i].client, cmd: c})
+		r.pending = append(r.pending, pendingCmd{from: rts[i].client, cmd: c, enqueued: r.ctx.Now()})
 	}
 }
 

@@ -23,18 +23,36 @@ type testCluster struct {
 }
 
 type testClient struct {
-	ep      *netsim.Endpoint
-	id      ids.ID
-	replies []wire.Reply
+	sim      *des.Sim
+	ep       *netsim.Endpoint
+	id       ids.ID
+	replies  []wire.Reply
+	busy     int
+	lastBusy wire.Busy
+	sent     map[[2]uint64]sentCmd // (ClientID, Seq) → original send, for Busy retries
+}
+
+type sentCmd struct {
+	to  ids.ID
+	cmd kvstore.Command
 }
 
 func (c *testClient) OnMessage(from ids.ID, m wire.Msg) {
-	if r, ok := m.(wire.Reply); ok {
+	switch r := m.(type) {
+	case wire.Reply:
 		c.replies = append(c.replies, r)
+	case wire.Busy:
+		// Honor the backpressure: resend the same command after the hint.
+		c.busy++
+		c.lastBusy = r
+		if s, ok := c.sent[[2]uint64{r.ClientID, r.Seq}]; ok {
+			c.sim.Schedule(r.RetryAfter, func() { c.ep.Send(s.to, wire.Request{Cmd: s.cmd}) })
+		}
 	}
 }
 
 func (c *testClient) send(to ids.ID, cmd kvstore.Command) {
+	c.sent[[2]uint64{cmd.ClientID, cmd.Seq}] = sentCmd{to: to, cmd: cmd}
 	c.ep.Send(to, wire.Request{Cmd: cmd})
 }
 
@@ -61,7 +79,7 @@ func newCluster(t *testing.T, n int, mut func(*Config)) *testCluster {
 		tr.h = r.OnMessage
 		tc.replicas[id] = r
 	}
-	cl := &testClient{id: ids.NewID(999, 1)}
+	cl := &testClient{sim: sim, id: ids.NewID(999, 1), sent: make(map[[2]uint64]sentCmd)}
 	cl.ep = net.Register(cl.id, cl, true)
 	tc.client = cl
 	sim.Schedule(0, func() {
@@ -478,7 +496,7 @@ func TestLossyNetworkEndToEnd(t *testing.T) {
 		tr.h = r.OnMessage
 		replicas[id] = r
 	}
-	cl := &testClient{id: ids.NewID(999, 1)}
+	cl := &testClient{sim: sim, id: ids.NewID(999, 1), sent: make(map[[2]uint64]sentCmd)}
 	cl.ep = net.Register(cl.id, cl, true)
 	sim.Schedule(0, func() {
 		for _, r := range replicas {
@@ -642,5 +660,148 @@ func TestReadAnyServesStaleFromFollower(t *testing.T) {
 	get := tc.client.replies[1]
 	if get.Exists {
 		t.Errorf("follower served %q — expected a stale miss in this construction", get.Value)
+	}
+}
+
+// TestIngressBoundShedsWithBusy fires eight simultaneous commands at a
+// leader whose window holds one slot and whose ingress queue holds two
+// commands. The overflow must be shed with wire.Busy — never queued past
+// MaxPending — and because Busy is backpressure rather than loss, every
+// client's retry must eventually land.
+func TestIngressBoundShedsWithBusy(t *testing.T) {
+	tc := newCluster(t, 3, func(c *Config) {
+		c.MaxInFlight = 1
+		c.MaxBatchSize = 1
+		c.MaxPending = 2
+	})
+	leader := tc.cfg.Nodes[0]
+	tc.sim.Schedule(5*time.Millisecond, func() {
+		for i := 1; i <= 8; i++ {
+			tc.client.send(leader, kvstore.Command{
+				Op: kvstore.Put, Key: uint64(i), Value: []byte("v"),
+				ClientID: uint64(i), Seq: 1,
+			})
+		}
+	})
+	tc.sim.Run(2 * time.Second)
+	st := tc.leader().Stats()
+	if st.Busy == 0 {
+		t.Error("8 simultaneous commands against window 1 + queue 2 shed none")
+	}
+	if st.MaxQueueDepth > 2 {
+		t.Errorf("ingress high-water %d exceeded MaxPending 2", st.MaxQueueDepth)
+	}
+	if ra := tc.client.lastBusy.RetryAfter; ra < time.Millisecond || ra > 100*time.Millisecond {
+		t.Errorf("retry-after hint %v outside [1ms, 100ms]", ra)
+	}
+	if tc.client.lastBusy.Leader != leader {
+		t.Errorf("Busy names leader %v, want %v", tc.client.lastBusy.Leader, leader)
+	}
+	if got := len(tc.client.replies); got != 8 {
+		t.Fatalf("replies = %d, want 8 (shed commands must complete on retry)", got)
+	}
+	for _, rep := range tc.client.replies {
+		if !rep.OK {
+			t.Errorf("failed reply %+v", rep)
+		}
+	}
+}
+
+// TestExpiredQueuedCommandsDropped wedges the pipeline with a partition so
+// queued commands outlive QueueTTL, then checks the flush drops them
+// instead of proposing dead work — and that a dropped command's sequence
+// number stays re-admittable, since shedding never consumed its session
+// slot.
+func TestExpiredQueuedCommandsDropped(t *testing.T) {
+	tc := newCluster(t, 3, func(c *Config) {
+		c.MaxInFlight = 1
+		c.MaxBatchSize = 1
+		c.QueueTTL = 20 * time.Millisecond
+		c.RetryTimeout = 30 * time.Millisecond // re-propose the wedged slot after heal
+	})
+	leader := tc.cfg.Nodes[0]
+	cmd := func(id uint64) kvstore.Command {
+		return kvstore.Command{Op: kvstore.Put, Key: id, Value: []byte("v"), ClientID: id, Seq: 1}
+	}
+	tc.sim.Schedule(5*time.Millisecond, func() {
+		tc.net.Partition([]ids.ID{leader}, tc.cfg.Nodes[1:])
+	})
+	// Command 1 fills the one-slot window and cannot commit; 2 and 3 queue
+	// behind it.
+	tc.sim.Schedule(10*time.Millisecond, func() { tc.client.send(leader, cmd(1)) })
+	tc.sim.Schedule(12*time.Millisecond, func() {
+		tc.client.send(leader, cmd(2))
+		tc.client.send(leader, cmd(3))
+	})
+	// Heal before command 1's ~40ms retransmit: it then commits at ~41ms,
+	// and that commit's flush finds 2 and 3 having sat past QueueTTL —
+	// dropped, not proposed. Command 4 arrives after, into an open window.
+	tc.sim.Schedule(35*time.Millisecond, func() { tc.net.HealPartition() })
+	tc.sim.Schedule(50*time.Millisecond, func() { tc.client.send(leader, cmd(4)) })
+	// A retry of dropped command 2 must be re-admitted as new work.
+	tc.sim.Schedule(200*time.Millisecond, func() { tc.client.send(leader, cmd(2)) })
+	tc.sim.Run(time.Second)
+
+	if got := tc.leader().Stats().DroppedExpired; got != 2 {
+		t.Errorf("dropped-expired = %d, want 2", got)
+	}
+	okBy := map[uint64]int{}
+	for _, rep := range tc.client.replies {
+		if rep.OK {
+			okBy[rep.ClientID]++
+		}
+	}
+	for _, id := range []uint64{1, 2, 4} {
+		if okBy[id] != 1 {
+			t.Errorf("client %d got %d OK replies, want 1", id, okBy[id])
+		}
+	}
+	if okBy[3] != 0 {
+		t.Errorf("dropped command 3 was answered %d times — it must not have been proposed", okBy[3])
+	}
+	if _, ok := tc.leader().Store().Get(3); ok {
+		t.Error("dropped command 3 reached the state machine")
+	}
+	if _, ok := tc.leader().Store().Get(2); !ok {
+		t.Error("re-admitted command 2 never reached the state machine")
+	}
+}
+
+// TestOverloadLatencySheds trips the commit-latency arm of the overload
+// detector: with OverloadLatency set below any real LAN commit latency, the
+// first commit pushes the EWMA over the threshold and every later command
+// must be shed with Busy.
+func TestOverloadLatencySheds(t *testing.T) {
+	tc := newCluster(t, 3, func(c *Config) {
+		c.OverloadLatency = time.Nanosecond
+	})
+	leader := tc.cfg.Nodes[0]
+	tc.sim.Schedule(5*time.Millisecond, func() {
+		tc.client.send(leader, kvstore.Command{Op: kvstore.Put, Key: 1, Value: []byte("v"), ClientID: 1, Seq: 1})
+	})
+	// By now the first command committed and seeded the EWMA.
+	tc.sim.Schedule(100*time.Millisecond, func() {
+		tc.client.send(leader, kvstore.Command{Op: kvstore.Put, Key: 2, Value: []byte("v"), ClientID: 2, Seq: 1})
+	})
+	tc.sim.Run(300 * time.Millisecond)
+	if tc.leader().CommitLatencyEWMA() <= 0 {
+		t.Fatal("commit never updated the latency EWMA")
+	}
+	if tc.client.busy == 0 || tc.leader().Stats().Busy == 0 {
+		t.Error("EWMA above OverloadLatency did not shed")
+	}
+	okBy := map[uint64]int{}
+	for _, rep := range tc.client.replies {
+		if rep.OK {
+			okBy[rep.ClientID]++
+		}
+	}
+	if okBy[1] != 1 {
+		t.Errorf("pre-overload command got %d OK replies, want 1", okBy[1])
+	}
+	// No commits ever decay the EWMA here, so the second command can only
+	// ever see Busy.
+	if okBy[2] != 0 {
+		t.Errorf("command shed by the latency detector was served %d times", okBy[2])
 	}
 }

@@ -14,13 +14,27 @@ import (
 )
 
 type testClient struct {
+	sim     *des.Sim
 	ep      *netsim.Endpoint
 	replies []wire.Reply
+	busy    int
+	sent    map[[2]uint64]sentCmd // (ClientID, Seq) → original send, for Busy retries
+}
+
+type sentCmd struct {
+	to  ids.ID
+	cmd kvstore.Command
 }
 
 func (c *testClient) OnMessage(from ids.ID, m wire.Msg) {
-	if r, ok := m.(wire.Reply); ok {
+	switch r := m.(type) {
+	case wire.Reply:
 		c.replies = append(c.replies, r)
+	case wire.Busy:
+		c.busy++
+		if s, ok := c.sent[[2]uint64{r.ClientID, r.Seq}]; ok {
+			c.sim.Schedule(r.RetryAfter, func() { c.ep.Send(s.to, wire.Request{Cmd: s.cmd}) })
+		}
 	}
 }
 
@@ -61,7 +75,7 @@ func newCluster(t *testing.T, n int, wan bool, mut func(*Config)) *cluster {
 		tr.h = r.OnMessage
 		tc.replicas[id] = r
 	}
-	cl := &testClient{}
+	cl := &testClient{sim: sim, sent: make(map[[2]uint64]sentCmd)}
 	cl.ep = net.Register(ids.NewID(999, 1), cl, true)
 	tc.client = cl
 	sim.Schedule(0, func() {
@@ -75,7 +89,10 @@ func newCluster(t *testing.T, n int, wan bool, mut func(*Config)) *cluster {
 func (tc *cluster) leader() *Replica { return tc.replicas[tc.cfg.Nodes[0]] }
 
 func (tc *cluster) send(at time.Duration, to ids.ID, cmd kvstore.Command) {
-	tc.sim.Schedule(at, func() { tc.client.ep.Send(to, wire.Request{Cmd: cmd}) })
+	tc.sim.Schedule(at, func() {
+		tc.client.sent[[2]uint64{cmd.ClientID, cmd.Seq}] = sentCmd{to: to, cmd: cmd}
+		tc.client.ep.Send(to, wire.Request{Cmd: cmd})
+	})
 }
 
 func TestElectionThroughRelays(t *testing.T) {

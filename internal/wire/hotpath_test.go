@@ -31,6 +31,7 @@ func sampleMsgs() []Msg {
 	return []Msg{
 		Request{Cmd: sampleCmd()},
 		Reply{ClientID: 1, Seq: 2, OK: true, Exists: true, Value: []byte("v"), Leader: id1, Slot: 7},
+		Busy{ClientID: 1, Seq: 3, Leader: id1, RetryAfter: 20 * time.Millisecond},
 		P1a{Ballot: b, From: 42},
 		P1b{Ballot: b, From: id1, Entries: []SlotEntry{{Slot: 5, Ballot: b, Committed: true, Cmds: sampleBatch(2)}}},
 		P1b{Ballot: b, From: id1},
@@ -150,6 +151,7 @@ func TestHotPathZeroAllocs(t *testing.T) {
 			Deps: []InstRef{{Replica: ids.NewID(1, 4), Slot: 5}, {Replica: ids.NewID(1, 5), Slot: 2}}},
 		Sharded{Shard: 5, Inner: P2a{Ballot: b, Slot: 124, Cmds: sampleBatch(16), Commit: 121}},
 		Sharded{Shard: 5, Inner: P2b{Ballot: b, From: ids.NewID(1, 4), Slot: 124}},
+		Busy{ClientID: 9, Seq: 4, Leader: ids.NewID(1, 1), RetryAfter: 5 * time.Millisecond},
 	}
 	s := GetScratch()
 	defer PutScratch(s)

@@ -55,6 +55,46 @@ func (m Reply) append(b []byte) []byte {
 	return b
 }
 
+// Busy rejects a client Request without queueing it: the leader's ingress
+// queue is full, or its commit-latency EWMA crossed the overload threshold.
+// Unlike a redirecting Reply, the sender IS the leader — the client should
+// stay put and retry the same command after RetryAfter. The rejected
+// sequence number is not consumed: the at-most-once session table still
+// expects it, so a retry is re-admitted as if never seen.
+type Busy struct {
+	ClientID   uint64
+	Seq        uint64
+	Leader     ids.ID
+	RetryAfter time.Duration
+}
+
+// Type implements Msg.
+func (Busy) Type() Type { return TBusy }
+
+// Size implements Msg.
+func (Busy) Size() int { return szU64 + szU64 + szID + szU64 }
+
+func (m Busy) append(b []byte) []byte {
+	b = putU64(b, m.ClientID)
+	b = putU64(b, m.Seq)
+	b = putU32(b, uint32(m.Leader))
+	return putU64(b, uint64(m.RetryAfter))
+}
+
+func init() {
+	decoders[TBusy] = func(r *reader) Msg {
+		m := Busy{
+			ClientID: r.u64(), Seq: r.u64(), Leader: r.id(),
+			RetryAfter: time.Duration(r.u64()),
+		}
+		if s := r.scratch; s != nil {
+			s.busy = m
+			return &s.busy
+		}
+		return m
+	}
+}
+
 // ----------------------------------------------------------------- paxos --
 
 // P1a is the phase-1 leadership bid ("lead with ballot b?"). From is the

@@ -58,6 +58,7 @@ const (
 	TPrepareReply
 	TSharded
 	TSnapInstall
+	TBusy
 	maxType
 )
 
@@ -77,6 +78,7 @@ var typeNames = [maxType]string{
 	TPrepare:      "Prepare", TPrepareReply: "PrepareReply",
 	TSharded:     "Sharded",
 	TSnapInstall: "SnapInstall",
+	TBusy:        "Busy",
 }
 
 // String implements fmt.Stringer.
@@ -213,6 +215,7 @@ type Scratch struct {
 	heartbeatAck HeartbeatAck
 	request      Request
 	reply        Reply
+	busy         Busy
 	prepare      Prepare
 	prepareReply PrepareReply
 	sharded      Sharded

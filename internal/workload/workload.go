@@ -84,6 +84,28 @@ func (c *Config) applyDefaults() {
 	}
 }
 
+// Validate fills unset fields with their defaults and rejects explicit
+// values the generators would otherwise silently misbehave on: a ReadRatio
+// outside [0,1] skews the mix without erroring, a non-positive key count
+// panics deep inside rand.Intn, a negative payload panics in make, and a
+// zipfian Theta outside (0,1) diverges the Gray sampler's normalization.
+func (c *Config) Validate() error {
+	c.applyDefaults()
+	if c.Keys <= 0 {
+		return fmt.Errorf("workload: non-positive key count %d", c.Keys)
+	}
+	if c.ReadRatio < 0 || c.ReadRatio > 1 {
+		return fmt.Errorf("workload: read ratio %v outside [0,1]", c.ReadRatio)
+	}
+	if c.PayloadSize < 0 {
+		return fmt.Errorf("workload: negative payload size %d", c.PayloadSize)
+	}
+	if c.Theta <= 0 || c.Theta >= 1 {
+		return fmt.Errorf("workload: zipfian theta %v outside (0,1)", c.Theta)
+	}
+	return nil
+}
+
 // Generator produces commands for one client.
 type Generator struct {
 	cfg     Config
@@ -101,9 +123,13 @@ func (c Config) WriteOnly() Config {
 }
 
 // New creates a generator drawing randomness from rng (pass the simulation
-// RNG for deterministic workloads).
+// RNG for deterministic workloads). It panics on an invalid Config —
+// callers with external input validate via Config.Validate first (the
+// load-generator options path does).
 func New(cfg Config, rng *rand.Rand) *Generator {
-	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	g := &Generator{cfg: cfg, rng: rng}
 	if cfg.Dist == Zipfian {
 		g.zipf = newZipf(rng, cfg.Theta, uint64(cfg.Keys))

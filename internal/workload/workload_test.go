@@ -35,6 +35,48 @@ func TestDefaults(t *testing.T) {
 	}
 }
 
+// Validate must reject each out-of-domain field instead of letting the
+// generators silently misbehave (or panic deep inside math/rand).
+func TestValidateRejectsBadFields(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative keys", Config{Keys: -5}},
+		{"read ratio above 1", Config{ReadRatio: 1.5}},
+		{"negative read ratio", Config{ReadRatio: -0.1}},
+		{"negative payload", Config{PayloadSize: -1}},
+		{"negative theta", Config{Theta: -0.5}},
+		{"theta at or above 1", Config{Theta: 1.0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.Validate(); err == nil {
+				t.Errorf("Validate(%+v) = nil, want error", tc.cfg)
+			}
+		})
+	}
+}
+
+// The zero Config and an explicit write-only mix stay valid: defaults fill
+// unset fields before the domain checks run.
+func TestValidateAcceptsDefaultsAndExplicitZeroRatio(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if c.Keys != 1000 || c.ReadRatio != 0.5 || c.PayloadSize != 8 || c.Theta != 0.99 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	w := Config{}.WriteOnly()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("write-only config rejected: %v", err)
+	}
+	if w.ReadRatio != 0 {
+		t.Errorf("explicit zero read ratio rewritten to %v", w.ReadRatio)
+	}
+}
+
 func TestWriteOnly(t *testing.T) {
 	g := New(Config{}.WriteOnly(), rand.New(rand.NewSource(1)))
 	for i := 0; i < 1000; i++ {
